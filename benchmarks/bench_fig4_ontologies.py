@@ -1,0 +1,70 @@
+"""Experiment E2 — Figure 4: rewriting GTGDs derived from ontologies.
+
+The paper's Figure 4 contains (i) a cactus plot of the number of inputs each
+algorithm processes within a given time, (ii) a statistics table (processed
+inputs, maximum input/output sizes, blow-ups, body atoms, and time
+aggregates), and (iii) two pairwise matrices (order-of-magnitude slowdowns and
+joint failures).  This benchmark regenerates all three over the synthetic
+ontology suite for ExbDR, SkDR, HypDR, and the KAON2-style baseline, and
+additionally times each algorithm on a single mid-sized input so that
+pytest-benchmark records comparable per-algorithm timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.reports import full_figure_report
+from repro.harness.stats import inputs_unprocessed_by_all, summarize
+from repro.rewriting import RewritingSettings, rewrite
+
+from conftest import TIMEOUT_SECONDS, write_report
+
+
+def test_figure4_report(figure4_records, ontology_suite, benchmark):
+    """Regenerate the Figure 4 tables from the shared run records."""
+
+    def build_report():
+        return full_figure_report(
+            figure4_records, "Figure 4: Results for TGDs Derived from Ontologies"
+        )
+
+    report = benchmark(build_report)
+    unprocessed = inputs_unprocessed_by_all(figure4_records)
+    report += (
+        f"\n\nInputs processed by no algorithm within {TIMEOUT_SECONDS:.0f}s: "
+        f"{len(unprocessed)} of {len(ontology_suite)}"
+    )
+    write_report("figure4_ontologies", report)
+
+    summaries = {summary.algorithm: summary for summary in summarize(figure4_records)}
+    # every one of our algorithms must process at least as many inputs as it fails
+    for name in ("exbdr", "skdr", "hypdr"):
+        assert summaries[name].processed_inputs >= summaries[name].failed_inputs
+
+
+@pytest.mark.parametrize("algorithm", ["exbdr", "skdr", "hypdr", "kaon2"])
+def test_single_input_rewriting_time(ontology_suite, benchmark_runner, benchmark, algorithm):
+    """Per-algorithm timing on one mid-sized input (the pytest-benchmark rows)."""
+    target = ontology_suite[len(ontology_suite) // 2]
+    record = benchmark(benchmark_runner.run_algorithm, algorithm, target)
+    assert record.input_id == target.identifier
+
+
+@pytest.mark.parametrize("algorithm", ["exbdr", "skdr", "hypdr"])
+def test_rewriting_output_quality(ontology_suite, benchmark, algorithm):
+    """The blow-up on typical ontology inputs stays moderate (paper: same order
+    of magnitude as the input for the vast majority of inputs)."""
+    target = ontology_suite[len(ontology_suite) // 3]
+    result = benchmark.pedantic(
+        rewrite,
+        args=(target.tgds,),
+        kwargs={
+            "algorithm": algorithm,
+            "settings": RewritingSettings(timeout_seconds=TIMEOUT_SECONDS),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    if result.completed and result.statistics.input_size:
+        assert result.blowup() < 20.0

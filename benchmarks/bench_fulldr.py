@@ -1,0 +1,96 @@
+"""Experiment E8 — Appendix E: FullDR is not competitive.
+
+The paper implemented FullDR with the same subsumption and indexing machinery
+but found it uncompetitive (it timed out on 173 ontologies, more than any
+other algorithm) because its (COMPOSE) and (PROPAGATE) variants enumerate
+bounded substitutions instead of most general unifiers — Example E.3 shows
+2401 candidate substitutions for a single premise pair.  This benchmark
+contrasts FullDR with the other algorithms on Example E.3 and on the smallest
+suite inputs, reporting derivation counts, output sizes, and timeouts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.harness.reports import format_table
+from repro.rewriting import RewritingSettings, rewrite
+from repro.workloads.families import fulldr_example_e3, running_example
+
+from conftest import TIMEOUT_SECONDS, write_report
+
+SUBSET_SIZE = int(os.environ.get("REPRO_BENCH_FULLDR_INPUTS", "4"))
+ALGORITHMS = ("fulldr", "exbdr", "skdr", "hypdr")
+
+
+def _run(tgds, algorithm):
+    settings = RewritingSettings(timeout_seconds=TIMEOUT_SECONDS)
+    start = time.perf_counter()
+    result = rewrite(tgds, algorithm=algorithm, settings=settings)
+    return result, time.perf_counter() - start
+
+
+def test_fulldr_comparison_report(ontology_suite, benchmark):
+    inputs = {
+        "example-4.3": running_example()[0],
+        "example-E.3": fulldr_example_e3(),
+    }
+    for item in sorted(ontology_suite, key=lambda entry: entry.size)[:SUBSET_SIZE]:
+        inputs[item.identifier] = item.tgds
+
+    def collect():
+        collected_rows = []
+        fulldr_total = 0
+        others_total = 0
+        for input_id, tgds in inputs.items():
+            per_algorithm = {}
+            for algorithm in ALGORITHMS:
+                result, elapsed = _run(tgds, algorithm)
+                per_algorithm[algorithm] = (result, elapsed)
+            fulldr_result, fulldr_time = per_algorithm["fulldr"]
+            best_other = min(
+                (per_algorithm[name] for name in ("exbdr", "skdr", "hypdr")),
+                key=lambda pair: pair[0].statistics.derived,
+            )
+            fulldr_total += fulldr_result.statistics.derived
+            others_total += best_other[0].statistics.derived
+            collected_rows.append(
+                [
+                    input_id,
+                    fulldr_result.statistics.derived,
+                    best_other[0].statistics.derived,
+                    round(fulldr_time, 3),
+                    round(best_other[1], 3),
+                    "timeout" if not fulldr_result.completed else "ok",
+                ]
+            )
+        return collected_rows, fulldr_total, others_total
+
+    rows, fulldr_derived_total, others_best_derived_total = benchmark.pedantic(
+        collect, rounds=1, iterations=1
+    )
+    report = "Appendix E: FullDR versus the main algorithms\n" + format_table(
+        [
+            "Input",
+            "FullDR derived",
+            "Best other derived",
+            "FullDR time (s)",
+            "Best other time (s)",
+            "FullDR status",
+        ],
+        rows,
+    )
+    write_report("fulldr_comparison", report)
+    # the headline claim: FullDR derives (much) more than the best competitor
+    assert fulldr_derived_total > others_best_derived_total
+
+
+@pytest.mark.parametrize("algorithm", ["fulldr", "hypdr"])
+def test_example_e3_time(benchmark, algorithm):
+    """pytest-benchmark rows for the Example E.3 family."""
+    tgds = fulldr_example_e3()
+    result, _ = benchmark(_run, tgds, algorithm)
+    assert result.datalog_rules is not None

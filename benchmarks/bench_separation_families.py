@@ -1,0 +1,100 @@
+"""Experiment E7 — the exponential separation families of Propositions 5.14, 5.15, 5.20.
+
+The paper proves three pairwise separations between its algorithms:
+
+* Proposition 5.14 — ExbDR derives O(2^n) times more TGDs than SkDR derives rules;
+* Proposition 5.15 — SkDR derives O(2^n) times more rules than ExbDR derives TGDs;
+* Proposition 5.20 — SkDR derives O(2^n) more rules than HypDR.
+
+This benchmark instantiates each family for growing n, counts the clauses
+each algorithm retains (with redundancy elimination disabled, as the
+propositions count raw derivations), and prints the growth table, confirming
+the exponential-versus-linear shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.reports import format_table
+from repro.rewriting import RewritingSettings
+from repro.rewriting.exbdr import ExbDR
+from repro.rewriting.hypdr import HypDR
+from repro.rewriting.saturation import Saturation
+from repro.rewriting.skdr import SkDR
+from repro.workloads.families import (
+    exbdr_blowup_family,
+    hypdr_advantage_family,
+    skdr_blowup_family,
+)
+
+from conftest import write_report
+
+NS = (2, 3, 4, 5)
+RAW_SETTINGS = RewritingSettings(use_subsumption=False, use_lookahead=False)
+
+
+def _clause_count(inference_cls, tgds) -> int:
+    saturation = Saturation(inference_cls(RAW_SETTINGS))
+    saturation.run(tgds)
+    return len(saturation._worked_off)
+
+
+def test_separation_growth_report(benchmark):
+    def collect():
+        collected_rows = []
+        collected_growth = {"5.14": [], "5.15": [], "5.20": []}
+        for n in NS:
+            family_514 = exbdr_blowup_family(n)
+            family_515 = skdr_blowup_family(n)
+            family_520 = hypdr_advantage_family(n)
+            exbdr_514 = _clause_count(ExbDR, family_514)
+            skdr_514 = _clause_count(SkDR, family_514)
+            exbdr_515 = _clause_count(ExbDR, family_515)
+            skdr_515 = _clause_count(SkDR, family_515)
+            skdr_520 = _clause_count(SkDR, family_520)
+            hypdr_520 = _clause_count(HypDR, family_520)
+            collected_growth["5.14"].append(exbdr_514 / max(skdr_514, 1))
+            collected_growth["5.15"].append(skdr_515 / max(exbdr_515, 1))
+            collected_growth["5.20"].append(skdr_520 / max(hypdr_520, 1))
+            collected_rows.append(
+                [n, exbdr_514, skdr_514, exbdr_515, skdr_515, skdr_520, hypdr_520]
+            )
+        return collected_rows, collected_growth
+
+    rows, growth = benchmark.pedantic(collect, rounds=1, iterations=1)
+    report = (
+        "Exponential separation families (clauses retained, no redundancy elimination)\n"
+        + format_table(
+            [
+                "n",
+                "P5.14 ExbDR",
+                "P5.14 SkDR",
+                "P5.15 ExbDR",
+                "P5.15 SkDR",
+                "P5.20 SkDR",
+                "P5.20 HypDR",
+            ],
+            rows,
+        )
+    )
+    write_report("separation_families", report)
+    # the ratios must grow with n in each separation
+    for key, ratios in growth.items():
+        assert ratios[-1] > ratios[0], f"no growth for Proposition {key}: {ratios}"
+
+
+@pytest.mark.parametrize(
+    "family,inference_cls",
+    [
+        (exbdr_blowup_family, ExbDR),
+        (skdr_blowup_family, SkDR),
+        (hypdr_advantage_family, HypDR),
+    ],
+    ids=["P5.14-ExbDR", "P5.15-SkDR", "P5.20-HypDR"],
+)
+def test_family_saturation_time(benchmark, family, inference_cls):
+    """pytest-benchmark rows: saturation time on the n=4 member of each family."""
+    tgds = family(4)
+    count = benchmark(_clause_count, inference_cls, tgds)
+    assert count > 0

@@ -1,0 +1,42 @@
+"""Experiment E1 — Table 1: "Input GTGDs at a Glance".
+
+The paper summarizes its 428 ontology-derived inputs by the minimum, maximum,
+average, and median numbers of full and non-full TGDs.  This benchmark
+generates the synthetic stand-in suite, prints the same table, and times both
+suite generation and the per-input head normalization that the statistics are
+based on.
+"""
+
+from __future__ import annotations
+
+from repro.harness.reports import table1_report
+from repro.logic.tgd import head_normalize, split_full_non_full
+from repro.workloads.ontology_suite import generate_suite, suite_statistics
+
+from conftest import MAX_AXIOMS, SUITE_SIZE, write_report
+
+
+def test_table1_report(ontology_suite, benchmark):
+    """Regenerate Table 1 over the synthetic suite."""
+    statistics = benchmark(suite_statistics, ontology_suite)
+    report = table1_report(statistics, len(ontology_suite))
+    write_report("table1_inputs", report)
+    assert statistics["full"]["max"] >= statistics["full"]["min"]
+    assert statistics["non_full"]["max"] >= 1
+
+
+def test_suite_generation_time(benchmark):
+    """Time the generation of a small suite (workload generator throughput)."""
+    suite = benchmark(
+        generate_suite, count=min(SUITE_SIZE, 12), seed=7, min_axioms=12,
+        max_axioms=min(MAX_AXIOMS, 120),
+    )
+    assert len(suite) == min(SUITE_SIZE, 12)
+
+
+def test_head_normalization_of_largest_input(ontology_suite, benchmark):
+    """Time head normalization, the preprocessing step shared by all algorithms."""
+    largest = max(ontology_suite, key=lambda item: item.size)
+    normalized = benchmark(head_normalize, largest.tgds)
+    full, non_full = split_full_non_full(normalized)
+    assert len(full) + len(non_full) == len(normalized)

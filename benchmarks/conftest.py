@@ -1,0 +1,65 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 7).  The scale is controlled by environment variables so that a
+default run finishes in minutes on a laptop while still reproducing the shape
+of the paper's results; raising the knobs approaches the paper's scale.
+
+* ``REPRO_BENCH_SUITE_SIZE``   — number of synthetic ontology inputs (default 18)
+* ``REPRO_BENCH_TIMEOUT``      — per-input timeout in seconds (default 8)
+* ``REPRO_BENCH_MAX_AXIOMS``   — number of axioms of the largest input (default 180)
+* ``REPRO_BENCH_RESULTS_DIR``  — where textual reports are written
+                                 (default ``benchmarks/results``)
+
+Reports are printed to stdout (run pytest with ``-s`` to see them) and always
+written to the results directory, so EXPERIMENTS.md can reference them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import BenchmarkRunner
+from repro.workloads.ontology_suite import generate_suite
+
+SUITE_SIZE = int(os.environ.get("REPRO_BENCH_SUITE_SIZE", "18"))
+TIMEOUT_SECONDS = float(os.environ.get("REPRO_BENCH_TIMEOUT", "8"))
+MAX_AXIOMS = int(os.environ.get("REPRO_BENCH_MAX_AXIOMS", "180"))
+RESULTS_DIR = Path(
+    os.environ.get(
+        "REPRO_BENCH_RESULTS_DIR", Path(__file__).resolve().parent / "results"
+    )
+)
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist a textual report and echo it to stdout."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[report written to {path}]")
+    return path
+
+
+@pytest.fixture(scope="session")
+def ontology_suite():
+    """The shared synthetic ontology suite (stands in for the 428 ontologies)."""
+    return generate_suite(
+        count=SUITE_SIZE, seed=2022, min_axioms=12, max_axioms=MAX_AXIOMS
+    )
+
+
+@pytest.fixture(scope="session")
+def benchmark_runner():
+    return BenchmarkRunner(timeout_seconds=TIMEOUT_SECONDS, include_kaon2=True)
+
+
+@pytest.fixture(scope="session")
+def figure4_records(ontology_suite, benchmark_runner):
+    """Figure 4 run records, computed once and shared by several benchmarks."""
+    return benchmark_runner.run_suite(
+        ontology_suite, algorithms=("exbdr", "skdr", "hypdr")
+    )

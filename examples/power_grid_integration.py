@@ -1,0 +1,95 @@
+"""Data-integration scenario: completing an incomplete power-grid dataset.
+
+The introduction of the paper motivates GTGDs with data integration: data
+sources are incomplete (some switches have no recorded terminals), and the
+dependencies complete the data so that queries return every certain answer.
+
+This example scales that scenario up: it generates a power grid with hundreds
+of pieces of equipment, only some of which have terminals recorded, compiles
+the CIM-style GTGDs once, and then answers several monitoring queries over the
+completed data — comparing the answers with and without reasoning.
+
+Run with::
+
+    python examples/power_grid_integration.py [equipment_count]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import ConjunctiveQuery, KnowledgeBase, Variable
+from repro.datalog import FactStore, evaluate_query
+from repro.logic.atoms import Predicate
+from repro.workloads.families import cim_example
+from repro.workloads.instances import generate_power_grid_instance
+
+
+def main(equipment_count: int = 200) -> None:
+    tgds, _ = cim_example()
+    instance = generate_power_grid_instance(
+        equipment_count=equipment_count, terminal_fraction=0.6, seed=7
+    )
+    print(
+        f"Generated a power grid with {equipment_count} pieces of AC equipment "
+        f"({len(instance)} base facts); only ~60% have terminals recorded.\n"
+    )
+
+    start = time.perf_counter()
+    kb = KnowledgeBase.compile(tgds, algorithm="hypdr")
+    compile_time = time.perf_counter() - start
+    print(
+        f"Compiled the GTGDs into {kb.rewriting.output_size} Datalog rules "
+        f"in {compile_time:.3f}s (done once, reused for every instance).\n"
+    )
+
+    start = time.perf_counter()
+    materialization = kb.materialize(instance)
+    materialize_time = time.perf_counter() - start
+    print(
+        f"Materialization: {len(instance)} input facts -> "
+        f"{len(materialization)} facts in {materialize_time:.3f}s "
+        f"({materialization.rounds} semi-naive rounds).\n"
+    )
+
+    x = Variable("x")
+    equipment = Predicate("Equipment", 1)
+    equipment_query = ConjunctiveQuery((x,), (equipment(x),))
+
+    # without reasoning: evaluate the query directly on the base instance
+    raw_answers = evaluate_query(equipment_query, FactStore(instance))
+    # with reasoning: evaluate on the materialized rewriting
+    certain_answers = evaluate_query(equipment_query, materialization)
+
+    print("Query: list all pieces of equipment")
+    print(f"  answers without reasoning: {len(raw_answers)}")
+    print(f"  certain answers with GTGD reasoning: {len(certain_answers)}")
+    print(
+        "  -> the dependencies recovered "
+        f"{len(certain_answers) - len(raw_answers)} pieces of equipment that no "
+        "source classified explicitly.\n"
+    )
+
+    terminal = Predicate("Terminal", 1)
+    terminal_query = ConjunctiveQuery((x,), (terminal(x),))
+    print("Query: list all terminals")
+    print(f"  answers without reasoning: "
+          f"{len(evaluate_query(terminal_query, FactStore(instance)))}")
+    print(f"  certain answers with reasoning: "
+          f"{len(evaluate_query(terminal_query, materialization))}")
+
+    # a join query: equipment together with one of its recorded terminals
+    y = Variable("y")
+    has_terminal = Predicate("hasTerminal", 2)
+    join_query = ConjunctiveQuery((x, y), (equipment(x), has_terminal(x, y)))
+    join_answers = evaluate_query(join_query, materialization)
+    print(
+        "\nQuery: equipment joined with its recorded terminals "
+        f"-> {len(join_answers)} answer pairs"
+    )
+
+
+if __name__ == "__main__":
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    main(count)

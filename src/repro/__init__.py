@@ -1,0 +1,88 @@
+"""repro — a reproduction of "Rewriting the Infinite Chase" (VLDB 2022).
+
+The package implements Datalog rewriting of guarded tuple-generating
+dependencies (GTGDs) together with every substrate the paper relies on: a
+first-order logic layer, unification, the tree-like and one-pass chase, a
+semi-naive Datalog engine, clause indexing, a small description-logic front
+end, and workload generators for the paper's evaluation.
+
+Quickstart::
+
+    from repro import KnowledgeBase, parse_program
+
+    program = parse_program('''
+        ACEquipment(?x) -> exists ?y. hasTerminal(?x, ?y), ACTerminal(?y).
+        ACTerminal(?x) -> Terminal(?x).
+        hasTerminal(?x, ?z), Terminal(?z) -> Equipment(?x).
+        ACEquipment(sw1). ACEquipment(sw2).
+    ''')
+    kb = KnowledgeBase.compile(program.tgds, algorithm="hypdr")
+    print(kb.certain_base_facts(program.instance))
+"""
+
+from .api import KnowledgeBase, answer_query, entailed_base_facts
+from .datalog import (
+    ConjunctiveQuery,
+    DatalogProgram,
+    FactStore,
+    MaterializationResult,
+    evaluate_query,
+    materialize,
+)
+from .logic import (
+    TGD,
+    Atom,
+    Constant,
+    Instance,
+    Predicate,
+    Rule,
+    Substitution,
+    Variable,
+    parse_atom,
+    parse_fact,
+    parse_facts,
+    parse_program,
+    parse_tgd,
+    parse_tgds,
+)
+from .rewriting import (
+    RewritingResult,
+    RewritingSettings,
+    available_algorithms,
+    rewrite,
+    rewrite_program,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Constant",
+    "DatalogProgram",
+    "FactStore",
+    "Instance",
+    "KnowledgeBase",
+    "MaterializationResult",
+    "Predicate",
+    "RewritingResult",
+    "RewritingSettings",
+    "Rule",
+    "Substitution",
+    "TGD",
+    "Variable",
+    "answer_query",
+    "available_algorithms",
+    "entailed_base_facts",
+    "evaluate_query",
+    "materialize",
+    "parse_atom",
+    "parse_fact",
+    "parse_facts",
+    "parse_program",
+    "parse_tgd",
+    "parse_tgds",
+    "rewrite",
+    "rewrite_program",
+    "__version__",
+]

@@ -1,0 +1,103 @@
+"""High-level convenience API.
+
+This module ties the pieces together for the most common end-to-end use
+case described in the paper's introduction: given GTGDs and a base instance,
+answer existential-free conjunctive queries (or check fact entailment) by
+
+1. rewriting the GTGDs into a Datalog program (``rew(Σ)``),
+2. materializing the program on the base instance, and
+3. evaluating queries over the materialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from .datalog.engine import MaterializationResult, materialize
+from .datalog.program import DatalogProgram
+from .datalog.query import ConjunctiveQuery, evaluate_query
+from .logic.atoms import Atom
+from .logic.instance import Instance
+from .logic.terms import Term
+from .logic.tgd import TGD
+from .rewriting.base import RewritingResult, RewritingSettings
+from .rewriting.rewriter import rewrite
+
+
+@dataclass
+class KnowledgeBase:
+    """A set of GTGDs paired with its Datalog rewriting.
+
+    The rewriting is computed once and reused across base instances, which is
+    the intended deployment mode: the expensive saturation depends only on Σ,
+    while each query workload only pays for Datalog materialization.
+    """
+
+    tgds: Tuple[TGD, ...]
+    rewriting: RewritingResult
+
+    @property
+    def program(self) -> DatalogProgram:
+        return self.rewriting.program()
+
+    @classmethod
+    def compile(
+        cls,
+        tgds: Iterable[TGD],
+        algorithm: str = "hypdr",
+        settings: Optional[RewritingSettings] = None,
+    ) -> "KnowledgeBase":
+        """Rewrite the GTGDs with the chosen algorithm."""
+        tgds = tuple(tgds)
+        result = rewrite(tgds, algorithm=algorithm, settings=settings)
+        return cls(tgds=tgds, rewriting=result)
+
+    # ------------------------------------------------------------------
+    # reasoning services
+    # ------------------------------------------------------------------
+    def materialize(
+        self, instance: Instance | Iterable[Atom]
+    ) -> MaterializationResult:
+        """Compute the fixpoint of the rewriting on a base instance."""
+        return materialize(self.program, instance)
+
+    def certain_base_facts(
+        self, instance: Instance | Iterable[Atom]
+    ) -> FrozenSet[Atom]:
+        """All base facts entailed by the instance and the GTGDs."""
+        result = self.materialize(instance)
+        return frozenset(fact for fact in result.facts() if fact.is_base_fact)
+
+    def entails(self, instance: Instance | Iterable[Atom], fact: Atom) -> bool:
+        """Decide ``I, Σ |= F`` for a base fact ``F`` via the rewriting."""
+        if not fact.is_base_fact:
+            raise ValueError("entailment is defined for base facts only")
+        return fact in self.materialize(instance)
+
+    def answer(
+        self,
+        query: ConjunctiveQuery,
+        instance: Instance | Iterable[Atom],
+    ) -> FrozenSet[Tuple[Term, ...]]:
+        """Answer an existential-free conjunctive query under certain-answer semantics."""
+        return evaluate_query(query, self.materialize(instance))
+
+
+def answer_query(
+    tgds: Iterable[TGD],
+    instance: Instance | Iterable[Atom],
+    query: ConjunctiveQuery,
+    algorithm: str = "hypdr",
+) -> FrozenSet[Tuple[Term, ...]]:
+    """One-shot query answering: rewrite, materialize, evaluate."""
+    return KnowledgeBase.compile(tgds, algorithm=algorithm).answer(query, instance)
+
+
+def entailed_base_facts(
+    tgds: Iterable[TGD],
+    instance: Instance | Iterable[Atom],
+    algorithm: str = "hypdr",
+) -> FrozenSet[Atom]:
+    """One-shot computation of all entailed base facts via the rewriting."""
+    return KnowledgeBase.compile(tgds, algorithm=algorithm).certain_base_facts(instance)

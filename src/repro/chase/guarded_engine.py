@@ -1,0 +1,211 @@
+"""A decision procedure for GTGD fact entailment based on type closures.
+
+The tree-like chase (Section 3) arranges derived facts into a tree whose
+vertices hold *types*: finite sets of facts over at most ``hwidth(Σ)`` terms
+plus the constants of Σ.  The facts derivable at a vertex depend only on the
+vertex's initial type, which yields a terminating decision procedure:
+
+* ``closure(S)`` is the least set containing ``S`` that is closed under
+  (a) applications of full GTGDs and (b) the *loop rule* — for every non-full
+  GTGD trigger, build the child's initial type, recursively close it, and copy
+  back every derived fact that does not mention the fresh nulls.
+
+Because types are canonicalized (labeled nulls renamed by first occurrence),
+the number of distinct types is finite, so the memoized global fixpoint
+terminates.  This engine is the correctness oracle against which the Datalog
+rewriting algorithms are validated in the test suite; it is exponential in
+``Σ`` and therefore only intended for small inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..logic.atoms import Atom, Predicate
+from ..logic.instance import Instance, guarded_subset
+from ..logic.substitution import Substitution
+from ..logic.terms import Constant, Null, Term, Variable
+from ..logic.tgd import TGD, head_normalize, program_constants, split_full_non_full
+from ..unification.matching import match_atom
+
+TypeKey = FrozenSet[Atom]
+
+
+class GuardedChaseReasoner:
+    """Decides fact entailment for a fixed set of GTGDs."""
+
+    def __init__(self, tgds: Iterable[TGD], max_types: int = 50_000) -> None:
+        normalized = head_normalize(tgds)
+        for tgd in normalized:
+            if not tgd.is_guarded:
+                raise ValueError(f"TGD is not guarded: {tgd}")
+        self.tgds: Tuple[TGD, ...] = normalized
+        self.full_tgds, self.non_full_tgds = split_full_non_full(normalized)
+        self.sigma_constants: FrozenSet[Constant] = program_constants(normalized)
+        self.max_types = max_types
+        self._cache: Dict[TypeKey, Set[Atom]] = {}
+        self._null_counter = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def saturate(self, instance: Instance | Iterable[Atom]) -> FrozenSet[Atom]:
+        """All facts derivable at the root vertex for the given base instance."""
+        root_facts = frozenset(instance)
+        self._cache = {}
+        changed = True
+        while changed:
+            self._round_changed = False
+            self._visited_this_round: Set[TypeKey] = set()
+            self._closure(root_facts)
+            changed = self._round_changed
+        return self._lookup(root_facts)
+
+    def entailed_base_facts(
+        self, instance: Instance | Iterable[Atom]
+    ) -> FrozenSet[Atom]:
+        """The base facts entailed by the instance and the GTGDs."""
+        return frozenset(
+            fact for fact in self.saturate(instance) if fact.is_base_fact
+        )
+
+    def entails(self, instance: Instance | Iterable[Atom], fact: Atom) -> bool:
+        """Decide ``I, Σ |= F`` for a base fact ``F``."""
+        if not fact.is_base_fact:
+            raise ValueError("entailment is defined for base facts only")
+        return fact in self.saturate(instance)
+
+    # ------------------------------------------------------------------
+    # canonicalization of types
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _canonical_key(facts: FrozenSet[Atom]) -> Tuple[TypeKey, Dict[Null, Null]]:
+        """Rename labeled nulls canonically; return the key and the renaming."""
+        ordered = sorted(facts, key=str)
+        mapping: Dict[Null, Null] = {}
+
+        def rename_term(term: Term) -> Term:
+            if isinstance(term, Null):
+                renamed = mapping.get(term)
+                if renamed is None:
+                    renamed = Null(len(mapping))
+                    mapping[term] = renamed
+                return renamed
+            return term
+
+        canonical = frozenset(
+            Atom(fact.predicate, tuple(rename_term(arg) for arg in fact.args))
+            for fact in ordered
+        )
+        return canonical, mapping
+
+    @staticmethod
+    def _apply_null_renaming(
+        facts: Iterable[Atom], renaming: Dict[Null, Null]
+    ) -> FrozenSet[Atom]:
+        def rename_term(term: Term) -> Term:
+            if isinstance(term, Null):
+                return renaming.get(term, term)
+            return term
+
+        return frozenset(
+            Atom(fact.predicate, tuple(rename_term(arg) for arg in fact.args))
+            for fact in facts
+        )
+
+    def _lookup(self, facts: FrozenSet[Atom]) -> FrozenSet[Atom]:
+        key, mapping = self._canonical_key(facts)
+        closure = self._cache.get(key, set(key))
+        inverse = {canonical: original for original, canonical in mapping.items()}
+        return self._apply_null_renaming(closure, inverse)
+
+    # ------------------------------------------------------------------
+    # the fixpoint
+    # ------------------------------------------------------------------
+    def _fresh_null(self) -> Null:
+        self._null_counter += 1
+        return Null(1_000_000 + self._null_counter)
+
+    def _closure(self, facts: FrozenSet[Atom]) -> FrozenSet[Atom]:
+        """Compute (one round of) the closure of a type, using cached children."""
+        key, mapping = self._canonical_key(facts)
+        inverse = {canonical: original for original, canonical in mapping.items()}
+        if key in self._visited_this_round:
+            closure = self._cache.get(key, set(key))
+            return self._apply_null_renaming(closure, inverse)
+        self._visited_this_round.add(key)
+        if len(self._cache) > self.max_types:
+            raise RuntimeError(
+                "type limit exceeded; the oracle is intended for small inputs only"
+            )
+
+        cached = self._cache.get(key)
+        if cached is None:
+            current: Set[Atom] = set(facts)
+        else:
+            # cached closures are stored in canonical null naming; translate
+            # them back into the caller's naming before extending them
+            current = set(self._apply_null_renaming(cached, inverse))
+        changed = True
+        while changed:
+            changed = False
+            # (a) full GTGDs applied inside the vertex
+            for tgd in self.full_tgds:
+                for substitution in self._body_matches(tgd.body, current):
+                    head_fact = substitution.apply_atom(tgd.head[0])
+                    if head_fact not in current:
+                        current.add(head_fact)
+                        changed = True
+            # (b) loops through children created by non-full GTGDs
+            for tgd in self.non_full_tgds:
+                for substitution in self._body_matches(tgd.body, current):
+                    extension = {
+                        var: self._fresh_null() for var in tgd.existential_variables
+                    }
+                    extended = Substitution(
+                        {**dict(substitution.items()), **extension}
+                    )
+                    head_facts = frozenset(extended.apply_atoms(tgd.head))
+                    fresh_nulls = frozenset(extension.values())
+                    inherited = guarded_subset(
+                        current, head_facts, self.sigma_constants
+                    )
+                    child_type = head_facts | frozenset(inherited)
+                    child_closure = self._closure(child_type)
+                    for fact in child_closure:
+                        if any(null in fresh_nulls for null in fact.nulls()):
+                            continue
+                        if fact not in current:
+                            current.add(fact)
+                            changed = True
+
+        canonical_closure = self._apply_null_renaming(current, mapping)
+        previous = self._cache.get(key)
+        if previous is None or not canonical_closure <= previous:
+            merged = set(previous or ()) | set(canonical_closure)
+            self._cache[key] = merged
+            self._round_changed = True
+        return frozenset(current)
+
+    # ------------------------------------------------------------------
+    # body matching over a fact set
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _body_matches(
+        body: Tuple[Atom, ...], facts: Set[Atom]
+    ) -> Iterable[Substitution]:
+        by_predicate: Dict[Predicate, List[Atom]] = {}
+        for fact in facts:
+            by_predicate.setdefault(fact.predicate, []).append(fact)
+
+        def recurse(index: int, substitution: Substitution):
+            if index == len(body):
+                yield substitution
+                return
+            pattern = body[index]
+            for fact in by_predicate.get(pattern.predicate, ()):
+                extended = match_atom(pattern, fact, substitution)
+                if extended is not None:
+                    yield from recurse(index + 1, extended)
+
+        yield from recurse(0, Substitution())

@@ -1,0 +1,59 @@
+"""Entailment oracles used to validate the rewriting algorithms.
+
+Two oracles are provided:
+
+* :class:`repro.chase.guarded_engine.GuardedChaseReasoner` — a sound and
+  complete (but worst-case exponential) decision procedure based on type
+  closures; and
+* the depth-bounded Skolem chase — sound but only complete up to the chosen
+  depth; much cheaper, so useful as a quick cross-check.
+
+The helpers in this module pick sensible defaults and expose the oracle
+behind a single small interface.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from ..logic.atoms import Atom
+from ..logic.instance import Instance
+from ..logic.tgd import TGD
+from .guarded_engine import GuardedChaseReasoner
+from .skolem_chase import skolem_chase_base_facts
+
+
+def certain_base_facts(
+    instance: Instance | Iterable[Atom], tgds: Iterable[TGD]
+) -> FrozenSet[Atom]:
+    """All base facts entailed by the instance and the GTGDs (exact oracle)."""
+    reasoner = GuardedChaseReasoner(tgds)
+    return reasoner.entailed_base_facts(instance)
+
+
+def entails(
+    instance: Instance | Iterable[Atom], tgds: Iterable[TGD], fact: Atom
+) -> bool:
+    """Decide ``I, Σ |= F`` with the exact oracle."""
+    reasoner = GuardedChaseReasoner(tgds)
+    return reasoner.entails(instance, fact)
+
+
+def bounded_certain_base_facts(
+    instance: Instance | Iterable[Atom],
+    tgds: Iterable[TGD],
+    max_term_depth: int = 4,
+) -> FrozenSet[Atom]:
+    """Base facts derivable by the depth-bounded Skolem chase (sound under-approximation)."""
+    return skolem_chase_base_facts(instance, tgds, max_term_depth=max_term_depth)
+
+
+def oracle_agrees(
+    instance: Instance | Iterable[Atom],
+    tgds: Iterable[TGD],
+    candidate_facts: Iterable[Atom],
+) -> bool:
+    """``True`` if ``candidate_facts`` equals the exact set of certain base facts."""
+    expected = certain_base_facts(instance, tgds)
+    actual = frozenset(fact for fact in candidate_facts if fact.is_base_fact)
+    return expected == actual

@@ -1,0 +1,136 @@
+"""The oblivious Skolem chase with a term-depth bound.
+
+Skolemizing a set of TGDs and saturating a base instance under the resulting
+rules yields exactly the certain base facts (Section 3: ``I, Σ |= F`` iff
+``I, sk(Σ) |= F``).  The Skolem chase does not terminate for arbitrary GTGDs,
+so this implementation bounds the nesting depth of Skolem terms; bounded runs
+*under-approximate* the certain answers, which makes them a useful soundness
+oracle and (at sufficient depth on small inputs) a completeness oracle for the
+rewriting algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..logic.atoms import Atom, Predicate
+from ..logic.instance import Instance
+from ..logic.rules import Rule
+from ..logic.skolem import SkolemFactory, skolemize
+from ..logic.substitution import Substitution
+from ..logic.tgd import TGD, head_normalize
+from ..unification.matching import match_atom
+
+
+@dataclass
+class SkolemChaseResult:
+    """Result of a (possibly bounded) Skolem chase run."""
+
+    facts: FrozenSet[Atom]
+    saturated: bool
+    rounds: int
+
+    def base_facts(self) -> FrozenSet[Atom]:
+        """Facts over constants only (the observable output of the chase)."""
+        return frozenset(fact for fact in self.facts if fact.is_base_fact)
+
+    def __contains__(self, fact: Atom) -> bool:
+        return fact in self.facts
+
+
+class SkolemChase:
+    """Bottom-up saturation of a base instance under Skolemized TGDs."""
+
+    def __init__(
+        self,
+        tgds: Iterable[TGD],
+        max_term_depth: int = 4,
+        max_facts: int = 200_000,
+    ) -> None:
+        normalized = head_normalize(tgds)
+        self._rules: Tuple[Rule, ...] = skolemize(normalized, SkolemFactory())
+        self.max_term_depth = max_term_depth
+        self.max_facts = max_facts
+
+    @property
+    def rules(self) -> Tuple[Rule, ...]:
+        return self._rules
+
+    # ------------------------------------------------------------------
+    # chase
+    # ------------------------------------------------------------------
+    def run(self, instance: Instance | Iterable[Atom]) -> SkolemChaseResult:
+        """Saturate the instance; stop when the depth bound prunes all new facts."""
+        facts: Set[Atom] = set(instance)
+        by_predicate: Dict[Predicate, List[Atom]] = {}
+        for fact in facts:
+            by_predicate.setdefault(fact.predicate, []).append(fact)
+
+        def add_fact(fact: Atom) -> bool:
+            if fact in facts:
+                return False
+            facts.add(fact)
+            by_predicate.setdefault(fact.predicate, []).append(fact)
+            return True
+
+        rounds = 0
+        saturated = True
+        changed = True
+        while changed:
+            changed = False
+            rounds += 1
+            for rule in self._rules:
+                for substitution in self._matches(rule.body, by_predicate):
+                    head_fact = substitution.apply_atom(rule.head)
+                    if head_fact.depth > self.max_term_depth:
+                        saturated = False
+                        continue
+                    if add_fact(head_fact):
+                        changed = True
+                        if len(facts) > self.max_facts:
+                            return SkolemChaseResult(
+                                frozenset(facts), saturated=False, rounds=rounds
+                            )
+        return SkolemChaseResult(frozenset(facts), saturated=saturated, rounds=rounds)
+
+    # ------------------------------------------------------------------
+    # body matching
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _matches(
+        body: Tuple[Atom, ...], by_predicate: Dict[Predicate, List[Atom]]
+    ) -> Iterable[Substitution]:
+        """Enumerate substitutions matching all body atoms into the fact store."""
+
+        def recurse(index: int, substitution: Substitution):
+            if index == len(body):
+                yield substitution
+                return
+            pattern = body[index]
+            for fact in tuple(by_predicate.get(pattern.predicate, ())):
+                extended = match_atom(pattern, fact, substitution)
+                if extended is not None:
+                    yield from recurse(index + 1, extended)
+
+        yield from recurse(0, Substitution())
+
+
+def skolem_chase_base_facts(
+    instance: Instance | Iterable[Atom],
+    tgds: Iterable[TGD],
+    max_term_depth: int = 4,
+) -> FrozenSet[Atom]:
+    """Convenience wrapper: the base facts derivable within the depth bound."""
+    chase = SkolemChase(tgds, max_term_depth=max_term_depth)
+    return chase.run(instance).base_facts()
+
+
+def skolem_chase_entails(
+    instance: Instance | Iterable[Atom],
+    tgds: Iterable[TGD],
+    fact: Atom,
+    max_term_depth: int = 4,
+) -> bool:
+    """Sound (but depth-bounded) entailment check for a single base fact."""
+    return fact in skolem_chase_base_facts(instance, tgds, max_term_depth)

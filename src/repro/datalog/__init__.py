@@ -1,0 +1,24 @@
+"""A semi-naive Datalog engine: programs, fact stores, materialization, queries."""
+
+from .engine import DatalogEngine, MaterializationResult, materialize
+from .index import FactStore
+from .program import DatalogProgram, DatalogValidationError
+from .query import (
+    ConjunctiveQuery,
+    QueryValidationError,
+    boolean_query_holds,
+    evaluate_query,
+)
+
+__all__ = [
+    "ConjunctiveQuery",
+    "DatalogEngine",
+    "DatalogProgram",
+    "DatalogValidationError",
+    "FactStore",
+    "MaterializationResult",
+    "QueryValidationError",
+    "boolean_query_holds",
+    "evaluate_query",
+    "materialize",
+]

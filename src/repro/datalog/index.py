@@ -1,0 +1,119 @@
+"""Fact storage with join indexes for bottom-up Datalog evaluation.
+
+The store keeps, per predicate, the set of facts plus an index from
+``(argument position, ground term)`` to the facts having that term at that
+position.  Body atoms with partially bound arguments can then retrieve a
+small candidate set instead of scanning the whole relation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..logic.atoms import Atom, Predicate
+from ..logic.substitution import Substitution
+from ..logic.terms import Term, Variable
+
+
+class FactStore:
+    """An indexed set of ground facts."""
+
+    __slots__ = ("_by_predicate", "_position_index", "_size")
+
+    def __init__(self, facts: Iterable[Atom] = ()) -> None:
+        self._by_predicate: Dict[Predicate, Set[Atom]] = defaultdict(set)
+        self._position_index: Dict[Tuple[Predicate, int, Term], Set[Atom]] = (
+            defaultdict(set)
+        )
+        self._size = 0
+        self.add_all(facts)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, fact: Atom) -> bool:
+        """Add a fact; return ``True`` if it was new."""
+        if not fact.is_ground:
+            raise ValueError(f"fact stores hold ground facts only, got {fact}")
+        relation = self._by_predicate[fact.predicate]
+        if fact in relation:
+            return False
+        relation.add(fact)
+        for position, term in enumerate(fact.args):
+            self._position_index[(fact.predicate, position, term)].add(fact)
+        self._size += 1
+        return True
+
+    def add_all(self, facts: Iterable[Atom]) -> int:
+        """Add many facts; return how many were new."""
+        added = 0
+        for fact in facts:
+            if self.add(fact):
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, fact: Atom) -> bool:
+        return fact in self._by_predicate.get(fact.predicate, ())
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Atom]:
+        for relation in self._by_predicate.values():
+            yield from relation
+
+    def facts(self) -> FrozenSet[Atom]:
+        return frozenset(self)
+
+    def predicates(self) -> Tuple[Predicate, ...]:
+        return tuple(self._by_predicate)
+
+    def relation(self, predicate: Predicate) -> FrozenSet[Atom]:
+        return frozenset(self._by_predicate.get(predicate, ()))
+
+    def count(self, predicate: Predicate) -> int:
+        return len(self._by_predicate.get(predicate, ()))
+
+    def candidates(
+        self, atom: Atom, substitution: Optional[Substitution] = None
+    ) -> Iterable[Atom]:
+        """Facts that could match the (possibly partially bound) atom.
+
+        The most selective position index available under the current
+        substitution is used; if no argument is bound, the whole relation is
+        returned.
+        """
+        relation = self._by_predicate.get(atom.predicate)
+        if not relation:
+            return ()
+        best: Optional[Set[Atom]] = None
+        for position, arg in enumerate(atom.args):
+            term: Optional[Term]
+            if isinstance(arg, Variable):
+                term = substitution.get(arg) if substitution else None
+            else:
+                term = arg
+            if term is None or not term.is_ground:
+                continue
+            candidates = self._position_index.get((atom.predicate, position, term))
+            if candidates is None:
+                return ()
+            if best is None or len(candidates) < len(best):
+                best = candidates
+        return best if best is not None else relation
+
+    # ------------------------------------------------------------------
+    # conversion
+    # ------------------------------------------------------------------
+    def copy(self) -> "FactStore":
+        clone = FactStore()
+        for fact in self:
+            clone.add(fact)
+        return clone
+
+    def counts_by_predicate(self) -> Dict[Predicate, int]:
+        return {pred: len(rel) for pred, rel in self._by_predicate.items()}

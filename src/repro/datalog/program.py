@@ -1,0 +1,145 @@
+"""Datalog programs.
+
+A Datalog rule is a function-free rule with a single head atom (equivalently,
+a full TGD in head-normal form).  A Datalog program is a finite set of such
+rules.  This module provides a validated container together with structural
+helpers (predicate dependency graph, EDB/IDB split, simple static checks)
+used by the evaluation engine and by the benchmark harness when reporting
+output statistics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from ..logic.atoms import Atom, Predicate
+from ..logic.rules import Rule
+from ..logic.tgd import TGD
+
+
+class DatalogValidationError(ValueError):
+    """Raised when a rule does not qualify as a Datalog rule."""
+
+
+class DatalogProgram:
+    """A finite set of Datalog rules with structural accessors."""
+
+    __slots__ = ("_rules",)
+
+    def __init__(self, rules: Iterable[Rule | TGD] = ()) -> None:
+        collected: List[Rule] = []
+        seen: Set[Rule] = set()
+        for rule in rules:
+            converted = self._coerce(rule)
+            if converted not in seen:
+                seen.add(converted)
+                collected.append(converted)
+        self._rules: Tuple[Rule, ...] = tuple(collected)
+
+    @staticmethod
+    def _coerce(rule: Rule | TGD) -> Rule:
+        if isinstance(rule, TGD):
+            if not rule.is_datalog_rule:
+                raise DatalogValidationError(
+                    f"TGD is not a Datalog rule (non-full or multi-atom head): {rule}"
+                )
+            rule = Rule(rule.body, rule.head[0])
+        if not isinstance(rule, Rule):
+            raise DatalogValidationError(f"not a rule: {rule!r}")
+        if not rule.is_skolem_free:
+            raise DatalogValidationError(
+                f"Datalog rules must be function-free: {rule}"
+            )
+        return rule
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, rule: Rule) -> bool:
+        return rule in self._rules
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatalogProgram):
+            return NotImplemented
+        return set(self._rules) == set(other._rules)
+
+    def __repr__(self) -> str:
+        return f"DatalogProgram({len(self._rules)} rules)"
+
+    @property
+    def rules(self) -> Tuple[Rule, ...]:
+        return self._rules
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def predicates(self) -> FrozenSet[Predicate]:
+        """All predicates mentioned in the program."""
+        result: Set[Predicate] = set()
+        for rule in self._rules:
+            result.add(rule.head.predicate)
+            result.update(atom.predicate for atom in rule.body)
+        return frozenset(result)
+
+    def idb_predicates(self) -> FrozenSet[Predicate]:
+        """Predicates occurring in some rule head (intensional predicates)."""
+        return frozenset(rule.head.predicate for rule in self._rules)
+
+    def edb_predicates(self) -> FrozenSet[Predicate]:
+        """Predicates occurring only in rule bodies (extensional predicates)."""
+        return self.predicates() - self.idb_predicates()
+
+    def rules_by_head(self) -> Dict[Predicate, Tuple[Rule, ...]]:
+        grouped: Dict[Predicate, List[Rule]] = defaultdict(list)
+        for rule in self._rules:
+            grouped[rule.head.predicate].append(rule)
+        return {pred: tuple(rules) for pred, rules in grouped.items()}
+
+    def rules_by_body_predicate(self) -> Dict[Predicate, Tuple[Rule, ...]]:
+        grouped: Dict[Predicate, List[Rule]] = defaultdict(list)
+        for rule in self._rules:
+            for predicate in {atom.predicate for atom in rule.body}:
+                grouped[predicate].append(rule)
+        return {pred: tuple(rules) for pred, rules in grouped.items()}
+
+    def dependency_graph(self) -> Dict[Predicate, FrozenSet[Predicate]]:
+        """Map each head predicate to the predicates its rules depend on."""
+        graph: Dict[Predicate, Set[Predicate]] = defaultdict(set)
+        for rule in self._rules:
+            graph[rule.head.predicate].update(atom.predicate for atom in rule.body)
+        return {pred: frozenset(deps) for pred, deps in graph.items()}
+
+    def is_recursive(self) -> bool:
+        """``True`` if some predicate (transitively) depends on itself."""
+        graph = self.dependency_graph()
+
+        def reaches(start: Predicate, target: Predicate, seen: Set[Predicate]) -> bool:
+            if start in seen:
+                return False
+            seen.add(start)
+            for dep in graph.get(start, ()):
+                if dep == target or reaches(dep, target, seen):
+                    return True
+            return False
+
+        return any(reaches(pred, pred, set()) for pred in graph)
+
+    # ------------------------------------------------------------------
+    # statistics used in the evaluation section
+    # ------------------------------------------------------------------
+    def max_body_atoms(self) -> int:
+        """Maximum number of body atoms over the rules ("Max. Body Atoms in Output")."""
+        return max((len(rule.body) for rule in self._rules), default=0)
+
+    def max_body_width(self) -> int:
+        return max((rule.width for rule in self._rules), default=0)
+
+    def union(self, other: "DatalogProgram") -> "DatalogProgram":
+        return DatalogProgram(self._rules + other.rules)

@@ -1,0 +1,102 @@
+"""Existential-free conjunctive queries.
+
+The rewriting approach preserves exactly the *base facts* entailed on each
+base instance, so it supports conjunctive queries where every variable is an
+answer variable (Section 1).  A query is evaluated by matching its atoms into
+a materialized fact store and projecting onto the answer variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..logic.atoms import Atom
+from ..logic.substitution import Substitution
+from ..logic.terms import Term, Variable
+from ..unification.matching import match_atom
+from .engine import MaterializationResult
+from .index import FactStore
+
+
+class QueryValidationError(ValueError):
+    """Raised when a query is not existential-free or otherwise malformed."""
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """An existential-free conjunctive query ``ans(x) <- body``."""
+
+    answer_variables: Tuple[Variable, ...]
+    body: Tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        body_variables = {var for atom in self.body for var in atom.variables()}
+        answer_set = set(self.answer_variables)
+        if len(answer_set) != len(self.answer_variables):
+            raise QueryValidationError("duplicate answer variables")
+        missing = answer_set - body_variables
+        if missing:
+            raise QueryValidationError(
+                f"answer variables {sorted(v.name for v in missing)} "
+                "do not occur in the query body"
+            )
+        existential = body_variables - answer_set
+        if existential:
+            raise QueryValidationError(
+                "query is not existential-free; non-answer variables: "
+                f"{sorted(v.name for v in existential)}"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.answer_variables)
+
+    def __str__(self) -> str:
+        head = ", ".join(f"?{var.name}" for var in self.answer_variables)
+        body = ", ".join(str(atom) for atom in self.body)
+        return f"ans({head}) <- {body}"
+
+
+def evaluate_query(
+    query: ConjunctiveQuery,
+    facts: FactStore | MaterializationResult | Iterable[Atom],
+) -> FrozenSet[Tuple[Term, ...]]:
+    """Evaluate the query over a set of facts; return the set of answer tuples."""
+    store = _as_store(facts)
+    answers: Set[Tuple[Term, ...]] = set()
+    for substitution in _match_all(query.body, store):
+        answers.add(tuple(substitution[var] for var in query.answer_variables))
+    return frozenset(answers)
+
+
+def boolean_query_holds(
+    body: Sequence[Atom], facts: FactStore | MaterializationResult | Iterable[Atom]
+) -> bool:
+    """Evaluate a Boolean (variable-free) conjunctive query."""
+    store = _as_store(facts)
+    for _ in _match_all(tuple(body), store):
+        return True
+    return False
+
+
+def _as_store(facts: FactStore | MaterializationResult | Iterable[Atom]) -> FactStore:
+    if isinstance(facts, FactStore):
+        return facts
+    if isinstance(facts, MaterializationResult):
+        return facts.store
+    return FactStore(facts)
+
+
+def _match_all(body: Tuple[Atom, ...], store: FactStore) -> Iterator[Substitution]:
+    def recurse(index: int, substitution: Substitution) -> Iterator[Substitution]:
+        if index == len(body):
+            yield substitution
+            return
+        pattern = body[index]
+        for fact in store.candidates(pattern, substitution):
+            extended = match_atom(pattern, fact, substitution)
+            if extended is not None:
+                yield from recurse(index + 1, extended)
+
+    yield from recurse(0, Substitution())

@@ -1,0 +1,39 @@
+"""Description-logic front end: axioms, translation to GTGDs, structural transformation."""
+
+from .axioms import (
+    Axiom,
+    ClassExpression,
+    Conjunction,
+    Existential,
+    NamedClass,
+    Ontology,
+    PropertyDomain,
+    PropertyRange,
+    SubClassOf,
+    SubPropertyOf,
+    nesting_depth,
+)
+from .kaon2_baseline import Kaon2Baseline, UnsupportedArityError
+from .structural import StructuralTransformer, structural_transformation
+from .translate import UntranslatableAxiomError, translate_axiom, translate_ontology
+
+__all__ = [
+    "Axiom",
+    "ClassExpression",
+    "Conjunction",
+    "Existential",
+    "Kaon2Baseline",
+    "NamedClass",
+    "Ontology",
+    "PropertyDomain",
+    "PropertyRange",
+    "StructuralTransformer",
+    "SubClassOf",
+    "SubPropertyOf",
+    "UnsupportedArityError",
+    "UntranslatableAxiomError",
+    "nesting_depth",
+    "structural_transformation",
+    "translate_axiom",
+    "translate_ontology",
+]

@@ -1,0 +1,184 @@
+"""A small Horn description-logic axiom language.
+
+The paper derives its input GTGDs from OWL ontologies (Oxford Ontology
+Library) using the standard translation of description logics into
+first-order logic: classes become unary relations, properties become binary
+relations.  This module provides the fragment of that axiom language needed
+by the reproduction:
+
+* class expressions — named classes, conjunctions, and existential
+  restrictions ``∃R.C``;
+* axioms — class inclusions ``C ⊑ D``, property domain and range
+  restrictions, and property inclusions ``R ⊑ S``.
+
+The fragment is chosen so that every axiom translates into one or more GTGDs
+(see :mod:`repro.dl.translate`); it mirrors the portion of OWL that survives
+the paper's "discarded axioms that cannot be translated into GTGDs" step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple, Union
+
+
+# ----------------------------------------------------------------------
+# class expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NamedClass:
+    """An atomic class, e.g. ``ACEquipment``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Existential:
+    """An existential restriction ``∃role.filler``."""
+
+    role: str
+    filler: "ClassExpression"
+
+    def __str__(self) -> str:
+        return f"exists {self.role}.{self.filler}"
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """An intersection of class expressions."""
+
+    operands: Tuple["ClassExpression", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise ValueError("a conjunction needs at least two operands")
+
+    def __str__(self) -> str:
+        return " and ".join(str(operand) for operand in self.operands)
+
+
+ClassExpression = Union[NamedClass, Existential, Conjunction]
+
+
+# ----------------------------------------------------------------------
+# axioms
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SubClassOf:
+    """``sub ⊑ sup``.
+
+    For translatability into GTGDs the subclass may be any conjunction of
+    named classes and existential restrictions; the superclass may be a named
+    class, a conjunction, or an existential restriction whose filler is again
+    translatable.
+    """
+
+    sub: ClassExpression
+    sup: ClassExpression
+
+    def __str__(self) -> str:
+        return f"{self.sub} subClassOf {self.sup}"
+
+
+@dataclass(frozen=True)
+class SubPropertyOf:
+    """``sub ⊑ sup`` for binary properties."""
+
+    sub: str
+    sup: str
+
+    def __str__(self) -> str:
+        return f"{self.sub} subPropertyOf {self.sup}"
+
+
+@dataclass(frozen=True)
+class PropertyDomain:
+    """``domain(role) ⊑ cls``: every subject of ``role`` belongs to ``cls``."""
+
+    role: str
+    cls: ClassExpression
+
+    def __str__(self) -> str:
+        return f"domain({self.role}) = {self.cls}"
+
+
+@dataclass(frozen=True)
+class PropertyRange:
+    """``range(role) ⊑ cls``: every object of ``role`` belongs to ``cls``."""
+
+    role: str
+    cls: ClassExpression
+
+    def __str__(self) -> str:
+        return f"range({self.role}) = {self.cls}"
+
+
+Axiom = Union[SubClassOf, SubPropertyOf, PropertyDomain, PropertyRange]
+
+
+@dataclass(frozen=True)
+class Ontology:
+    """A finite set of axioms with a signature of class and property names."""
+
+    axioms: Tuple[Axiom, ...]
+    name: str = "ontology"
+
+    def class_names(self) -> FrozenSet[str]:
+        names = set()
+        for axiom in self.axioms:
+            for expression in _expressions_of(axiom):
+                names.update(_classes_in(expression))
+        return frozenset(names)
+
+    def property_names(self) -> FrozenSet[str]:
+        names = set()
+        for axiom in self.axioms:
+            if isinstance(axiom, SubPropertyOf):
+                names.update((axiom.sub, axiom.sup))
+            elif isinstance(axiom, (PropertyDomain, PropertyRange)):
+                names.add(axiom.role)
+            for expression in _expressions_of(axiom):
+                names.update(_roles_in(expression))
+        return frozenset(names)
+
+    def __len__(self) -> int:
+        return len(self.axioms)
+
+
+def _expressions_of(axiom: Axiom) -> Tuple[ClassExpression, ...]:
+    if isinstance(axiom, SubClassOf):
+        return (axiom.sub, axiom.sup)
+    if isinstance(axiom, (PropertyDomain, PropertyRange)):
+        return (axiom.cls,)
+    return ()
+
+
+def _classes_in(expression: ClassExpression) -> Iterable[str]:
+    if isinstance(expression, NamedClass):
+        yield expression.name
+    elif isinstance(expression, Existential):
+        yield from _classes_in(expression.filler)
+    elif isinstance(expression, Conjunction):
+        for operand in expression.operands:
+            yield from _classes_in(operand)
+
+
+def _roles_in(expression: ClassExpression) -> Iterable[str]:
+    if isinstance(expression, Existential):
+        yield expression.role
+        yield from _roles_in(expression.filler)
+    elif isinstance(expression, Conjunction):
+        for operand in expression.operands:
+            yield from _roles_in(operand)
+
+
+def nesting_depth(expression: ClassExpression) -> int:
+    """Depth of nested existential restrictions (used by structural transformation)."""
+    if isinstance(expression, NamedClass):
+        return 0
+    if isinstance(expression, Existential):
+        return 1 + nesting_depth(expression.filler)
+    return max(nesting_depth(operand) for operand in expression.operands)

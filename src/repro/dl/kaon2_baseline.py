@@ -1,0 +1,81 @@
+"""A KAON2-style baseline rewriter.
+
+The paper compares its algorithms against KAON2, a closed-source description
+logic reasoner that can rewrite GTGDs obtained from OWL ontologies into
+Datalog.  KAON2 is not available here, so this module provides a faithful
+*behavioural* substitute with the two properties that matter for the
+evaluation:
+
+1. it only accepts inputs over relations of arity at most two (KAON2 "supports
+   relations of arity at most two", Section 7.4);
+2. it applies the structural transformation to the ontology axioms before
+   translating them into GTGDs and saturating (Section 7.2 reports that this
+   is where KAON2 gains its edge on some inputs).
+
+The saturation itself reuses the SkDR resolution machinery — a reasonable
+stand-in, since KAON2 is likewise a resolution-based rewriter — so the
+baseline's cost profile tracks the structural simplicity of the transformed
+axioms rather than any GTGD-specific optimization of this paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from ..logic.tgd import TGD
+from ..rewriting.base import RewritingResult, RewritingSettings
+from ..rewriting.rewriter import rewrite
+from .axioms import Ontology
+from .structural import structural_transformation
+from .translate import translate_ontology
+
+
+class UnsupportedArityError(ValueError):
+    """Raised when the baseline is given relations of arity greater than two."""
+
+
+@dataclass
+class Kaon2Baseline:
+    """Structural transformation + resolution saturation, arity ≤ 2 only."""
+
+    settings: Optional[RewritingSettings] = None
+    apply_structural_transformation: bool = True
+
+    name: str = "KAON2"
+
+    # ------------------------------------------------------------------
+    # ontology-level interface (the way KAON2 is actually driven)
+    # ------------------------------------------------------------------
+    def rewrite_ontology(self, ontology: Ontology) -> RewritingResult:
+        """Rewrite a DL ontology: transform, translate, saturate."""
+        if self.apply_structural_transformation:
+            ontology = structural_transformation(ontology)
+        tgds = translate_ontology(ontology)
+        return self.rewrite_tgds(tgds)
+
+    # ------------------------------------------------------------------
+    # GTGD-level interface (used when inputs are shared with our algorithms)
+    # ------------------------------------------------------------------
+    def rewrite_tgds(self, tgds: Iterable[TGD]) -> RewritingResult:
+        """Rewrite GTGDs directly; rejects relations of arity above two."""
+        tgds = tuple(tgds)
+        self._check_arity(tgds)
+        result = rewrite(tgds, algorithm="skdr", settings=self.settings)
+        return RewritingResult(
+            algorithm=self.name,
+            datalog_rules=result.datalog_rules,
+            statistics=result.statistics,
+            worked_off_size=result.worked_off_size,
+            completed=result.completed,
+        )
+
+    @staticmethod
+    def _check_arity(tgds: Tuple[TGD, ...]) -> None:
+        for tgd in tgds:
+            for atom in tgd.body + tgd.head:
+                if atom.predicate.arity > 2:
+                    raise UnsupportedArityError(
+                        "the KAON2 baseline supports relations of arity at most "
+                        f"two, but {atom.predicate} has arity {atom.predicate.arity}"
+                    )

@@ -1,0 +1,154 @@
+"""Standard translation of the DL axiom language into GTGDs.
+
+Classes become unary relations and properties binary relations.  Every axiom
+of :mod:`repro.dl.axioms` translates into one or more guarded TGDs:
+
+* ``C ⊑ D`` becomes ``tr_x(C) → tr_x(D)`` where ``tr_x`` maps class
+  expressions to conjunctions of atoms over the free variable ``x`` (with
+  fresh existential variables for existential restrictions on the right and
+  fresh universally quantified variables on the left);
+* ``R ⊑ S`` becomes ``R(x, y) → S(x, y)``;
+* ``domain(R) = C`` becomes ``R(x, y) → tr_x(C)``;
+* ``range(R) = C`` becomes ``R(x, y) → tr_y(C)``.
+
+Left-hand sides may use existential restrictions of depth one with named
+fillers (``∃R.A ⊑ D``): their translation ``R(x, z) ∧ A(z) → ...`` is guarded
+by the role atom.  Deeper or conjunctive left-hand-side restrictions would
+produce non-guarded TGDs and are rejected with
+:class:`UntranslatableAxiomError`, mirroring the paper's step of discarding
+axioms that cannot be translated into GTGDs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Tuple
+
+from ..logic.atoms import Atom, Predicate
+from ..logic.terms import Variable
+from ..logic.tgd import TGD
+from .axioms import (
+    Axiom,
+    ClassExpression,
+    Conjunction,
+    Existential,
+    NamedClass,
+    Ontology,
+    PropertyDomain,
+    PropertyRange,
+    SubClassOf,
+    SubPropertyOf,
+)
+
+
+class UntranslatableAxiomError(ValueError):
+    """Raised for axioms outside the GTGD-translatable fragment."""
+
+
+class _VariableSupply:
+    def __init__(self, prefix: str) -> None:
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def fresh(self) -> Variable:
+        return Variable(f"{self._prefix}{next(self._counter)}")
+
+
+def _class_predicate(name: str) -> Predicate:
+    return Predicate(name, 1)
+
+
+def _role_predicate(name: str) -> Predicate:
+    return Predicate(name, 2)
+
+
+def _translate_body(
+    expression: ClassExpression, variable: Variable, supply: _VariableSupply
+) -> List[Atom]:
+    """Translate a left-hand-side class expression (universal variables only)."""
+    if isinstance(expression, NamedClass):
+        return [Atom(_class_predicate(expression.name), (variable,))]
+    if isinstance(expression, Existential):
+        successor = supply.fresh()
+        atoms = [Atom(_role_predicate(expression.role), (variable, successor))]
+        atoms.extend(_translate_body(expression.filler, successor, supply))
+        return atoms
+    if isinstance(expression, Conjunction):
+        atoms: List[Atom] = []
+        for operand in expression.operands:
+            atoms.extend(_translate_body(operand, variable, supply))
+        return atoms
+    raise UntranslatableAxiomError(f"unsupported class expression: {expression!r}")
+
+
+def _translate_head(
+    expression: ClassExpression, variable: Variable, supply: _VariableSupply
+) -> List[Atom]:
+    """Translate a right-hand-side class expression (fresh variables are existential)."""
+    if isinstance(expression, NamedClass):
+        return [Atom(_class_predicate(expression.name), (variable,))]
+    if isinstance(expression, Existential):
+        successor = supply.fresh()
+        atoms = [Atom(_role_predicate(expression.role), (variable, successor))]
+        atoms.extend(_translate_head(expression.filler, successor, supply))
+        return atoms
+    if isinstance(expression, Conjunction):
+        atoms = []
+        for operand in expression.operands:
+            atoms.extend(_translate_head(operand, variable, supply))
+        return atoms
+    raise UntranslatableAxiomError(f"unsupported class expression: {expression!r}")
+
+
+def translate_axiom(axiom: Axiom) -> Tuple[TGD, ...]:
+    """Translate a single axiom into GTGDs."""
+    x = Variable("x")
+    y = Variable("y")
+    if isinstance(axiom, SubClassOf):
+        body_supply = _VariableSupply("z")
+        head_supply = _VariableSupply("v")
+        body = _translate_body(axiom.sub, x, body_supply)
+        head = _translate_head(axiom.sup, x, head_supply)
+        tgd = TGD(tuple(body), tuple(head))
+        if not tgd.is_guarded:
+            raise UntranslatableAxiomError(
+                f"axiom {axiom} translates into a non-guarded TGD: {tgd}"
+            )
+        return (tgd,)
+    if isinstance(axiom, SubPropertyOf):
+        return (
+            TGD(
+                (Atom(_role_predicate(axiom.sub), (x, y)),),
+                (Atom(_role_predicate(axiom.sup), (x, y)),),
+            ),
+        )
+    if isinstance(axiom, PropertyDomain):
+        head_supply = _VariableSupply("v")
+        head = _translate_head(axiom.cls, x, head_supply)
+        return (
+            TGD((Atom(_role_predicate(axiom.role), (x, y)),), tuple(head)),
+        )
+    if isinstance(axiom, PropertyRange):
+        head_supply = _VariableSupply("v")
+        head = _translate_head(axiom.cls, y, head_supply)
+        return (
+            TGD((Atom(_role_predicate(axiom.role), (x, y)),), tuple(head)),
+        )
+    raise UntranslatableAxiomError(f"unsupported axiom: {axiom!r}")
+
+
+def translate_ontology(ontology: Ontology) -> Tuple[TGD, ...]:
+    """Translate every axiom of the ontology, skipping nothing.
+
+    (The paper discards untranslatable axioms while loading real ontologies;
+    the synthetic generator only produces translatable axioms, so an
+    untranslatable axiom here indicates a programming error and raises.)
+    """
+    tgds: List[TGD] = []
+    for axiom in ontology.axioms:
+        tgds.extend(translate_axiom(axiom))
+    # deduplicate while preserving order
+    seen: Dict[TGD, None] = {}
+    for tgd in tgds:
+        seen.setdefault(tgd, None)
+    return tuple(seen)

@@ -1,0 +1,200 @@
+"""Aggregation of benchmark run records into the paper's summary statistics.
+
+Figures 4 and 5 report, per algorithm: the number of processed inputs, the
+maximum processed input size, the maximum output size, the maximum blow-up,
+the maximum number of body atoms in the output, the number of inputs with
+blow-up at least 1.5, and the min/max/avg/median times over processed inputs.
+They also show a cactus plot (number of inputs processed within a given time)
+and two pairwise matrices: how often algorithm Y was at least ten times slower
+than algorithm X, and how often both failed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .runner import RunRecord
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    length = len(ordered)
+    if length == 0:
+        return 0.0
+    if length % 2 == 1:
+        return ordered[length // 2]
+    return (ordered[length // 2 - 1] + ordered[length // 2]) / 2
+
+
+@dataclass
+class AlgorithmSummary:
+    """Per-algorithm block of the Figure 4/5 statistics tables."""
+
+    algorithm: str
+    processed_inputs: int
+    failed_inputs: int
+    unsupported_inputs: int
+    max_processed_input_size: int
+    max_output_size: int
+    max_blowup: float
+    max_body_atoms: int
+    blowup_at_least_1_5: int
+    min_time: float
+    max_time: float
+    avg_time: float
+    median_time: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "processed_inputs": self.processed_inputs,
+            "failed_inputs": self.failed_inputs,
+            "unsupported_inputs": self.unsupported_inputs,
+            "max_processed_input_size": self.max_processed_input_size,
+            "max_output_size": self.max_output_size,
+            "max_blowup": round(self.max_blowup, 2),
+            "max_body_atoms": self.max_body_atoms,
+            "blowup_at_least_1_5": self.blowup_at_least_1_5,
+            "min_time": round(self.min_time, 3),
+            "max_time": round(self.max_time, 3),
+            "avg_time": round(self.avg_time, 3),
+            "median_time": round(self.median_time, 3),
+        }
+
+
+def group_by_algorithm(records: Iterable[RunRecord]) -> Dict[str, List[RunRecord]]:
+    grouped: Dict[str, List[RunRecord]] = defaultdict(list)
+    for record in records:
+        grouped[record.algorithm].append(record)
+    return dict(grouped)
+
+
+def summarize_algorithm(algorithm: str, records: Sequence[RunRecord]) -> AlgorithmSummary:
+    """Aggregate the records of a single algorithm."""
+    processed = [record for record in records if record.succeeded]
+    failed = [record for record in records if record.timed_out]
+    unsupported = [record for record in records if record.unsupported]
+    times = [record.elapsed_seconds for record in processed]
+    return AlgorithmSummary(
+        algorithm=algorithm,
+        processed_inputs=len(processed),
+        failed_inputs=len(failed),
+        unsupported_inputs=len(unsupported),
+        max_processed_input_size=max(
+            (record.input_size for record in processed), default=0
+        ),
+        max_output_size=max((record.output_size for record in processed), default=0),
+        max_blowup=max((record.blowup for record in processed), default=0.0),
+        max_body_atoms=max(
+            (record.max_body_atoms for record in processed), default=0
+        ),
+        blowup_at_least_1_5=sum(1 for record in processed if record.blowup >= 1.5),
+        min_time=min(times, default=0.0),
+        max_time=max(times, default=0.0),
+        avg_time=sum(times) / len(times) if times else 0.0,
+        median_time=_median(times),
+    )
+
+
+def summarize(records: Iterable[RunRecord]) -> Tuple[AlgorithmSummary, ...]:
+    """Aggregate all records into per-algorithm summaries."""
+    grouped = group_by_algorithm(records)
+    return tuple(
+        summarize_algorithm(algorithm, algorithm_records)
+        for algorithm, algorithm_records in sorted(grouped.items())
+    )
+
+
+def cactus_series(records: Iterable[RunRecord]) -> Dict[str, List[Tuple[int, float]]]:
+    """Cactus-plot series per algorithm: (inputs processed, cumulative-time-sorted time).
+
+    The x-th point of a series is ``(x, t)`` where ``t`` is the time of the
+    x-th fastest successfully processed input — exactly the series plotted in
+    Figures 4 and 5.
+    """
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for algorithm, algorithm_records in group_by_algorithm(records).items():
+        times = sorted(
+            record.elapsed_seconds
+            for record in algorithm_records
+            if record.succeeded
+        )
+        series[algorithm] = [(index + 1, value) for index, value in enumerate(times)]
+    return series
+
+
+def pairwise_slowdown_matrix(
+    records: Iterable[RunRecord], factor: float = 10.0
+) -> Dict[Tuple[str, str], int]:
+    """Matrix counting inputs where ``time(Y)/time(X) ≥ factor`` (both processed).
+
+    A timed-out Y against a processed X also counts, since Y was at least an
+    order of magnitude slower in the paper's reading of the plot.
+    """
+    by_key: Dict[Tuple[str, str], RunRecord] = {
+        (record.algorithm, record.input_id): record for record in records
+    }
+    algorithms = sorted({record.algorithm for record in by_key.values()})
+    inputs = sorted({record.input_id for record in by_key.values()})
+    matrix: Dict[Tuple[str, str], int] = {}
+    for slower in algorithms:
+        for faster in algorithms:
+            if slower == faster:
+                continue
+            count = 0
+            for input_id in inputs:
+                record_slow = by_key.get((slower, input_id))
+                record_fast = by_key.get((faster, input_id))
+                if record_slow is None or record_fast is None:
+                    continue
+                if not record_fast.succeeded:
+                    continue
+                if record_slow.unsupported:
+                    continue
+                if record_slow.timed_out:
+                    count += 1
+                    continue
+                baseline = max(record_fast.elapsed_seconds, 1e-9)
+                if record_slow.elapsed_seconds / baseline >= factor:
+                    count += 1
+            matrix[(slower, faster)] = count
+    return matrix
+
+
+def both_fail_matrix(records: Iterable[RunRecord]) -> Dict[Tuple[str, str], int]:
+    """Matrix counting inputs on which both algorithms failed (timed out)."""
+    by_key: Dict[Tuple[str, str], RunRecord] = {
+        (record.algorithm, record.input_id): record for record in records
+    }
+    algorithms = sorted({record.algorithm for record in by_key.values()})
+    inputs = sorted({record.input_id for record in by_key.values()})
+    matrix: Dict[Tuple[str, str], int] = {}
+    for left in algorithms:
+        for right in algorithms:
+            count = 0
+            for input_id in inputs:
+                record_left = by_key.get((left, input_id))
+                record_right = by_key.get((right, input_id))
+                if record_left is None or record_right is None:
+                    continue
+                if record_left.timed_out and record_right.timed_out:
+                    count += 1
+            matrix[(left, right)] = count
+    return matrix
+
+
+def inputs_unprocessed_by_all(
+    records: Iterable[RunRecord], algorithms: Optional[Sequence[str]] = None
+) -> Tuple[str, ...]:
+    """Inputs on which every considered algorithm timed out."""
+    grouped: Dict[str, List[RunRecord]] = defaultdict(list)
+    for record in records:
+        if algorithms is None or record.algorithm in algorithms:
+            grouped[record.input_id].append(record)
+    return tuple(
+        input_id
+        for input_id, input_records in sorted(grouped.items())
+        if input_records and all(record.timed_out for record in input_records)
+    )

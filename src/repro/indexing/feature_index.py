@@ -1,0 +1,115 @@
+"""Feature-vector subsumption indexing (Section 6).
+
+A TGD ``τ1`` can subsume ``τ2`` only if the relations of ``τ1``'s body are a
+subset of those of ``τ2``'s body and the relations of ``τ1``'s head are a
+superset of those of ``τ2``'s head (and analogously for rules, whose heads
+are single atoms).  The index therefore stores each TGD/rule under the set of
+(clustered) relation symbols of its body and retrieves
+
+* *subsuming candidates* of a query item: stored items whose body-relation
+  set is a **subset** of the query's, post-filtered by the head condition;
+* *subsumed candidates* of a query item: stored items whose body-relation set
+  is a **superset** of the query's, again post-filtered on heads.
+
+The actual (exact or approximate) subsumption test is performed by the caller
+on the retrieved candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Generic, Iterable, Iterator, Optional, Tuple, TypeVar, Union
+
+from ..logic.atoms import Predicate
+from ..logic.rules import Rule
+from ..logic.tgd import TGD
+from .clustering import RelationClustering
+from .set_trie import SetTrie
+
+Item = TypeVar("Item", TGD, Rule)
+Clause = Union[TGD, Rule]
+
+
+def _body_predicates(item: Clause) -> FrozenSet[Predicate]:
+    return frozenset(atom.predicate for atom in item.body)
+
+
+def _head_predicates(item: Clause) -> FrozenSet[Predicate]:
+    if isinstance(item, TGD):
+        return frozenset(atom.predicate for atom in item.head)
+    return frozenset((item.head.predicate,))
+
+
+class SubsumptionIndex(Generic[Item]):
+    """Retrieves subsumption candidates among the stored TGDs/rules."""
+
+    def __init__(self, clustering: Optional[RelationClustering] = None) -> None:
+        self._clustering = clustering
+        self._trie: SetTrie = SetTrie()
+        self._features: Dict[Clause, Tuple[frozenset, FrozenSet[Predicate], FrozenSet[Predicate]]] = {}
+
+    # ------------------------------------------------------------------
+    # feature computation
+    # ------------------------------------------------------------------
+    def _body_key(self, predicates: FrozenSet[Predicate]) -> frozenset:
+        if self._clustering is None:
+            return frozenset((pred.name, pred.arity) for pred in predicates)
+        return self._clustering.clusters_of(predicates)
+
+    def _features_of(self, item: Clause):
+        cached = self._features.get(item)
+        if cached is None:
+            body_preds = _body_predicates(item)
+            head_preds = _head_predicates(item)
+            cached = (self._body_key(body_preds), body_preds, head_preds)
+            self._features[item] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, item: Item) -> None:
+        body_key, _, _ = self._features_of(item)
+        self._trie.insert(body_key, item)
+
+    def remove(self, item: Item) -> None:
+        features = self._features.get(item)
+        if features is None:
+            return
+        self._trie.remove(features[0], item)
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def __contains__(self, item: Item) -> bool:
+        features = self._features.get(item)
+        if features is None:
+            return False
+        return item in self._trie.exact(features[0])
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+    def subsuming_candidates(self, item: Clause) -> Iterator[Item]:
+        """Stored items that could subsume ``item`` (necessary condition only)."""
+        body_key, body_preds, head_preds = self._features_of(item)
+        for candidate in self._trie.subsets_of(body_key):
+            _, cand_body, cand_head = self._features_of(candidate)
+            if not cand_body <= body_preds:
+                continue
+            if not cand_head >= head_preds:
+                continue
+            yield candidate
+
+    def subsumed_candidates(self, item: Clause) -> Iterator[Item]:
+        """Stored items that ``item`` could subsume (necessary condition only)."""
+        body_key, body_preds, head_preds = self._features_of(item)
+        for candidate in self._trie.supersets_of(body_key):
+            _, cand_body, cand_head = self._features_of(candidate)
+            if not body_preds <= cand_body:
+                continue
+            if not head_preds >= cand_head:
+                continue
+            yield candidate
+
+    def items(self) -> Iterator[Item]:
+        yield from self._trie.values()

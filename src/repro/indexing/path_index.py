@@ -1,0 +1,162 @@
+"""Path indexing of Skolemized rules (Section 6, after Stickel).
+
+Each atom of a rule is abstracted into a *path string*: the sequence of its
+relation symbol followed, per argument position, by either the marker ``*``
+(a variable or constant could unify with anything function-free) or the name
+of the Skolem function symbol heading that argument.  Two atoms can only
+unify if their path strings are compatible: equal relation, and at every
+position either at least one side is ``*`` or the function symbols agree.
+
+Rules are entered into two tries — one over the path strings of their body
+atoms and one over the path strings of their heads — so that, given an atom,
+the rules having a body (respectively head) atom potentially unifiable with
+it are retrieved without scanning every rule.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..logic.atoms import Atom
+from ..logic.rules import Rule
+from ..logic.terms import FunctionTerm
+
+_WILDCARD = "*"
+
+
+def atom_path(atom: Atom) -> Tuple[str, ...]:
+    """The path string of an atom: relation name/arity then one entry per argument."""
+    entries: List[str] = [f"{atom.predicate.name}/{atom.predicate.arity}"]
+    for arg in atom.args:
+        if isinstance(arg, FunctionTerm):
+            entries.append(arg.symbol.name)
+        else:
+            entries.append(_WILDCARD)
+    return tuple(entries)
+
+
+def paths_compatible(left: Tuple[str, ...], right: Tuple[str, ...]) -> bool:
+    """Necessary condition for unifiability of the underlying atoms."""
+    if len(left) != len(right) or left[0] != right[0]:
+        return False
+    for entry_left, entry_right in zip(left[1:], right[1:]):
+        if entry_left == _WILDCARD or entry_right == _WILDCARD:
+            continue
+        if entry_left != entry_right:
+            return False
+    return True
+
+
+class _PathTrie:
+    """A trie over path strings supporting compatible-path retrieval."""
+
+    def __init__(self) -> None:
+        self._root: Dict = {}
+
+    def insert(self, path: Tuple[str, ...], value: Rule) -> None:
+        node = self._root
+        for entry in path:
+            node = node.setdefault(entry, {})
+        node.setdefault(None, set()).add(value)
+
+    def remove(self, path: Tuple[str, ...], value: Rule) -> None:
+        node = self._root
+        stack = []
+        for entry in path:
+            child = node.get(entry)
+            if child is None:
+                return
+            stack.append((node, entry))
+            node = child
+        values = node.get(None)
+        if values is not None:
+            values.discard(value)
+
+    def compatible(self, path: Tuple[str, ...]) -> Iterator[Rule]:
+        """Rules stored under path strings compatible with the query path."""
+
+        def recurse(node: Dict, position: int) -> Iterator[Rule]:
+            if position == len(path):
+                values = node.get(None)
+                if values:
+                    yield from values
+                return
+            query_entry = path[position]
+            for entry, child in node.items():
+                if entry is None:
+                    continue
+                if position == 0:
+                    if entry == query_entry:
+                        yield from recurse(child, position + 1)
+                    continue
+                if (
+                    entry == _WILDCARD
+                    or query_entry == _WILDCARD
+                    or entry == query_entry
+                ):
+                    yield from recurse(child, position + 1)
+
+        yield from recurse(self._root, 0)
+
+
+class RulePathIndex:
+    """Retrieves rules by potentially-unifiable body or head atoms."""
+
+    def __init__(self) -> None:
+        self._body_trie = _PathTrie()
+        self._head_trie = _PathTrie()
+        self._items: Set[Rule] = set()
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, rule: Rule) -> None:
+        if rule in self._items:
+            return
+        self._items.add(rule)
+        for atom in rule.body:
+            self._body_trie.insert(atom_path(atom), rule)
+        self._head_trie.insert(atom_path(rule.head), rule)
+
+    def remove(self, rule: Rule) -> None:
+        if rule not in self._items:
+            return
+        self._items.discard(rule)
+        for atom in rule.body:
+            self._body_trie.remove(atom_path(atom), rule)
+        self._head_trie.remove(atom_path(rule.head), rule)
+
+    def __contains__(self, rule: Rule) -> bool:
+        return rule in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def items(self) -> Tuple[Rule, ...]:
+        return tuple(self._items)
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+    def rules_with_unifiable_body_atom(self, atom: Atom) -> Tuple[Rule, ...]:
+        """Rules (still indexed) having a body atom potentially unifiable with ``atom``."""
+        path = atom_path(atom)
+        seen: Set[Rule] = set()
+        ordered: List[Rule] = []
+        for rule in self._body_trie.compatible(path):
+            if rule in self._items and rule not in seen:
+                seen.add(rule)
+                ordered.append(rule)
+        return tuple(ordered)
+
+    def rules_with_unifiable_head(self, atom: Atom) -> Tuple[Rule, ...]:
+        """Rules (still indexed) whose head is potentially unifiable with ``atom``."""
+        path = atom_path(atom)
+        seen: Set[Rule] = set()
+        ordered: List[Rule] = []
+        for rule in self._head_trie.compatible(path):
+            if rule in self._items and rule not in seen:
+                seen.add(rule)
+                ordered.append(rule)
+        return tuple(ordered)

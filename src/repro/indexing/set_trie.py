@@ -1,0 +1,147 @@
+"""A set-trie for fast subset and superset retrieval (Savnik, used in Section 6).
+
+The trie stores finite sets of orderable symbols.  Each set is represented as
+the sorted word of its elements; retrieval of all stored sets that are
+subsets (respectively supersets) of a query set walks the trie while skipping
+branches that cannot lead to a result.  The rewriting engine uses this to
+retrieve subsumption candidates among thousands of stored TGDs/rules without
+scanning them all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, TypeVar
+
+Key = TypeVar("Key")
+Value = TypeVar("Value")
+
+
+class _Node(Generic[Key, Value]):
+    __slots__ = ("children", "values")
+
+    def __init__(self) -> None:
+        self.children: Dict[Key, "_Node[Key, Value]"] = {}
+        self.values: Set[Value] = set()
+
+
+class SetTrie(Generic[Key, Value]):
+    """Maps *sets of keys* to collections of values, with subset/superset search.
+
+    Keys must be hashable and totally ordered by the supplied ``order``
+    function (defaults to sorting the keys themselves).
+    """
+
+    def __init__(self, order=None) -> None:
+        self._root: _Node[Key, Value] = _Node()
+        self._order = order or (lambda key: key)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _word(self, keys: Iterable[Key]) -> Tuple[Key, ...]:
+        return tuple(sorted(set(keys), key=self._order))
+
+    def insert(self, keys: Iterable[Key], value: Value) -> None:
+        """Associate ``value`` with the set ``keys``."""
+        node = self._root
+        for key in self._word(keys):
+            child = node.children.get(key)
+            if child is None:
+                child = _Node()
+                node.children[key] = child
+            node = child
+        if value not in node.values:
+            node.values.add(value)
+            self._size += 1
+
+    def remove(self, keys: Iterable[Key], value: Value) -> bool:
+        """Remove one association; return ``True`` if it was present."""
+        word = self._word(keys)
+        path: List[Tuple[_Node[Key, Value], Key]] = []
+        node = self._root
+        for key in word:
+            child = node.children.get(key)
+            if child is None:
+                return False
+            path.append((node, key))
+            node = child
+        if value not in node.values:
+            return False
+        node.values.discard(value)
+        self._size -= 1
+        # prune empty branches
+        for parent, key in reversed(path):
+            child = parent.children[key]
+            if not child.values and not child.children:
+                del parent.children[key]
+            else:
+                break
+        return True
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+    def values(self) -> Iterator[Value]:
+        """All stored values."""
+        yield from self._iter_node(self._root)
+
+    def _iter_node(self, node: _Node[Key, Value]) -> Iterator[Value]:
+        yield from node.values
+        for child in node.children.values():
+            yield from self._iter_node(child)
+
+    def subsets_of(self, keys: Iterable[Key]) -> Iterator[Value]:
+        """Values stored under sets that are subsets of the query set."""
+        word = self._word(keys)
+
+        def recurse(node: _Node[Key, Value], position: int) -> Iterator[Value]:
+            yield from node.values
+            for index in range(position, len(word)):
+                child = node.children.get(word[index])
+                if child is not None:
+                    yield from recurse(child, index + 1)
+
+        yield from recurse(self._root, 0)
+
+    def supersets_of(self, keys: Iterable[Key]) -> Iterator[Value]:
+        """Values stored under sets that are supersets of the query set."""
+        word = self._word(keys)
+
+        def recurse(node: _Node[Key, Value], position: int) -> Iterator[Value]:
+            if position == len(word):
+                yield from self._iter_node(node)
+                return
+            target = word[position]
+            target_rank = self._order(target)
+            for key, child in node.children.items():
+                key_rank = self._order(key)
+                if key_rank < target_rank:
+                    yield from recurse(child, position)
+                elif key == target:
+                    yield from recurse(child, position + 1)
+                # keys greater than the target cannot lead to a superset
+                # because words are sorted: the target would never appear.
+
+        yield from recurse(self._root, 0)
+
+    def contains_set(self, keys: Iterable[Key]) -> bool:
+        """``True`` if some value is stored under exactly this set."""
+        node = self._root
+        for key in self._word(keys):
+            node = node.children.get(key)
+            if node is None:
+                return False
+        return bool(node.values)
+
+    def exact(self, keys: Iterable[Key]) -> Tuple[Value, ...]:
+        """Values stored under exactly this set."""
+        node = self._root
+        for key in self._word(keys):
+            node = node.children.get(key)
+            if node is None:
+                return ()
+        return tuple(node.values)

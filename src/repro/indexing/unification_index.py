@@ -1,0 +1,89 @@
+"""Unification indexes for TGD-based inference rules (Section 6).
+
+For TGDs, the paper maintains one hash table mapping each relation to the
+TGDs containing it in the body, and another mapping each relation to the TGDs
+containing it in the head.  Given a newly processed TGD, the partners that
+could participate in an ExbDR (or FullDR) inference with it are retrieved by
+looking up the relations of its head (to find full TGDs whose body mentions
+them) or of its body (to find non-full TGDs whose head mentions them).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from ..logic.atoms import Predicate
+from ..logic.tgd import TGD
+
+
+class TGDUnificationIndex:
+    """Hash-based retrieval of TGDs by body/head relation."""
+
+    def __init__(self) -> None:
+        self._by_body: Dict[Predicate, Set[TGD]] = defaultdict(set)
+        self._by_head: Dict[Predicate, Set[TGD]] = defaultdict(set)
+        self._items: Set[TGD] = set()
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, tgd: TGD) -> None:
+        if tgd in self._items:
+            return
+        self._items.add(tgd)
+        for atom in tgd.body:
+            self._by_body[atom.predicate].add(tgd)
+        for atom in tgd.head:
+            self._by_head[atom.predicate].add(tgd)
+
+    def remove(self, tgd: TGD) -> None:
+        if tgd not in self._items:
+            return
+        self._items.discard(tgd)
+        for atom in tgd.body:
+            self._by_body[atom.predicate].discard(tgd)
+        for atom in tgd.head:
+            self._by_head[atom.predicate].discard(tgd)
+
+    def __contains__(self, tgd: TGD) -> bool:
+        return tgd in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def items(self) -> Tuple[TGD, ...]:
+        return tuple(self._items)
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+    def with_body_predicate(self, predicate: Predicate) -> Tuple[TGD, ...]:
+        """TGDs whose body mentions the given relation."""
+        return tuple(self._by_body.get(predicate, ()))
+
+    def with_head_predicate(self, predicate: Predicate) -> Tuple[TGD, ...]:
+        """TGDs whose head mentions the given relation."""
+        return tuple(self._by_head.get(predicate, ()))
+
+    def full_partners_for(self, non_full: TGD) -> Tuple[TGD, ...]:
+        """Full TGDs whose body shares a relation with the head of ``non_full``."""
+        seen: Set[TGD] = set()
+        ordered: List[TGD] = []
+        for atom in non_full.head:
+            for candidate in self._by_body.get(atom.predicate, ()):
+                if candidate.is_full and candidate not in seen:
+                    seen.add(candidate)
+                    ordered.append(candidate)
+        return tuple(ordered)
+
+    def non_full_partners_for(self, full: TGD) -> Tuple[TGD, ...]:
+        """Non-full TGDs whose head shares a relation with the body of ``full``."""
+        seen: Set[TGD] = set()
+        ordered: List[TGD] = []
+        for atom in full.body:
+            for candidate in self._by_head.get(atom.predicate, ()):
+                if candidate.is_non_full and candidate not in seen:
+                    seen.add(candidate)
+                    ordered.append(candidate)
+        return tuple(ordered)

@@ -1,0 +1,191 @@
+"""Predicates, atoms, and facts.
+
+Following Section 3 of the paper:
+
+* a *fact* is ``R(t)`` where ``t`` is a vector of ground terms;
+* a *base fact* additionally contains only constants;
+* an *atom* is ``R(t)`` where ``t`` contains no labeled nulls (it may contain
+  variables, constants, and — in the Skolemized setting — functional terms).
+
+A single :class:`Atom` class covers both notions; helper predicates classify
+an atom as a fact or a base fact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from .terms import (
+    Constant,
+    FunctionSymbol,
+    FunctionTerm,
+    Null,
+    Term,
+    Variable,
+)
+
+
+class Predicate:
+    """A relation symbol with a fixed arity."""
+
+    __slots__ = ("name", "arity", "_hash")
+
+    def __init__(self, name: str, arity: int) -> None:
+        if arity < 0:
+            raise ValueError("predicate arity must be nonnegative")
+        self.name = name
+        self.arity = arity
+        self._hash = hash(("pred", name, arity))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Predicate)
+            and self.name == other.name
+            and self.arity == other.arity
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __call__(self, *args: Term) -> "Atom":
+        return Atom(self, args)
+
+    def __repr__(self) -> str:
+        return f"Predicate({self.name!r}, {self.arity})"
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class Atom:
+    """An atom ``R(t1, ..., tn)``.
+
+    Atoms are immutable and hashable.  The same class represents facts
+    (all-ground argument vectors) and base facts (all-constant vectors).
+    """
+
+    __slots__ = ("predicate", "args", "_hash")
+
+    def __init__(self, predicate: Predicate, args: Sequence[Term]) -> None:
+        args = tuple(args)
+        if len(args) != predicate.arity:
+            raise ValueError(
+                f"predicate {predicate.name} has arity {predicate.arity}, "
+                f"got {len(args)} arguments"
+            )
+        self.predicate = predicate
+        self.args = args
+        self._hash = hash(("atom", predicate, args))
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    @property
+    def is_ground(self) -> bool:
+        """``True`` if no argument contains a variable (i.e. the atom is a fact)."""
+        return all(arg.is_ground for arg in self.args)
+
+    @property
+    def is_fact(self) -> bool:
+        """Alias of :attr:`is_ground`."""
+        return self.is_ground
+
+    @property
+    def is_base_fact(self) -> bool:
+        """``True`` if every argument is a constant."""
+        return all(isinstance(arg, Constant) for arg in self.args)
+
+    @property
+    def is_function_free(self) -> bool:
+        """``True`` if no argument is (or contains) a functional term."""
+        return not any(isinstance(arg, FunctionTerm) for arg in self.args)
+
+    @property
+    def has_skolem(self) -> bool:
+        """``True`` if some argument contains a Skolem function symbol."""
+        return any(sym.is_skolem for sym in self.function_symbols())
+
+    @property
+    def depth(self) -> int:
+        """Maximum nesting depth over the arguments (0 for function-free atoms)."""
+        if not self.args:
+            return 0
+        return max(arg.depth for arg in self.args)
+
+    # ------------------------------------------------------------------
+    # symbol access
+    # ------------------------------------------------------------------
+    def variables(self) -> Iterator[Variable]:
+        for arg in self.args:
+            yield from arg.variables()
+
+    def constants(self) -> Iterator[Constant]:
+        for arg in self.args:
+            yield from arg.constants()
+
+    def nulls(self) -> Iterator[Null]:
+        for arg in self.args:
+            yield from arg.nulls()
+
+    def function_symbols(self) -> Iterator[FunctionSymbol]:
+        for arg in self.args:
+            yield from arg.function_symbols()
+
+    def variable_set(self) -> frozenset:
+        return frozenset(self.variables())
+
+    def terms(self) -> Iterator[Term]:
+        """Yield the top-level argument terms."""
+        return iter(self.args)
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self._hash == other._hash
+            and self.predicate == other.predicate
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Atom({self.predicate.name!r}, {self.args!r})"
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.predicate.name
+        inner = ", ".join(str(arg) for arg in self.args)
+        return f"{self.predicate.name}({inner})"
+
+
+def atom_variables(atoms: Iterable[Atom]) -> Tuple[Variable, ...]:
+    """Distinct variables of a collection of atoms, in order of first occurrence."""
+    seen = {}
+    for atom in atoms:
+        for var in atom.variables():
+            if var not in seen:
+                seen[var] = None
+    return tuple(seen)
+
+
+def atom_constants(atoms: Iterable[Atom]) -> Tuple[Constant, ...]:
+    """Distinct constants of a collection of atoms, in order of first occurrence."""
+    seen = {}
+    for atom in atoms:
+        for const in atom.constants():
+            if const not in seen:
+                seen[const] = None
+    return tuple(seen)
+
+
+def predicates_of(atoms: Iterable[Atom]) -> Tuple[Predicate, ...]:
+    """Distinct predicates of a collection of atoms, in order of first occurrence."""
+    seen = {}
+    for atom in atoms:
+        if atom.predicate not in seen:
+            seen[atom.predicate] = None
+    return tuple(seen)

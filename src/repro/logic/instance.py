@@ -1,0 +1,152 @@
+"""Instances (finite sets of facts) and Σ-guardedness (Section 3).
+
+A set of ground terms ``G`` is *Σ-guarded* by a fact ``R(t)`` if
+``G ⊆ t ∪ consts(Σ)``; it is Σ-guarded by a set of facts if it is guarded by
+some fact of the set.  A fact ``S(u)`` is Σ-guarded by a fact (or a set of
+facts) if its argument set ``u`` is.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, Iterator, Set, Tuple
+
+from .atoms import Atom, Predicate
+from .terms import Constant, Term
+
+
+class Instance:
+    """A finite, mutable set of facts with convenience accessors."""
+
+    __slots__ = ("_facts",)
+
+    def __init__(self, facts: Iterable[Atom] = ()) -> None:
+        self._facts: Set[Atom] = set()
+        for fact in facts:
+            self.add(fact)
+
+    # ------------------------------------------------------------------
+    # set protocol
+    # ------------------------------------------------------------------
+    def add(self, fact: Atom) -> bool:
+        """Add a fact; return ``True`` if it was not already present."""
+        if not fact.is_ground:
+            raise ValueError(f"instances may only contain ground facts, got {fact}")
+        if fact in self._facts:
+            return False
+        self._facts.add(fact)
+        return True
+
+    def update(self, facts: Iterable[Atom]) -> int:
+        """Add many facts; return the number of newly added facts."""
+        added = 0
+        for fact in facts:
+            if self.add(fact):
+                added += 1
+        return added
+
+    def __contains__(self, fact: Atom) -> bool:
+        return fact in self._facts
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Instance):
+            return self._facts == other._facts
+        if isinstance(other, (set, frozenset)):
+            return self._facts == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(sorted(str(fact) for fact in self._facts))
+        return f"Instance({{{inner}}})"
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def facts(self) -> FrozenSet[Atom]:
+        return frozenset(self._facts)
+
+    def base_facts(self) -> FrozenSet[Atom]:
+        """The facts containing only constants."""
+        return frozenset(fact for fact in self._facts if fact.is_base_fact)
+
+    @property
+    def is_base_instance(self) -> bool:
+        return all(fact.is_base_fact for fact in self._facts)
+
+    def constants(self) -> FrozenSet[Constant]:
+        result: Set[Constant] = set()
+        for fact in self._facts:
+            result.update(fact.constants())
+        return frozenset(result)
+
+    def predicates(self) -> FrozenSet[Predicate]:
+        return frozenset(fact.predicate for fact in self._facts)
+
+    def by_predicate(self, predicate: Predicate) -> Tuple[Atom, ...]:
+        return tuple(fact for fact in self._facts if fact.predicate == predicate)
+
+    def copy(self) -> "Instance":
+        clone = Instance()
+        clone._facts = set(self._facts)
+        return clone
+
+
+# ----------------------------------------------------------------------
+# Σ-guardedness
+# ----------------------------------------------------------------------
+def terms_guarded_by_fact(
+    terms: AbstractSet[Term], fact: Atom, sigma_constants: AbstractSet[Constant]
+) -> bool:
+    """``True`` if the set of ground terms is Σ-guarded by the given fact."""
+    allowed = set(fact.args) | set(sigma_constants)
+    return set(terms) <= allowed
+
+
+def terms_guarded_by_set(
+    terms: AbstractSet[Term],
+    facts: Iterable[Atom],
+    sigma_constants: AbstractSet[Constant],
+) -> bool:
+    """``True`` if the set of ground terms is Σ-guarded by some fact of the set."""
+    return any(
+        terms_guarded_by_fact(terms, fact, sigma_constants) for fact in facts
+    )
+
+
+def fact_guarded_by_fact(
+    fact: Atom, guard: Atom, sigma_constants: AbstractSet[Constant]
+) -> bool:
+    """``True`` if ``fact`` is Σ-guarded by ``guard``."""
+    return terms_guarded_by_fact(set(fact.args), guard, sigma_constants)
+
+
+def fact_guarded_by_set(
+    fact: Atom, facts: Iterable[Atom], sigma_constants: AbstractSet[Constant]
+) -> bool:
+    """``True`` if ``fact`` is Σ-guarded by some fact of the set."""
+    return any(
+        fact_guarded_by_fact(fact, guard, sigma_constants) for guard in facts
+    )
+
+
+def guarded_subset(
+    candidates: Iterable[Atom],
+    guards: Iterable[Atom],
+    sigma_constants: AbstractSet[Constant],
+) -> Tuple[Atom, ...]:
+    """Facts among ``candidates`` that are Σ-guarded by the set ``guards``.
+
+    Used both by chase steps with non-full GTGDs (which copy the guarded part
+    of the parent vertex into the fresh child) and by propagation steps.
+    """
+    guard_list = tuple(guards)
+    return tuple(
+        fact
+        for fact in candidates
+        if fact_guarded_by_set(fact, guard_list, sigma_constants)
+    )

@@ -1,0 +1,132 @@
+"""Canonical variable normalization of TGDs and rules (Section 6).
+
+Subsumption checking is NP-complete, so the paper's implementation uses an
+approximate check based on a normalized representation: body and head atoms
+are sorted by their relations using an arbitrary but fixed ordering (ties
+broken arbitrarily but deterministically), and variables are renamed so that
+the *i*-th distinct occurrence of a universally quantified variable from left
+to right becomes ``x_i`` and the *i*-th distinct occurrence of an
+existentially quantified variable becomes ``y_i``.
+
+Normalization also guarantees termination of the saturation loop: the set of
+normalized TGDs/rules over a fixed signature and bounded widths is finite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .atoms import Atom
+from .rules import Rule
+from .substitution import Substitution
+from .terms import Constant, FunctionTerm, Term, Variable
+from .tgd import TGD
+
+
+def _atom_sort_key(atom: Atom) -> Tuple:
+    """Deterministic ordering on atoms: by predicate, then by argument shape.
+
+    The argument shape distinguishes constants and functional terms but treats
+    all variables alike, so the key is invariant under variable renaming; this
+    keeps the normalization canonical.
+    """
+
+    def term_shape(term: Term) -> Tuple:
+        if isinstance(term, Constant):
+            return (0, term.name)
+        if isinstance(term, FunctionTerm):
+            return (1, term.symbol.name, tuple(term_shape(arg) for arg in term.args))
+        return (2, "")
+
+    return (
+        atom.predicate.name,
+        atom.predicate.arity,
+        tuple(term_shape(arg) for arg in atom.args),
+    )
+
+
+def _rename_term(term: Term, mapping: Dict[Variable, Variable], prefix: str,
+                 existential: frozenset, exist_prefix: str) -> Term:
+    if isinstance(term, Variable):
+        renamed = mapping.get(term)
+        if renamed is None:
+            if term in existential:
+                renamed = Variable(f"{exist_prefix}{sum(1 for v in mapping.values() if v.name.startswith(exist_prefix)) + 1}")
+            else:
+                renamed = Variable(f"{prefix}{sum(1 for v in mapping.values() if v.name.startswith(prefix)) + 1}")
+            mapping[term] = renamed
+        return renamed
+    if isinstance(term, FunctionTerm):
+        return FunctionTerm(
+            term.symbol,
+            tuple(
+                _rename_term(arg, mapping, prefix, existential, exist_prefix)
+                for arg in term.args
+            ),
+        )
+    return term
+
+
+def _rename_atoms(
+    atoms: Sequence[Atom],
+    mapping: Dict[Variable, Variable],
+    existential: frozenset,
+) -> Tuple[Atom, ...]:
+    renamed: List[Atom] = []
+    for atom in atoms:
+        new_args = tuple(
+            _rename_term(arg, mapping, "x", existential, "y") for arg in atom.args
+        )
+        renamed.append(Atom(atom.predicate, new_args))
+    return tuple(renamed)
+
+
+def normalize_tgd(tgd: TGD) -> TGD:
+    """Return the canonical-variable form of a TGD.
+
+    Atoms are sorted deterministically and variables renamed to
+    ``x1, x2, ...`` (universal) and ``y1, y2, ...`` (existential) in order of
+    first occurrence.
+    """
+    body = tuple(sorted(tgd.body, key=_atom_sort_key))
+    head = tuple(sorted(tgd.head, key=_atom_sort_key))
+    mapping: Dict[Variable, Variable] = {}
+    existential = frozenset(tgd.existential_variables)
+    new_body = _rename_atoms(body, mapping, existential)
+    new_head = _rename_atoms(head, mapping, existential)
+    return TGD(new_body, new_head)
+
+
+def normalize_rule(rule: Rule) -> Rule:
+    """Return the canonical-variable form of a rule (head last, body sorted)."""
+    body = tuple(sorted(rule.body, key=_atom_sort_key))
+    mapping: Dict[Variable, Variable] = {}
+    new_body = _rename_atoms(body, mapping, frozenset())
+    new_head = _rename_atoms((rule.head,), mapping, frozenset())[0]
+    return Rule(new_body, new_head)
+
+
+def normalize(obj):
+    """Normalize either a TGD or a rule."""
+    if isinstance(obj, TGD):
+        return normalize_tgd(obj)
+    if isinstance(obj, Rule):
+        return normalize_rule(obj)
+    raise TypeError(f"cannot normalize object of type {type(obj).__name__}")
+
+
+def deduplicate_normalized(items: Iterable) -> Tuple:
+    """Deduplicate TGDs/rules up to canonical variable renaming."""
+    seen: Dict = {}
+    result = []
+    for item in items:
+        key = normalize(item)
+        if key not in seen:
+            seen[key] = None
+            result.append(item)
+    return tuple(result)
+
+
+def rename_for_freshness(obj, suffix: str):
+    """Rename a TGD or rule apart with the given suffix (premise renaming)."""
+    return obj.rename_apart(suffix)

@@ -1,0 +1,82 @@
+"""Pretty-printing of dependencies, rules, and facts.
+
+The printers emit text in the same format accepted by
+:mod:`repro.logic.parser`, so programs can round-trip through text, plus a
+Datalog-style serialization (``head :- body.``) suitable for external Datalog
+engines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .atoms import Atom
+from .rules import Rule
+from .terms import Constant, FunctionTerm, Term, Variable
+from .tgd import TGD
+
+
+def format_term(term: Term) -> str:
+    """Render a term in the parser syntax (variables get a ``?`` prefix)."""
+    if isinstance(term, Variable):
+        return f"?{term.name}"
+    if isinstance(term, Constant):
+        return term.name
+    if isinstance(term, FunctionTerm):
+        inner = ", ".join(format_term(arg) for arg in term.args)
+        return f"{term.symbol.name}({inner})"
+    return str(term)
+
+
+def format_atom(atom: Atom) -> str:
+    """Render an atom in the parser syntax."""
+    if not atom.args:
+        return atom.predicate.name
+    inner = ", ".join(format_term(arg) for arg in atom.args)
+    return f"{atom.predicate.name}({inner})"
+
+
+def format_tgd(tgd: TGD) -> str:
+    """Render a TGD in the parser syntax (with an explicit ``exists`` prefix)."""
+    body = ", ".join(format_atom(atom) for atom in tgd.body)
+    head = ", ".join(format_atom(atom) for atom in tgd.head)
+    if tgd.existential_variables:
+        exist = ", ".join(
+            f"?{var.name}" for var in sorted(tgd.existential_variables, key=lambda v: v.name)
+        )
+        return f"{body} -> exists {exist}. {head}."
+    return f"{body} -> {head}."
+
+
+def format_rule(rule: Rule) -> str:
+    """Render a (possibly Skolemized) rule in the parser-like syntax."""
+    body = ", ".join(format_atom(atom) for atom in rule.body)
+    return f"{body} -> {format_atom(rule.head)}."
+
+
+def format_fact(fact: Atom) -> str:
+    """Render a ground fact."""
+    return f"{format_atom(fact)}."
+
+
+def format_program(tgds: Iterable[TGD], facts: Iterable[Atom] = ()) -> str:
+    """Render a program of TGDs followed by facts."""
+    lines: List[str] = [format_tgd(tgd) for tgd in tgds]
+    lines.extend(format_fact(fact) for fact in facts)
+    return "\n".join(lines)
+
+
+def format_datalog_rule(rule: Rule) -> str:
+    """Render a Datalog rule in ``head :- body.`` syntax."""
+    if not rule.is_skolem_free:
+        raise ValueError("only function-free rules can be serialized as Datalog")
+    head = format_atom(rule.head)
+    if not rule.body:
+        return f"{head}."
+    body = ", ".join(format_atom(atom) for atom in rule.body)
+    return f"{head} :- {body}."
+
+
+def format_datalog_program(rules: Iterable[Rule]) -> str:
+    """Render a Datalog program in ``head :- body.`` syntax."""
+    return "\n".join(format_datalog_rule(rule) for rule in rules)

@@ -1,0 +1,176 @@
+"""Substitutions: finite mappings from variables to terms.
+
+A substitution ``σ`` maps finitely many variables to terms (Section 3).
+Applying ``σ`` to a term, an atom, or a collection thereof replaces each free
+occurrence of a variable in the domain of ``σ`` with its image.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from .atoms import Atom
+from .terms import FunctionTerm, Term, Variable
+
+
+class Substitution:
+    """An immutable substitution.
+
+    The class behaves like a read-only mapping from :class:`Variable` to
+    :class:`Term` and offers application helpers for terms and atoms.
+    """
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Optional[Mapping[Variable, Term]] = None) -> None:
+        self._mapping: Dict[Variable, Term] = dict(mapping) if mapping else {}
+
+    # ------------------------------------------------------------------
+    # mapping protocol
+    # ------------------------------------------------------------------
+    def __getitem__(self, var: Variable) -> Term:
+        return self._mapping[var]
+
+    def __contains__(self, var: Variable) -> bool:
+        return var in self._mapping
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __bool__(self) -> bool:
+        return bool(self._mapping)
+
+    def get(self, var: Variable, default: Optional[Term] = None) -> Optional[Term]:
+        return self._mapping.get(var, default)
+
+    def items(self) -> Iterable[Tuple[Variable, Term]]:
+        return self._mapping.items()
+
+    def domain(self) -> frozenset:
+        """The set of variables mapped by this substitution."""
+        return frozenset(self._mapping)
+
+    def range_terms(self) -> Tuple[Term, ...]:
+        """The image terms of this substitution."""
+        return tuple(self._mapping.values())
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def apply_term(self, term: Term) -> Term:
+        """Apply the substitution to a term."""
+        if isinstance(term, Variable):
+            return self._mapping.get(term, term)
+        if isinstance(term, FunctionTerm):
+            new_args = tuple(self.apply_term(arg) for arg in term.args)
+            if new_args == term.args:
+                return term
+            return FunctionTerm(term.symbol, new_args)
+        return term
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        """Apply the substitution to an atom."""
+        new_args = tuple(self.apply_term(arg) for arg in atom.args)
+        if new_args == atom.args:
+            return atom
+        return Atom(atom.predicate, new_args)
+
+    def apply_atoms(self, atoms: Iterable[Atom]) -> Tuple[Atom, ...]:
+        """Apply the substitution to a collection of atoms (preserving order)."""
+        return tuple(self.apply_atom(atom) for atom in atoms)
+
+    def __call__(self, value):
+        """Apply the substitution to a term, an atom, or an iterable of atoms."""
+        if isinstance(value, Atom):
+            return self.apply_atom(value)
+        if isinstance(value, Term):
+            return self.apply_term(value)
+        return self.apply_atoms(value)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def extend(self, var: Variable, term: Term) -> "Substitution":
+        """Return a new substitution with ``var -> term`` added (must be fresh)."""
+        if var in self._mapping and self._mapping[var] != term:
+            raise ValueError(f"variable {var} already bound to {self._mapping[var]}")
+        mapping = dict(self._mapping)
+        mapping[var] = term
+        return Substitution(mapping)
+
+    def merge(self, other: "Substitution") -> Optional["Substitution"]:
+        """Union of two substitutions; ``None`` if they disagree on a variable."""
+        mapping = dict(self._mapping)
+        for var, term in other.items():
+            existing = mapping.get(var)
+            if existing is not None and existing != term:
+                return None
+            mapping[var] = term
+        return Substitution(mapping)
+
+    def compose(self, other: "Substitution") -> "Substitution":
+        """Return ``other ∘ self``: first apply ``self``, then ``other``.
+
+        Formally ``(other ∘ self)(x) = other(self(x))`` for every variable
+        ``x`` in the union of the two domains.
+        """
+        mapping: Dict[Variable, Term] = {}
+        for var, term in self._mapping.items():
+            mapping[var] = other.apply_term(term)
+        for var, term in other.items():
+            if var not in mapping:
+                mapping[var] = term
+        return Substitution(mapping)
+
+    def restrict(self, variables: Iterable[Variable]) -> "Substitution":
+        """Restrict the substitution to the given variables."""
+        keep = set(variables)
+        return Substitution({v: t for v, t in self._mapping.items() if v in keep})
+
+    def without(self, variables: Iterable[Variable]) -> "Substitution":
+        """Drop the given variables from the substitution's domain."""
+        drop = set(variables)
+        return Substitution({v: t for v, t in self._mapping.items() if v not in drop})
+
+    def is_renaming(self) -> bool:
+        """``True`` if the substitution maps variables injectively to variables."""
+        images = set()
+        for term in self._mapping.values():
+            if not isinstance(term, Variable):
+                return False
+            if term in images:
+                return False
+            images.add(term)
+        return True
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Substitution) and self._mapping == other._mapping
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._mapping.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v}: {t}" for v, t in sorted(
+            self._mapping.items(), key=lambda item: item[0].name))
+        return f"Substitution({{{inner}}})"
+
+
+EMPTY_SUBSTITUTION = Substitution()
+
+
+def fresh_variable_renaming(
+    variables: Iterable[Variable], suffix: str
+) -> Substitution:
+    """Rename each variable ``v`` to a fresh variable ``v@suffix``.
+
+    Used to rename apart the premises of an inference (Definition 5.3 requires
+    renaming any variables shared by distinct premises).
+    """
+    mapping = {var: Variable(f"{var.name}@{suffix}") for var in variables}
+    return Substitution(mapping)

@@ -1,0 +1,329 @@
+"""Terms of the logic substrate.
+
+The paper uses three pairwise disjoint, infinite sets of *constants*,
+*variables*, and *labeled nulls* (Section 3).  When existential quantifiers
+are encoded with Skolem symbols (Section 3, "Encoding Existentials by
+Function Symbols"), terms may additionally be *functional terms* built from
+Skolem function symbols.
+
+All term classes are immutable and hashable; hashes are computed eagerly so
+that saturation, which hashes atoms and rules constantly, does not pay the
+cost repeatedly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple, Union
+
+
+class Term:
+    """Abstract base class of all terms."""
+
+    __slots__ = ()
+
+    @property
+    def is_ground(self) -> bool:
+        """Return ``True`` if the term contains no variables."""
+        raise NotImplementedError
+
+    def variables(self) -> Iterator["Variable"]:
+        """Yield the variables occurring in this term."""
+        raise NotImplementedError
+
+    def constants(self) -> Iterator["Constant"]:
+        """Yield the constants occurring in this term."""
+        raise NotImplementedError
+
+    def nulls(self) -> Iterator["Null"]:
+        """Yield the labeled nulls occurring in this term."""
+        raise NotImplementedError
+
+    def function_symbols(self) -> Iterator["FunctionSymbol"]:
+        """Yield the function symbols occurring in this term."""
+        raise NotImplementedError
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth: 0 for atomic terms, 1 + max child depth otherwise."""
+        return 0
+
+
+class Constant(Term):
+    """A constant symbol, e.g. ``a`` or ``sw1``."""
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._hash = hash(("const", name))
+
+    @property
+    def is_ground(self) -> bool:
+        return True
+
+    def variables(self) -> Iterator["Variable"]:
+        return iter(())
+
+    def constants(self) -> Iterator["Constant"]:
+        yield self
+
+    def nulls(self) -> Iterator["Null"]:
+        return iter(())
+
+    def function_symbols(self) -> Iterator["FunctionSymbol"]:
+        return iter(())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Constant({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Variable(Term):
+    """A first-order variable, e.g. ``x1`` or ``y``."""
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._hash = hash(("var", name))
+
+    @property
+    def is_ground(self) -> bool:
+        return False
+
+    def variables(self) -> Iterator["Variable"]:
+        yield self
+
+    def constants(self) -> Iterator["Constant"]:
+        return iter(())
+
+    def nulls(self) -> Iterator["Null"]:
+        return iter(())
+
+    def function_symbols(self) -> Iterator["FunctionSymbol"]:
+        return iter(())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+class Null(Term):
+    """A labeled null introduced by a chase step with a non-full GTGD."""
+
+    __slots__ = ("label", "_hash")
+
+    def __init__(self, label: int) -> None:
+        self.label = label
+        self._hash = hash(("null", label))
+
+    @property
+    def is_ground(self) -> bool:
+        return True
+
+    def variables(self) -> Iterator["Variable"]:
+        return iter(())
+
+    def constants(self) -> Iterator["Constant"]:
+        return iter(())
+
+    def nulls(self) -> Iterator["Null"]:
+        yield self
+
+    def function_symbols(self) -> Iterator["FunctionSymbol"]:
+        return iter(())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Null) and self.label == other.label
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Null({self.label})"
+
+    def __str__(self) -> str:
+        return f"_:n{self.label}"
+
+
+class FunctionSymbol:
+    """A function symbol; Skolem symbols are a flagged subset of these."""
+
+    __slots__ = ("name", "arity", "is_skolem", "_hash")
+
+    def __init__(self, name: str, arity: int, is_skolem: bool = True) -> None:
+        self.name = name
+        self.arity = arity
+        self.is_skolem = is_skolem
+        self._hash = hash(("fsym", name, arity, is_skolem))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionSymbol)
+            and self.name == other.name
+            and self.arity == other.arity
+            and self.is_skolem == other.is_skolem
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __call__(self, *args: Term) -> "FunctionTerm":
+        return FunctionTerm(self, args)
+
+    def __repr__(self) -> str:
+        return f"FunctionSymbol({self.name!r}, {self.arity})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class FunctionTerm(Term):
+    """A functional term ``f(t1, ..., tn)`` (used to encode existentials)."""
+
+    __slots__ = ("symbol", "args", "_hash", "_ground")
+
+    def __init__(self, symbol: FunctionSymbol, args: Sequence[Term]) -> None:
+        args = tuple(args)
+        if len(args) != symbol.arity:
+            raise ValueError(
+                f"function symbol {symbol.name} has arity {symbol.arity}, "
+                f"got {len(args)} arguments"
+            )
+        self.symbol = symbol
+        self.args = args
+        self._hash = hash(("fterm", symbol, args))
+        self._ground = all(arg.is_ground for arg in args)
+
+    @property
+    def is_ground(self) -> bool:
+        return self._ground
+
+    def variables(self) -> Iterator[Variable]:
+        for arg in self.args:
+            yield from arg.variables()
+
+    def constants(self) -> Iterator[Constant]:
+        for arg in self.args:
+            yield from arg.constants()
+
+    def nulls(self) -> Iterator[Null]:
+        for arg in self.args:
+            yield from arg.nulls()
+
+    def function_symbols(self) -> Iterator[FunctionSymbol]:
+        yield self.symbol
+        for arg in self.args:
+            yield from arg.function_symbols()
+
+    @property
+    def depth(self) -> int:
+        if not self.args:
+            return 1
+        return 1 + max(arg.depth for arg in self.args)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionTerm)
+            and self._hash == other._hash
+            and self.symbol == other.symbol
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"FunctionTerm({self.symbol!r}, {self.args!r})"
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(arg) for arg in self.args)
+        return f"{self.symbol.name}({inner})"
+
+
+GroundTerm = Union[Constant, Null, FunctionTerm]
+
+
+def variables_of(terms: Iterable[Term]) -> Tuple[Variable, ...]:
+    """Return the distinct variables of ``terms`` in order of first occurrence."""
+    seen = {}
+    for term in terms:
+        for var in term.variables():
+            if var not in seen:
+                seen[var] = None
+    return tuple(seen)
+
+
+def constants_of(terms: Iterable[Term]) -> Tuple[Constant, ...]:
+    """Return the distinct constants of ``terms`` in order of first occurrence."""
+    seen = {}
+    for term in terms:
+        for const in term.constants():
+            if const not in seen:
+                seen[const] = None
+    return tuple(seen)
+
+
+def nulls_of(terms: Iterable[Term]) -> Tuple[Null, ...]:
+    """Return the distinct labeled nulls of ``terms`` in order of first occurrence."""
+    seen = {}
+    for term in terms:
+        for null in term.nulls():
+            if null not in seen:
+                seen[null] = None
+    return tuple(seen)
+
+
+class TermFactory:
+    """Convenience factory producing interned variables/constants and fresh nulls.
+
+    Interning keeps term creation cheap in hot paths (parsing, blow-up
+    generation) and guarantees that equal names map to identical objects,
+    which speeds up equality checks in dictionaries.
+    """
+
+    def __init__(self) -> None:
+        self._constants: dict[str, Constant] = {}
+        self._variables: dict[str, Variable] = {}
+        self._next_null = 0
+
+    def constant(self, name: str) -> Constant:
+        """Return the interned constant with the given name."""
+        const = self._constants.get(name)
+        if const is None:
+            const = Constant(name)
+            self._constants[name] = const
+        return const
+
+    def variable(self, name: str) -> Variable:
+        """Return the interned variable with the given name."""
+        var = self._variables.get(name)
+        if var is None:
+            var = Variable(name)
+            self._variables[name] = var
+        return var
+
+    def fresh_null(self) -> Null:
+        """Return a labeled null never produced by this factory before."""
+        null = Null(self._next_null)
+        self._next_null += 1
+        return null
+
+
+DEFAULT_FACTORY = TermFactory()

@@ -1,0 +1,270 @@
+"""Tuple-generating dependencies (TGDs) and guarded TGDs.
+
+A TGD is a first-order formula ``∀x [β → ∃y η]`` where ``β`` (the *body*) and
+``η`` (the *head*) are conjunctions of atoms, the free variables of ``β`` are
+``x`` and those of ``η`` are contained in ``x ∪ y`` (Section 3).
+
+A TGD is *full* if it has no existentially quantified head variables, and
+*guarded* if its body contains an atom (a *guard*) mentioning every
+universally quantified variable.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
+
+from .atoms import Atom, atom_constants, atom_variables
+from .substitution import Substitution
+from .terms import Constant, Variable
+
+
+class TGD:
+    """A tuple-generating dependency ``∀x [body → ∃y head]``.
+
+    The universally quantified variables are exactly the variables of the
+    body; the existentially quantified variables are the head variables that
+    do not occur in the body.  Both conventions follow the paper, so the
+    quantifier prefix never needs to be stored explicitly.
+    """
+
+    __slots__ = ("body", "head", "_hash", "_frontier", "_existential", "_universal")
+
+    def __init__(self, body: Sequence[Atom], head: Sequence[Atom]) -> None:
+        body = tuple(body)
+        head = tuple(head)
+        if not head:
+            raise ValueError("a TGD must have a nonempty head")
+        self.body = body
+        self.head = head
+        self._hash = hash(("tgd", body, head))
+        universal = frozenset(atom_variables(body))
+        head_vars = frozenset(atom_variables(head))
+        self._universal = universal
+        self._existential = head_vars - universal
+        self._frontier = head_vars & universal
+
+    # ------------------------------------------------------------------
+    # variable structure
+    # ------------------------------------------------------------------
+    @property
+    def universal_variables(self) -> FrozenSet[Variable]:
+        """Variables quantified universally (the body variables)."""
+        return self._universal
+
+    @property
+    def existential_variables(self) -> FrozenSet[Variable]:
+        """Head variables that do not occur in the body."""
+        return self._existential
+
+    @property
+    def frontier(self) -> FrozenSet[Variable]:
+        """Body variables that also occur in the head."""
+        return self._frontier
+
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables of the TGD."""
+        return self._universal | self._existential
+
+    def constants(self) -> Tuple[Constant, ...]:
+        """All constants of the TGD in order of first occurrence."""
+        return atom_constants(self.body + self.head)
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    @property
+    def is_full(self) -> bool:
+        """``True`` if the TGD has no existentially quantified variables."""
+        return not self._existential
+
+    @property
+    def is_non_full(self) -> bool:
+        return bool(self._existential)
+
+    @property
+    def is_datalog_rule(self) -> bool:
+        """``True`` if the TGD is full and has a single head atom."""
+        return self.is_full and len(self.head) == 1
+
+    @property
+    def is_head_normal(self) -> bool:
+        """Head-normal form check (Section 3).
+
+        A TGD is in head-normal form if it is full with a single head atom, or
+        it is non-full and every head atom contains at least one existentially
+        quantified variable.
+        """
+        if self.is_full:
+            return len(self.head) == 1
+        existential = self._existential
+        return all(
+            any(var in existential for var in atom.variables()) for atom in self.head
+        )
+
+    @property
+    def is_syntactic_tautology(self) -> bool:
+        """Definition 5.1: head-normal form and ``body ∩ head ≠ ∅``."""
+        if not self.is_head_normal:
+            return False
+        body_set = set(self.body)
+        return any(atom in body_set for atom in self.head)
+
+    # ------------------------------------------------------------------
+    # guardedness
+    # ------------------------------------------------------------------
+    def guards(self) -> Tuple[Atom, ...]:
+        """Body atoms containing every universally quantified variable."""
+        universal = self._universal
+        return tuple(
+            atom for atom in self.body if universal <= atom.variable_set()
+        )
+
+    @property
+    def is_guarded(self) -> bool:
+        """``True`` if some body atom is a guard."""
+        if not self._universal:
+            return bool(self.body) or True
+        return bool(self.guards())
+
+    # ------------------------------------------------------------------
+    # widths (Section 3)
+    # ------------------------------------------------------------------
+    @property
+    def body_width(self) -> int:
+        """Number of distinct variables in the body."""
+        return len(self._universal)
+
+    @property
+    def head_width(self) -> int:
+        """Number of distinct variables in the head."""
+        return len(self._frontier) + len(self._existential)
+
+    @property
+    def width(self) -> int:
+        """Number of distinct variables in the whole TGD."""
+        return len(self.variables())
+
+    @property
+    def size(self) -> int:
+        """Total number of atoms (used to prioritise small TGDs in saturation)."""
+        return len(self.body) + len(self.head)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def apply(self, substitution: Substitution) -> "TGD":
+        """Apply a substitution to body and head."""
+        return TGD(
+            substitution.apply_atoms(self.body),
+            substitution.apply_atoms(self.head),
+        )
+
+    def rename_apart(self, suffix: str) -> "TGD":
+        """Rename all variables by appending ``@suffix`` (for premise renaming)."""
+        mapping = {
+            var: Variable(f"{var.name}@{suffix}") for var in self.variables()
+        }
+        return self.apply(Substitution(mapping))
+
+    def head_normal_form(self) -> Tuple["TGD", ...]:
+        """Split this TGD into an equivalent set of TGDs in head-normal form.
+
+        Full head atoms (atoms without existentially quantified variables) of a
+        non-full TGD are emitted as separate full single-atom TGDs; the
+        remaining head atoms stay together in one non-full TGD.  A full TGD is
+        split into one Datalog rule per head atom.
+        """
+        if self.is_head_normal:
+            return (self,)
+        if self.is_full:
+            return tuple(TGD(self.body, (atom,)) for atom in self.head)
+        existential = self._existential
+        existential_atoms = []
+        full_atoms = []
+        for atom in self.head:
+            if any(var in existential for var in atom.variables()):
+                existential_atoms.append(atom)
+            else:
+                full_atoms.append(atom)
+        result = [TGD(self.body, (atom,)) for atom in full_atoms]
+        if existential_atoms:
+            result.append(TGD(self.body, tuple(existential_atoms)))
+        return tuple(result)
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TGD)
+            and self._hash == other._hash
+            and self.body == other.body
+            and self.head == other.head
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"TGD({self.body!r}, {self.head!r})"
+
+    def __str__(self) -> str:
+        body = " & ".join(str(atom) for atom in self.body) if self.body else "true"
+        head = " & ".join(str(atom) for atom in self.head)
+        if self._existential:
+            exist = ", ".join(sorted(f"?{v.name}" for v in self._existential))
+            return f"{body} -> exists {exist}. {head}"
+        return f"{body} -> {head}"
+
+
+def head_normalize(tgds: Iterable[TGD]) -> Tuple[TGD, ...]:
+    """Transform a collection of TGDs into head-normal form, removing duplicates."""
+    seen = {}
+    for tgd in tgds:
+        for normalized in tgd.head_normal_form():
+            if normalized not in seen:
+                seen[normalized] = None
+    return tuple(seen)
+
+
+def bwidth(tgds: Iterable[TGD]) -> int:
+    """Maximum body width over a collection of TGDs (0 if empty)."""
+    return max((tgd.body_width for tgd in tgds), default=0)
+
+
+def hwidth(tgds: Iterable[TGD]) -> int:
+    """Maximum head width over a collection of TGDs (0 if empty)."""
+    return max((tgd.head_width for tgd in tgds), default=0)
+
+
+def all_guarded(tgds: Iterable[TGD]) -> bool:
+    """``True`` if every TGD in the collection is guarded."""
+    return all(tgd.is_guarded for tgd in tgds)
+
+
+def split_full_non_full(
+    tgds: Iterable[TGD],
+) -> Tuple[Tuple[TGD, ...], Tuple[TGD, ...]]:
+    """Partition TGDs into (full, non-full)."""
+    full = []
+    non_full = []
+    for tgd in tgds:
+        if tgd.is_full:
+            full.append(tgd)
+        else:
+            non_full.append(tgd)
+    return tuple(full), tuple(non_full)
+
+
+def program_constants(tgds: Iterable[TGD]) -> FrozenSet[Constant]:
+    """All constants occurring in a set of TGDs (``consts(Σ)`` in the paper)."""
+    result = set()
+    for tgd in tgds:
+        result.update(tgd.constants())
+    return frozenset(result)
+
+
+def find_guard(tgd: TGD) -> Optional[Atom]:
+    """Return some guard of the TGD, or ``None`` if the TGD is not guarded."""
+    guards = tgd.guards()
+    return guards[0] if guards else None

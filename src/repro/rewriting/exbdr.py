@@ -1,0 +1,226 @@
+"""The Existential-Based Datalog Rewriting inference rule ExbDR (Definition 5.5).
+
+ExbDR manipulates GTGDs directly.  It combines a non-full GTGD
+
+``τ  =  β → ∃ȳ (η ∧ A1 ∧ ... ∧ An)``         (n ≥ 1)
+
+with a full GTGD
+
+``τ' =  A'1 ∧ ... ∧ A'n ∧ β' → H'``
+
+via a ȳ-MGU ``θ`` of ``A1..An`` and ``A'1..A'n`` satisfying
+``θ(x̄) ∩ ȳ = ∅`` and ``vars(θ(β')) ∩ ȳ = ∅``, deriving
+
+``θ(β) ∧ θ(β') → ∃ȳ θ(η) ∧ θ(A1) ∧ ... ∧ θ(An) ∧ θ(H')``.
+
+Candidate selection follows Proposition 5.7: a guard of ``τ'`` always
+participates, so the implementation picks a guard ``G'``, unifies it with a
+head atom of ``τ``, computes the *side atoms* forced to participate, and then
+enumerates counterpart head atoms for them using the positional
+compatibility filter described after Proposition 5.7.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..indexing.unification_index import TGDUnificationIndex
+from ..logic.atoms import Atom
+from ..logic.rules import Rule, datalog_tgd_to_rule
+from ..logic.substitution import Substitution
+from ..logic.terms import Variable
+from ..logic.tgd import TGD, head_normalize
+from ..unification.mgu import restricted_mgu
+from .base import InferenceRule, RewritingSettings
+from .lookahead import tgd_result_is_dead_end
+
+
+class ExbDR(InferenceRule[TGD]):
+    """Definition 5.5 plugged into the saturation engine."""
+
+    name = "ExbDR"
+
+    def __init__(self, settings: Optional[RewritingSettings] = None) -> None:
+        super().__init__(settings)
+        self._index = TGDUnificationIndex()
+        #: cap on the number of side-atom counterpart combinations explored per
+        #: guard choice; prevents pathological blow-ups on adversarial inputs
+        self.max_combinations = 100_000
+
+    # ------------------------------------------------------------------
+    # InferenceRule hooks
+    # ------------------------------------------------------------------
+    def initial_clauses(self, sigma: Sequence[TGD]) -> Tuple[TGD, ...]:
+        return head_normalize(sigma)
+
+    def register(self, clause: TGD) -> None:
+        self._index.add(clause)
+
+    def unregister(self, clause: TGD) -> None:
+        self._index.remove(clause)
+
+    def extract_datalog(self, worked_off: Iterable[TGD]) -> Tuple[Rule, ...]:
+        rules = []
+        for tgd in worked_off:
+            if tgd.is_datalog_rule:
+                rules.append(datalog_tgd_to_rule(tgd))
+        return tuple(rules)
+
+    def infer(self, clause: TGD, worked_off: Set[TGD]) -> Iterable[TGD]:
+        results: List[TGD] = []
+        if clause.is_non_full:
+            for partner in self._index.full_partners_for(clause):
+                if partner in worked_off and partner.is_datalog_rule:
+                    results.extend(self._combine(clause, partner))
+        else:
+            for partner in self._index.non_full_partners_for(clause):
+                if partner in worked_off:
+                    results.extend(self._combine(partner, clause))
+        return results
+
+    # ------------------------------------------------------------------
+    # the inference proper
+    # ------------------------------------------------------------------
+    def _combine(self, non_full: TGD, full: TGD) -> List[TGD]:
+        """All ExbDR consequences of the ordered pair (non-full τ, full τ')."""
+        full = full.rename_apart("r")
+        existential = non_full.existential_variables
+        universal = non_full.universal_variables
+        results: List[TGD] = []
+        seen: Set[TGD] = set()
+        for guard in full.guards():
+            for head_guard in non_full.head:
+                if head_guard.predicate != guard.predicate:
+                    continue
+                sigma = restricted_mgu((head_guard,), (guard,), existential)
+                if sigma is None:
+                    continue
+                if self._maps_universal_into_existential(sigma, universal, existential):
+                    continue
+                side_atoms = self._side_atoms(full.body, sigma, existential)
+                if guard not in side_atoms:
+                    # Proposition 5.7 guarantees the guard participates; if the
+                    # unification did not touch an existential variable the
+                    # pair cannot yield an inference.
+                    continue
+                rest_atoms = tuple(
+                    atom for atom in full.body if atom not in set(side_atoms)
+                )
+                candidate_lists = [
+                    self._counterparts(atom, non_full.head, sigma, existential)
+                    for atom in side_atoms
+                ]
+                if any(not candidates for candidates in candidate_lists):
+                    continue
+                combination_count = 1
+                for candidates in candidate_lists:
+                    combination_count *= len(candidates)
+                if combination_count > self.max_combinations:
+                    candidate_lists = [candidates[:4] for candidates in candidate_lists]
+                for combination in itertools.product(*candidate_lists):
+                    derived = self._derive(
+                        non_full,
+                        full,
+                        side_atoms,
+                        combination,
+                        rest_atoms,
+                        existential,
+                        universal,
+                    )
+                    if derived is not None and derived not in seen:
+                        seen.add(derived)
+                        results.append(derived)
+        return results
+
+    @staticmethod
+    def _maps_universal_into_existential(
+        substitution: Substitution,
+        universal: frozenset,
+        existential: frozenset,
+    ) -> bool:
+        """Check the Definition 5.5 requirement ``θ(x̄) ∩ ȳ = ∅``."""
+        for var in universal:
+            image = substitution.get(var)
+            if image is not None and isinstance(image, Variable) and image in existential:
+                return True
+        return False
+
+    @staticmethod
+    def _side_atoms(
+        body: Tuple[Atom, ...], sigma: Substitution, existential: frozenset
+    ) -> Tuple[Atom, ...]:
+        """Body atoms of τ' whose σ-image mentions an existential variable of τ."""
+        side = []
+        for atom in body:
+            image = sigma.apply_atom(atom)
+            if any(var in existential for var in image.variables()):
+                side.append(atom)
+        return tuple(side)
+
+    @staticmethod
+    def _counterparts(
+        body_atom: Atom,
+        head_atoms: Tuple[Atom, ...],
+        sigma: Substitution,
+        existential: frozenset,
+    ) -> List[Atom]:
+        """Candidate head atoms for a side atom (positional filter of Section 5.1)."""
+        image = sigma.apply_atom(body_atom)
+        candidates: List[Atom] = []
+        for head_atom in head_atoms:
+            if head_atom.predicate != body_atom.predicate:
+                continue
+            head_image = sigma.apply_atom(head_atom)
+            compatible = True
+            for body_arg, head_arg in zip(image.args, head_image.args):
+                body_is_existential = (
+                    isinstance(body_arg, Variable) and body_arg in existential
+                )
+                head_is_existential = (
+                    isinstance(head_arg, Variable) and head_arg in existential
+                )
+                if (body_is_existential or head_is_existential) and body_arg != head_arg:
+                    compatible = False
+                    break
+            if compatible:
+                candidates.append(head_atom)
+        return candidates
+
+    def _derive(
+        self,
+        non_full: TGD,
+        full: TGD,
+        side_atoms: Tuple[Atom, ...],
+        counterparts: Tuple[Atom, ...],
+        rest_atoms: Tuple[Atom, ...],
+        existential: frozenset,
+        universal: frozenset,
+    ) -> Optional[TGD]:
+        """Attempt one ExbDR inference for a fixed matching of side atoms."""
+        theta = restricted_mgu(counterparts, side_atoms, existential)
+        if theta is None:
+            return None
+        if self._maps_universal_into_existential(theta, universal, existential):
+            return None
+        new_rest = theta.apply_atoms(rest_atoms)
+        if any(
+            var in existential for atom in new_rest for var in atom.variables()
+        ):
+            return None
+        new_head_extra = theta.apply_atom(full.head[0])
+        if self.settings.use_lookahead and tgd_result_is_dead_end(
+            new_head_extra, existential, self.sigma_body_predicates
+        ):
+            return None
+        new_body = _dedupe(theta.apply_atoms(non_full.body) + new_rest)
+        new_head = _dedupe(theta.apply_atoms(non_full.head) + (new_head_extra,))
+        return TGD(new_body, new_head)
+
+
+def _dedupe(atoms: Tuple[Atom, ...]) -> Tuple[Atom, ...]:
+    seen = {}
+    for atom in atoms:
+        if atom not in seen:
+            seen[atom] = None
+    return tuple(seen)

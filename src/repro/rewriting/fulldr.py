@@ -1,0 +1,280 @@
+"""The FullDR algorithm (Appendix E): deriving Datalog rules directly.
+
+FullDR manipulates GTGDs but only ever *derives* full TGDs.  It has two
+variants:
+
+* (COMPOSE) combines two full TGDs ``τ = β → A`` and ``τ' = A' ∧ β' → H'``
+  under any substitution ``θ`` with ``θ(A) = θ(A')`` whose range is drawn from
+  a fixed pool of ``hwidth(Σ) + |consts(Σ)|`` variables plus the constants of
+  the premises, deriving ``θ(β) ∧ θ(β') → θ(H')``;
+* (PROPAGATE) combines a non-full TGD ``τ = β → ∃ȳ (η ∧ A1 ∧ ... ∧ An)``
+  with a full TGD ``τ' = A'1 ∧ ... ∧ A'n ∧ β' → H'`` under any such bounded
+  substitution that unifies the ``Ai`` with the ``A'i`` without leaking
+  existential variables into ``θ(β')`` or ``θ(H')``, again deriving
+  ``θ(β) ∧ θ(β') → θ(H')``.
+
+As Example E.3 illustrates, enumerating every bounded substitution rather
+than a most general unifier makes FullDR far more expensive than the other
+algorithms; the implementation is faithful but only practical on small
+inputs, which is exactly the finding reported in the paper (FullDR timed out
+on 173 ontologies and is therefore not discussed in the main body).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..indexing.unification_index import TGDUnificationIndex
+from ..logic.atoms import Atom
+from ..logic.rules import Rule, datalog_tgd_to_rule
+from ..logic.substitution import Substitution
+from ..logic.terms import Constant, Term, Variable
+from ..logic.tgd import TGD, head_normalize, program_constants
+from ..unification.mgu import restricted_mgu
+from .base import InferenceRule, RewritingSettings
+from .lookahead import tgd_result_is_dead_end
+
+
+class FullDR(InferenceRule[TGD]):
+    """Appendix E plugged into the saturation engine."""
+
+    name = "FullDR"
+
+    def __init__(self, settings: Optional[RewritingSettings] = None) -> None:
+        super().__init__(settings)
+        self._index = TGDUnificationIndex()
+        self._variable_pool: Tuple[Variable, ...] = ()
+        self._sigma_constants: Tuple[Constant, ...] = ()
+        #: cap on enumerated substitutions per premise pair (the blow-up that
+        #: Example E.3 describes); raising it makes the algorithm more
+        #: faithful and slower
+        self.max_substitutions_per_pair = 500_000
+
+    # ------------------------------------------------------------------
+    # InferenceRule hooks
+    # ------------------------------------------------------------------
+    def prepare(self, sigma: Sequence[TGD]) -> None:
+        super().prepare(sigma)
+        pool_size = self.sigma_head_width + self.sigma_constant_count
+        pool_size = max(pool_size, 1)
+        self._variable_pool = tuple(
+            Variable(f"w{index}") for index in range(pool_size)
+        )
+        self._sigma_constants = tuple(program_constants(sigma))
+
+    def initial_clauses(self, sigma: Sequence[TGD]) -> Tuple[TGD, ...]:
+        return head_normalize(sigma)
+
+    def register(self, clause: TGD) -> None:
+        self._index.add(clause)
+
+    def unregister(self, clause: TGD) -> None:
+        self._index.remove(clause)
+
+    def extract_datalog(self, worked_off: Iterable[TGD]) -> Tuple[Rule, ...]:
+        return tuple(
+            datalog_tgd_to_rule(tgd) for tgd in worked_off if tgd.is_datalog_rule
+        )
+
+    def infer(self, clause: TGD, worked_off: Set[TGD]) -> Iterable[TGD]:
+        results: List[TGD] = []
+        if clause.is_full:
+            # COMPOSE with clause as either premise
+            for partner in self._partners_full(clause):
+                if partner in worked_off:
+                    results.extend(self._compose(clause, partner))
+                    if partner != clause:
+                        results.extend(self._compose(partner, clause))
+            # PROPAGATE with clause as the full premise
+            for partner in self._index.non_full_partners_for(clause):
+                if partner in worked_off:
+                    results.extend(self._propagate(partner, clause))
+        else:
+            for partner in self._index.full_partners_for(clause):
+                if partner in worked_off:
+                    results.extend(self._propagate(clause, partner))
+        return results
+
+    # ------------------------------------------------------------------
+    # candidate retrieval
+    # ------------------------------------------------------------------
+    def _partners_full(self, clause: TGD) -> Tuple[TGD, ...]:
+        seen: Set[TGD] = set()
+        ordered: List[TGD] = []
+        for atom in clause.head + clause.body:
+            for candidate in itertools.chain(
+                self._index.with_body_predicate(atom.predicate),
+                self._index.with_head_predicate(atom.predicate),
+            ):
+                if candidate.is_full and candidate not in seen:
+                    seen.add(candidate)
+                    ordered.append(candidate)
+        return tuple(ordered)
+
+    # ------------------------------------------------------------------
+    # substitution enumeration
+    # ------------------------------------------------------------------
+    def _bounded_substitutions(
+        self,
+        variables: Tuple[Variable, ...],
+        extra_range: Tuple[Term, ...],
+        premise_constants: Tuple[Constant, ...],
+    ) -> Iterable[Substitution]:
+        """Every substitution from ``variables`` into the bounded range."""
+        range_terms: Tuple[Term, ...] = (
+            self._variable_pool + extra_range + premise_constants
+        )
+        if not variables:
+            yield Substitution()
+            return
+        total = len(range_terms) ** len(variables)
+        if total > self.max_substitutions_per_pair:
+            # Enumerate a deterministic prefix of the substitution space; the
+            # cap is generous enough for the inputs on which FullDR is
+            # actually run (it times out long before this matters).
+            total = self.max_substitutions_per_pair
+        count = 0
+        for images in itertools.product(range_terms, repeat=len(variables)):
+            yield Substitution(dict(zip(variables, images)))
+            count += 1
+            if count >= total:
+                return
+
+    # ------------------------------------------------------------------
+    # (COMPOSE)
+    # ------------------------------------------------------------------
+    def _compose(self, left: TGD, right: TGD) -> List[TGD]:
+        """COMPOSE: unify the single head atom of ``left`` with a body atom of ``right``."""
+        if not (left.is_datalog_rule and right.is_full):
+            return []
+        right = right.rename_apart("c")
+        head_atom = left.head[0]
+        results: List[TGD] = []
+        seen: Set[TGD] = set()
+        variables = tuple(
+            sorted(left.variables() | right.variables(), key=lambda v: v.name)
+        )
+        premise_constants = tuple(set(left.constants()) | set(right.constants()))
+        for body_atom in right.body:
+            if body_atom.predicate != head_atom.predicate:
+                continue
+            for theta in self._bounded_substitutions(
+                variables, (), premise_constants
+            ):
+                if theta.apply_atom(head_atom) != theta.apply_atom(body_atom):
+                    continue
+                remaining = tuple(a for a in right.body if a is not body_atom)
+                new_body = _dedupe(
+                    theta.apply_atoms(left.body) + theta.apply_atoms(remaining)
+                )
+                new_head = theta.apply_atoms(right.head)
+                derived = TGD(new_body, new_head)
+                if derived not in seen:
+                    seen.add(derived)
+                    results.append(derived)
+        return results
+
+    # ------------------------------------------------------------------
+    # (PROPAGATE)
+    # ------------------------------------------------------------------
+    def _propagate(self, non_full: TGD, full: TGD) -> List[TGD]:
+        """PROPAGATE: unify head atoms of the non-full TGD with body atoms of the full one."""
+        if not full.is_full:
+            return []
+        full = full.rename_apart("p")
+        existential = non_full.existential_variables
+        results: List[TGD] = []
+        seen: Set[TGD] = set()
+        body_by_predicate: Dict = {}
+        for atom in full.body:
+            body_by_predicate.setdefault(atom.predicate, []).append(atom)
+        variables = tuple(
+            sorted(
+                (non_full.universal_variables | full.universal_variables),
+                key=lambda v: v.name,
+            )
+        )
+        premise_constants = tuple(
+            set(non_full.constants()) | set(full.constants())
+        )
+        existential_range = tuple(sorted(existential, key=lambda v: v.name))
+        # choose, for every subset of the full TGD's body atoms, a counterpart
+        # head atom of the non-full TGD; the bounded substitution must unify
+        # every chosen pair
+        head_atoms = non_full.head
+        full_body = tuple(full.body)
+        for selection in _nonempty_assignments(full_body, head_atoms):
+            for theta in self._bounded_substitutions(
+                variables, existential_range, premise_constants
+            ):
+                if any(
+                    theta.apply_atom(body_atom) != theta.apply_atom(head_atom)
+                    for body_atom, head_atom in selection
+                ):
+                    continue
+                if self._universal_into_existential(theta, non_full, existential):
+                    continue
+                selected = {id(body_atom) for body_atom, _ in selection}
+                remaining = tuple(
+                    atom for atom in full_body if id(atom) not in selected
+                )
+                remaining_image = theta.apply_atoms(remaining)
+                head_image = theta.apply_atom(full.head[0])
+                if _mentions(remaining_image, existential) or _mentions(
+                    (head_image,), existential
+                ):
+                    continue
+                new_body = _dedupe(
+                    theta.apply_atoms(non_full.body) + remaining_image
+                )
+                derived = TGD(new_body, (head_image,))
+                if derived not in seen:
+                    seen.add(derived)
+                    results.append(derived)
+        return results
+
+    @staticmethod
+    def _universal_into_existential(
+        theta: Substitution, non_full: TGD, existential: frozenset
+    ) -> bool:
+        for var in non_full.universal_variables:
+            image = theta.get(var)
+            if isinstance(image, Variable) and image in existential:
+                return True
+        return False
+
+
+def _mentions(atoms: Tuple[Atom, ...], variables: frozenset) -> bool:
+    return any(var in variables for atom in atoms for var in atom.variables())
+
+
+def _nonempty_assignments(
+    body_atoms: Tuple[Atom, ...], head_atoms: Tuple[Atom, ...]
+) -> Iterable[Tuple[Tuple[Atom, Atom], ...]]:
+    """Every nonempty matching of some body atoms to same-predicate head atoms."""
+    per_atom_options: List[List[Optional[Atom]]] = []
+    for body_atom in body_atoms:
+        options: List[Optional[Atom]] = [None]
+        options.extend(
+            head_atom
+            for head_atom in head_atoms
+            if head_atom.predicate == body_atom.predicate
+        )
+        per_atom_options.append(options)
+    for combination in itertools.product(*per_atom_options):
+        selection = tuple(
+            (body_atom, head_atom)
+            for body_atom, head_atom in zip(body_atoms, combination)
+            if head_atom is not None
+        )
+        if selection:
+            yield selection
+
+
+def _dedupe(atoms: Tuple[Atom, ...]) -> Tuple[Atom, ...]:
+    seen = {}
+    for atom in atoms:
+        if atom not in seen:
+            seen[atom] = None
+    return tuple(seen)

@@ -1,0 +1,46 @@
+"""The cheap lookahead optimization (Section 6).
+
+Consider a derived TGD whose new head atom ``θ(H')`` still mentions an
+existentially quantified variable, and whose relation does not occur in the
+body of any input GTGD.  No GTGD of Σ can ever be applied to a fact obtained
+by instantiating that atom inside a chase child, so keeping the derivation is
+pointless — the derived TGD can be dropped immediately.  The analogous
+condition applies to SkDR results whose head contains a Skolem term.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet
+
+from ..logic.atoms import Atom, Predicate
+from ..logic.terms import Variable
+
+
+def tgd_result_is_dead_end(
+    new_head_atom: Atom,
+    existential_variables: AbstractSet[Variable],
+    sigma_body_predicates: FrozenSet[Predicate],
+) -> bool:
+    """Lookahead test for TGD-based algorithms (ExbDR / FullDR).
+
+    The derived TGD can be dropped if the freshly added head atom still
+    mentions an existential variable and its relation never occurs in the body
+    of an input GTGD.
+    """
+    if new_head_atom.predicate in sigma_body_predicates:
+        return False
+    return any(var in existential_variables for var in new_head_atom.variables())
+
+
+def rule_result_is_dead_end(
+    head_atom: Atom, sigma_body_predicates: FrozenSet[Predicate]
+) -> bool:
+    """Lookahead test for rule-based algorithms (SkDR).
+
+    The derived rule can be dropped if its head is not function-free (it still
+    talks about a child-vertex fact) and the head relation never occurs in the
+    body of an input GTGD.
+    """
+    if head_atom.is_function_free:
+        return False
+    return head_atom.predicate not in sigma_body_predicates

@@ -1,0 +1,87 @@
+"""Top-level entry points for computing Datalog rewritings of GTGDs.
+
+``rewrite(tgds, algorithm="hypdr")`` validates the input (every TGD must be
+guarded), runs the requested algorithm through the saturation engine, and
+returns a :class:`repro.rewriting.base.RewritingResult` whose
+``datalog_rules`` are the rewriting ``rew(Σ)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Type
+
+from ..logic.tgd import TGD, head_normalize
+from .base import InferenceRule, RewritingResult, RewritingSettings
+from .exbdr import ExbDR
+from .fulldr import FullDR
+from .hypdr import HypDR
+from .saturation import Saturation
+from .skdr import SkDR
+
+ALGORITHMS: Dict[str, Type[InferenceRule]] = {
+    "exbdr": ExbDR,
+    "skdr": SkDR,
+    "hypdr": HypDR,
+    "fulldr": FullDR,
+}
+
+
+class UnguardedTGDError(ValueError):
+    """Raised when an input TGD is not guarded."""
+
+
+def available_algorithms() -> Tuple[str, ...]:
+    """The names accepted by :func:`rewrite`."""
+    return tuple(sorted(ALGORITHMS))
+
+
+def validate_guardedness(tgds: Iterable[TGD]) -> Tuple[TGD, ...]:
+    """Check that every TGD is guarded; return them as a tuple."""
+    collected = tuple(tgds)
+    for tgd in collected:
+        if not tgd.is_guarded:
+            raise UnguardedTGDError(f"TGD is not guarded: {tgd}")
+    return collected
+
+def make_inference(
+    algorithm: str, settings: Optional[RewritingSettings] = None
+) -> InferenceRule:
+    """Instantiate the inference rule for an algorithm name."""
+    key = algorithm.lower()
+    if key not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {available_algorithms()}"
+        )
+    return ALGORITHMS[key](settings)
+
+
+def rewrite(
+    tgds: Iterable[TGD],
+    algorithm: str = "hypdr",
+    settings: Optional[RewritingSettings] = None,
+) -> RewritingResult:
+    """Compute a Datalog rewriting of a finite set of GTGDs.
+
+    Parameters
+    ----------
+    tgds:
+        The input GTGDs (arbitrary heads; they are brought into head-normal
+        form internally).
+    algorithm:
+        One of ``"exbdr"``, ``"skdr"``, ``"hypdr"`` (default), ``"fulldr"``.
+    settings:
+        Optional :class:`RewritingSettings` controlling subsumption, the cheap
+        lookahead, timeouts, and clause limits.
+    """
+    sigma = validate_guardedness(tgds)
+    inference = make_inference(algorithm, settings)
+    return Saturation(inference, settings).run(sigma)
+
+
+def rewrite_program(
+    tgds: Iterable[TGD],
+    algorithm: str = "hypdr",
+    settings: Optional[RewritingSettings] = None,
+):
+    """Like :func:`rewrite` but return the rewriting as a ``DatalogProgram``."""
+    return rewrite(tgds, algorithm=algorithm, settings=settings).program()

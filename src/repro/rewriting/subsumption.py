@@ -1,0 +1,162 @@
+"""Redundancy elimination: tautologies and subsumption (Definition 5.1, Section 6).
+
+Two subsumption checks are provided:
+
+* :func:`exact_tgd_subsumes` / :func:`exact_rule_subsumes` — the exact
+  (NP-complete) checks of Definition 5.1, implemented by backtracking over
+  atom matchings;
+* :func:`approximate_tgd_subsumes` / :func:`approximate_rule_subsumes` — the
+  polynomial approximation of Section 6: both clauses are normalized (atoms
+  sorted, variables canonically renamed) and subsumption is approximated by
+  set inclusion between the normalized bodies/heads.  The approximation is
+  *sound for discarding*: whenever it reports subsumption, genuine subsumption
+  holds, so discarding the subsumed clause never loses completeness; it may
+  however fail to detect some genuine subsumptions, keeping more clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Sequence, Union
+
+from ..logic.atoms import Atom
+from ..logic.normal_form import normalize_rule, normalize_tgd
+from ..logic.rules import Rule
+from ..logic.substitution import Substitution
+from ..logic.terms import Term, Variable
+from ..logic.tgd import TGD
+from ..unification.matching import match_atom
+
+Clause = Union[TGD, Rule]
+
+
+# ----------------------------------------------------------------------
+# tautologies
+# ----------------------------------------------------------------------
+def is_syntactic_tautology(clause: Clause) -> bool:
+    """Definition 5.1: the clause derives nothing new by construction."""
+    return clause.is_syntactic_tautology
+
+
+# ----------------------------------------------------------------------
+# exact subsumption
+# ----------------------------------------------------------------------
+def _enumerate_body_matches(
+    body: Sequence[Atom], targets: Sequence[Atom], base: Substitution
+) -> Iterator[Substitution]:
+    """Substitutions μ with μ(body) ⊆ targets (each body atom maps to some target)."""
+
+    def recurse(index: int, substitution: Substitution) -> Iterator[Substitution]:
+        if index == len(body):
+            yield substitution
+            return
+        for target in targets:
+            extended = match_atom(body[index], target, substitution)
+            if extended is not None:
+                yield from recurse(index + 1, extended)
+
+    yield from recurse(0, base)
+
+
+def _head_covers(
+    head: Sequence[Atom], targets: Sequence[Atom], substitution: Substitution
+) -> Iterator[Substitution]:
+    """Extensions μ of the substitution with μ(head) ⊇ targets.
+
+    Every target atom must be the μ-image of some head atom; head atoms not
+    yet fully bound may be instantiated in the process.
+    """
+
+    def recurse(index: int, current: Substitution) -> Iterator[Substitution]:
+        if index == len(targets):
+            yield current
+            return
+        target = targets[index]
+        for pattern in head:
+            extended = match_atom(pattern, target, current)
+            if extended is not None:
+                yield from recurse(index + 1, extended)
+
+    yield from recurse(0, substitution)
+
+
+def exact_rule_subsumes(subsumer: Rule, subsumed: Rule) -> bool:
+    """Rule subsumption: some μ with μ(body1) ⊆ body2 and μ(head1) = head2."""
+    head_match = match_atom(subsumer.head, subsumed.head)
+    candidates: Iterator[Substitution]
+    if head_match is not None:
+        candidates = _enumerate_body_matches(
+            subsumer.body, subsumed.body, head_match
+        )
+        for _ in candidates:
+            return True
+    return False
+
+
+def exact_tgd_subsumes(subsumer: TGD, subsumed: TGD) -> bool:
+    """TGD subsumption per Definition 5.1.
+
+    There must be a substitution μ with domain ``x1 ∪ y1`` such that
+    μ maps universal variables of the subsumer into universal variables of the
+    subsumed TGD, maps existential variables injectively into existential
+    variables (of either TGD), and satisfies μ(body1) ⊆ body2 and
+    μ(head1) ⊇ head2.
+    """
+    universal_2 = subsumed.universal_variables
+    existential_1 = subsumer.existential_variables
+    existential_2 = subsumed.existential_variables
+
+    def valid(substitution: Substitution) -> bool:
+        for var in subsumer.universal_variables:
+            image = substitution.get(var, var)
+            if not isinstance(image, Variable) or image not in universal_2:
+                return False
+        images = []
+        for var in existential_1:
+            image = substitution.get(var, var)
+            if not isinstance(image, Variable):
+                return False
+            if image not in existential_1 and image not in existential_2:
+                return False
+            images.append(image)
+        return len(set(images)) == len(images)
+
+    for body_match in _enumerate_body_matches(
+        subsumer.body, subsumed.body, Substitution()
+    ):
+        for full_match in _head_covers(subsumer.head, subsumed.head, body_match):
+            if valid(full_match):
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# approximate (normalized) subsumption — Section 6
+# ----------------------------------------------------------------------
+def approximate_tgd_subsumes(subsumer: TGD, subsumed: TGD) -> bool:
+    """Normalized-inclusion approximation of TGD subsumption."""
+    left = normalize_tgd(subsumer)
+    right = normalize_tgd(subsumed)
+    return set(left.body) <= set(right.body) and set(left.head) >= set(right.head)
+
+
+def approximate_rule_subsumes(subsumer: Rule, subsumed: Rule) -> bool:
+    """Normalized-inclusion approximation of rule subsumption."""
+    left = normalize_rule(subsumer)
+    right = normalize_rule(subsumed)
+    return left.head == right.head and set(left.body) <= set(right.body)
+
+
+# ----------------------------------------------------------------------
+# dispatchers
+# ----------------------------------------------------------------------
+def subsumes(subsumer: Clause, subsumed: Clause, exact: bool = False) -> bool:
+    """Dispatch to the right subsumption check based on clause type."""
+    if isinstance(subsumer, TGD) and isinstance(subsumed, TGD):
+        if exact:
+            return exact_tgd_subsumes(subsumer, subsumed)
+        return approximate_tgd_subsumes(subsumer, subsumed)
+    if isinstance(subsumer, Rule) and isinstance(subsumed, Rule):
+        if exact:
+            return exact_rule_subsumes(subsumer, subsumed)
+        return approximate_rule_subsumes(subsumer, subsumed)
+    return False

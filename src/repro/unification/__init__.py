@@ -1,0 +1,49 @@
+"""Unification and matching: MGUs, X-MGUs, one-sided matching, weak covering."""
+
+from .covering import (
+    all_weakly_covering,
+    atom_variable_depth,
+    is_weakly_covering,
+    rule_is_weakly_covering,
+    rule_variable_depth,
+    term_variable_depth,
+)
+from .matching import (
+    exists_match_into_set,
+    is_instance_of,
+    is_variant,
+    match_atom,
+    match_atom_lists,
+    match_conjunction_into_set,
+)
+from .mgu import (
+    UnificationError,
+    mgu,
+    mgu_atoms,
+    rename_disjoint,
+    restricted_mgu,
+    terms_unifiable,
+    unifiable,
+)
+
+__all__ = [
+    "UnificationError",
+    "all_weakly_covering",
+    "atom_variable_depth",
+    "exists_match_into_set",
+    "is_instance_of",
+    "is_variant",
+    "is_weakly_covering",
+    "match_atom",
+    "match_atom_lists",
+    "match_conjunction_into_set",
+    "mgu",
+    "mgu_atoms",
+    "rename_disjoint",
+    "restricted_mgu",
+    "rule_is_weakly_covering",
+    "rule_variable_depth",
+    "term_variable_depth",
+    "terms_unifiable",
+    "unifiable",
+]

@@ -1,0 +1,80 @@
+"""Weakly covering atoms and variable depth (de Nivelle, used in Appendix C).
+
+The correctness argument for the Skolemized algorithms relies on two notions
+from de Nivelle's resolution decision procedure for the guarded fragment:
+
+* the *variable depth* of an atom is ``-1`` if the atom is ground, and
+  otherwise the maximum number of nested function symbols above a variable;
+* an atom is *weakly covering* if each non-ground functional subterm of the
+  atom contains all variables of the atom.
+
+These checks are exposed so that the saturation engine can assert (in debug
+builds and in tests) that every derived rule stays within the guarded
+fragment, which is what guarantees termination.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..logic.atoms import Atom
+from ..logic.rules import Rule
+from ..logic.terms import FunctionTerm, Term, Variable
+
+
+def term_variable_depth(term: Term, depth: int = 0) -> int:
+    """Maximum function-nesting depth above any variable of the term (-1 if ground)."""
+    if isinstance(term, Variable):
+        return depth
+    if isinstance(term, FunctionTerm):
+        best = -1
+        for arg in term.args:
+            best = max(best, term_variable_depth(arg, depth + 1))
+        return best
+    return -1
+
+
+def atom_variable_depth(atom: Atom) -> int:
+    """Variable depth of an atom (de Nivelle, Definition 3)."""
+    best = -1
+    for arg in atom.args:
+        best = max(best, term_variable_depth(arg))
+    return best
+
+
+def _functional_subterms(term: Term) -> Iterator[FunctionTerm]:
+    if isinstance(term, FunctionTerm):
+        yield term
+        for arg in term.args:
+            yield from _functional_subterms(arg)
+
+
+def is_weakly_covering(atom: Atom) -> bool:
+    """``True`` if every non-ground functional subterm contains all atom variables."""
+    atom_vars = atom.variable_set()
+    for arg in atom.args:
+        for subterm in _functional_subterms(arg):
+            if subterm.is_ground:
+                continue
+            if frozenset(subterm.variables()) != atom_vars:
+                return False
+    return True
+
+
+def rule_is_weakly_covering(rule: Rule) -> bool:
+    """``True`` if every atom of the rule is weakly covering."""
+    return all(is_weakly_covering(atom) for atom in rule.body) and is_weakly_covering(
+        rule.head
+    )
+
+
+def rule_variable_depth(rule: Rule) -> int:
+    """Maximum variable depth over all atoms of a rule."""
+    depths = [atom_variable_depth(atom) for atom in rule.body]
+    depths.append(atom_variable_depth(rule.head))
+    return max(depths) if depths else -1
+
+
+def all_weakly_covering(atoms: Iterable[Atom]) -> bool:
+    """``True`` if every atom of the collection is weakly covering."""
+    return all(is_weakly_covering(atom) for atom in atoms)

@@ -1,0 +1,170 @@
+"""Most general unifiers (Section 3) and X-restricted MGUs (Definition 5.4).
+
+A unifier of atom lists ``A1..An`` and ``B1..Bn`` is a substitution ``θ``
+with ``θ(Ai) = θ(Bi)`` for every ``i``.  The most general unifier (MGU) is
+unique up to variable renaming and is computable in near-linear time; the
+implementation below uses the classic Robinson-style algorithm with an
+explicit occurs check, which is more than fast enough for the shallow
+(depth ≤ 1) terms occurring in guarded rules.
+
+Definition 5.4 introduces *X-MGUs*: unifiers that must leave every variable
+of a designated set ``X`` fixed (``θ(x) = x`` for ``x ∈ X``).  They are
+computed with the same algorithm while treating the variables of ``X`` as if
+they were constants.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, Iterable, Optional, Sequence, Tuple
+
+from ..logic.atoms import Atom
+from ..logic.substitution import Substitution
+from ..logic.terms import FunctionTerm, Term, Variable
+
+_EMPTY_FROZEN: frozenset = frozenset()
+
+
+class UnificationError(Exception):
+    """Raised internally when two terms cannot be unified."""
+
+
+def _walk(term: Term, bindings: Dict[Variable, Term]) -> Term:
+    """Follow variable bindings until reaching an unbound variable or non-variable."""
+    while isinstance(term, Variable):
+        bound = bindings.get(term)
+        if bound is None:
+            return term
+        term = bound
+    return term
+
+
+def _occurs(var: Variable, term: Term, bindings: Dict[Variable, Term]) -> bool:
+    term = _walk(term, bindings)
+    if term == var:
+        return True
+    if isinstance(term, FunctionTerm):
+        return any(_occurs(var, arg, bindings) for arg in term.args)
+    return False
+
+
+def _unify_terms(
+    left: Term,
+    right: Term,
+    bindings: Dict[Variable, Term],
+    frozen: AbstractSet[Variable],
+) -> None:
+    left = _walk(left, bindings)
+    right = _walk(right, bindings)
+    if left == right:
+        return
+    if isinstance(left, Variable) and left not in frozen:
+        if _occurs(left, right, bindings):
+            raise UnificationError(f"occurs check failed for {left} in {right}")
+        bindings[left] = right
+        return
+    if isinstance(right, Variable) and right not in frozen:
+        if _occurs(right, left, bindings):
+            raise UnificationError(f"occurs check failed for {right} in {left}")
+        bindings[right] = left
+        return
+    if isinstance(left, FunctionTerm) and isinstance(right, FunctionTerm):
+        if left.symbol != right.symbol:
+            raise UnificationError(
+                f"cannot unify function symbols {left.symbol} and {right.symbol}"
+            )
+        for sub_left, sub_right in zip(left.args, right.args):
+            _unify_terms(sub_left, sub_right, bindings, frozen)
+        return
+    raise UnificationError(f"cannot unify {left} and {right}")
+
+
+def _resolve(term: Term, bindings: Dict[Variable, Term]) -> Term:
+    """Fully apply the triangular bindings to a term."""
+    term = _walk(term, bindings)
+    if isinstance(term, FunctionTerm):
+        return FunctionTerm(
+            term.symbol, tuple(_resolve(arg, bindings) for arg in term.args)
+        )
+    return term
+
+
+def _to_substitution(bindings: Dict[Variable, Term]) -> Substitution:
+    return Substitution({var: _resolve(term, bindings) for var, term in bindings.items()})
+
+
+def mgu_atoms(
+    left: Sequence[Atom],
+    right: Sequence[Atom],
+    frozen_variables: AbstractSet[Variable] = _EMPTY_FROZEN,
+) -> Optional[Substitution]:
+    """MGU of two equal-length atom lists, or ``None`` if none exists.
+
+    ``frozen_variables`` implements Definition 5.4: those variables are kept
+    fixed (treated as constants).  An attempt to bind a frozen variable makes
+    unification fail.
+    """
+    if len(left) != len(right):
+        return None
+    bindings: Dict[Variable, Term] = {}
+    try:
+        for atom_left, atom_right in zip(left, right):
+            if atom_left.predicate != atom_right.predicate:
+                return None
+            for term_left, term_right in zip(atom_left.args, atom_right.args):
+                _unify_terms(term_left, term_right, bindings, frozen_variables)
+    except UnificationError:
+        return None
+    return _to_substitution(bindings)
+
+
+def mgu(
+    left: Atom,
+    right: Atom,
+    frozen_variables: AbstractSet[Variable] = _EMPTY_FROZEN,
+) -> Optional[Substitution]:
+    """MGU of two atoms, or ``None`` if none exists."""
+    return mgu_atoms((left,), (right,), frozen_variables)
+
+
+def restricted_mgu(
+    left: Sequence[Atom],
+    right: Sequence[Atom],
+    restricted: Iterable[Variable],
+) -> Optional[Substitution]:
+    """The ``X``-MGU of Definition 5.4 (``θ(x) = x`` for every ``x`` in ``restricted``)."""
+    return mgu_atoms(left, right, frozenset(restricted))
+
+
+def unifiable(left: Atom, right: Atom) -> bool:
+    """``True`` if the two atoms have a unifier."""
+    return mgu(left, right) is not None
+
+
+def terms_unifiable(left: Term, right: Term) -> bool:
+    """``True`` if the two terms have a unifier."""
+    bindings: Dict[Variable, Term] = {}
+    try:
+        _unify_terms(left, right, bindings, _EMPTY_FROZEN)
+    except UnificationError:
+        return False
+    return True
+
+
+def rename_disjoint(
+    atoms: Sequence[Atom], taken: AbstractSet[Variable], suffix: str
+) -> Tuple[Tuple[Atom, ...], Substitution]:
+    """Rename the variables of ``atoms`` away from ``taken``.
+
+    Returns the renamed atoms together with the renaming substitution.  Only
+    variables clashing with ``taken`` are renamed.
+    """
+    clashing = {
+        var
+        for atom in atoms
+        for var in atom.variables()
+        if var in taken
+    }
+    renaming = Substitution(
+        {var: Variable(f"{var.name}#{suffix}") for var in clashing}
+    )
+    return renaming.apply_atoms(atoms), renaming

@@ -1,0 +1,58 @@
+"""Workload generators: benchmark suites, arity blow-up, instances, paper families."""
+
+from .blowup import ArityBlowup, blow_up_arity
+from .families import (
+    cim_example,
+    cim_shortcut,
+    exbdr_blowup_family,
+    fulldr_example_e3,
+    hypdr_advantage_family,
+    running_example,
+    running_example_shortcuts,
+    skdr_blowup_family,
+)
+from .instances import (
+    generate_instance,
+    generate_power_grid_instance,
+    predicates_of_tgds,
+    scale_report,
+)
+from .ontology_suite import (
+    BenchmarkInput,
+    OntologyGenerator,
+    OntologyProfile,
+    generate_input,
+    generate_suite,
+    suite_statistics,
+)
+from .random_gtgds import (
+    RandomGTGDConfig,
+    generate_random_gtgds,
+    generate_random_instance,
+)
+
+__all__ = [
+    "ArityBlowup",
+    "BenchmarkInput",
+    "OntologyGenerator",
+    "OntologyProfile",
+    "RandomGTGDConfig",
+    "blow_up_arity",
+    "cim_example",
+    "cim_shortcut",
+    "exbdr_blowup_family",
+    "fulldr_example_e3",
+    "generate_input",
+    "generate_instance",
+    "generate_power_grid_instance",
+    "generate_random_gtgds",
+    "generate_random_instance",
+    "generate_suite",
+    "hypdr_advantage_family",
+    "predicates_of_tgds",
+    "running_example",
+    "running_example_shortcuts",
+    "scale_report",
+    "skdr_blowup_family",
+    "suite_statistics",
+]

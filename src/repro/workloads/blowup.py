@@ -1,0 +1,126 @@
+"""Arity blow-up transformation (Section 7.1, used for the Figure 5 experiment).
+
+Given a set of GTGDs and a blow-up factor ``b``, the transformation
+
+1. replaces every variable argument of every atom with ``b`` fresh variables
+   uniquely associated with the original variable (so for ``b = 2`` the atom
+   ``A(x, y)`` becomes ``A(x_1, x_2, y_1, y_2)``) — constants are likewise
+   replicated ``b`` times;
+2. randomly introduces fresh body and head atoms over the newly introduced
+   variables, taking care not to break guardedness (body atoms only use
+   variables already present in the body, head atoms only variables already
+   present in the head) so the ExbDR inference rule remains applicable.
+
+The result is a set of GTGDs over relations of arity ``b`` times the original
+arity — the paper uses ``b = 5`` to obtain relations of arity ten from the
+binary ontology relations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from ..logic.atoms import Atom, Predicate
+from ..logic.terms import Constant, Term, Variable
+from ..logic.tgd import TGD
+
+
+class ArityBlowup:
+    """Applies the arity blow-up with a fixed factor and seed."""
+
+    def __init__(
+        self,
+        factor: int = 5,
+        extra_atom_probability: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        if factor < 1:
+            raise ValueError("blow-up factor must be at least 1")
+        self.factor = factor
+        self.extra_atom_probability = extra_atom_probability
+        self._rng = random.Random(seed)
+        self._predicates: Dict[Predicate, Predicate] = {}
+        self._padding_predicates: List[Predicate] = []
+
+    # ------------------------------------------------------------------
+    # predicate and term replication
+    # ------------------------------------------------------------------
+    def _blown_predicate(self, predicate: Predicate) -> Predicate:
+        blown = self._predicates.get(predicate)
+        if blown is None:
+            blown = Predicate(predicate.name, predicate.arity * self.factor)
+            self._predicates[predicate] = blown
+        return blown
+
+    def _blow_term(self, term: Term) -> Tuple[Term, ...]:
+        if isinstance(term, Variable):
+            return tuple(
+                Variable(f"{term.name}_{index}") for index in range(1, self.factor + 1)
+            )
+        if isinstance(term, Constant):
+            return tuple(
+                Constant(f"{term.name}_{index}") for index in range(1, self.factor + 1)
+            )
+        raise ValueError(f"cannot blow up term {term!r}")
+
+    def _blow_atom(self, atom: Atom) -> Atom:
+        args: List[Term] = []
+        for arg in atom.args:
+            args.extend(self._blow_term(arg))
+        return Atom(self._blown_predicate(atom.predicate), tuple(args))
+
+    # ------------------------------------------------------------------
+    # extra atoms
+    # ------------------------------------------------------------------
+    def _padding_predicate(self, arity: int) -> Predicate:
+        for predicate in self._padding_predicates:
+            if predicate.arity == arity:
+                return predicate
+        predicate = Predicate(f"Pad{len(self._padding_predicates)}", arity)
+        self._padding_predicates.append(predicate)
+        return predicate
+
+    def _maybe_extra_atom(self, variables: Sequence[Variable]) -> Tuple[Atom, ...]:
+        if not variables or self._rng.random() >= self.extra_atom_probability:
+            return ()
+        width = self._rng.randint(1, min(len(variables), self.factor))
+        chosen = tuple(self._rng.sample(list(variables), width))
+        predicate = self._padding_predicate(width)
+        return (Atom(predicate, chosen),)
+
+    # ------------------------------------------------------------------
+    # the transformation
+    # ------------------------------------------------------------------
+    def blow_up_tgd(self, tgd: TGD) -> TGD:
+        body = tuple(self._blow_atom(atom) for atom in tgd.body)
+        head = tuple(self._blow_atom(atom) for atom in tgd.head)
+        body_variables: List[Variable] = []
+        for atom in body:
+            for var in atom.variables():
+                if var not in body_variables:
+                    body_variables.append(var)
+        head_only_variables: List[Variable] = []
+        for atom in head:
+            for var in atom.variables():
+                if var not in body_variables and var not in head_only_variables:
+                    head_only_variables.append(var)
+        body += self._maybe_extra_atom(body_variables)
+        # extra head atoms over existential variables keep the TGD in a shape
+        # the ExbDR inference rule can process (every new atom shares its
+        # variables with existing head atoms)
+        head += self._maybe_extra_atom(head_only_variables)
+        return TGD(body, head)
+
+    def blow_up(self, tgds: Sequence[TGD]) -> Tuple[TGD, ...]:
+        return tuple(self.blow_up_tgd(tgd) for tgd in tgds)
+
+
+def blow_up_arity(
+    tgds: Sequence[TGD],
+    factor: int = 5,
+    extra_atom_probability: float = 0.3,
+    seed: int = 0,
+) -> Tuple[TGD, ...]:
+    """Convenience wrapper around :class:`ArityBlowup`."""
+    return ArityBlowup(factor, extra_atom_probability, seed).blow_up(tgds)

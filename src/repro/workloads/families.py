@@ -1,0 +1,207 @@
+"""Parametric GTGD families used in the paper's propositions and examples.
+
+* :func:`exbdr_blowup_family` — Proposition 5.14: ExbDR derives ``O(2^n)``
+  times more TGDs than SkDR derives rules.
+* :func:`skdr_blowup_family` — Proposition 5.15: SkDR derives ``O(2^n)`` times
+  more rules than ExbDR derives TGDs.
+* :func:`hypdr_advantage_family` — Proposition 5.20: SkDR derives ``O(2^n)``
+  more rules than HypDR.
+* :func:`running_example` — the GTGDs (8)–(13) of Example 4.3 plus the base
+  instance ``{A(a, b)}``.
+* :func:`cim_example` — GTGDs (1)–(4) from the CIM data-integration example of
+  the introduction plus facts (5)–(6).
+* :func:`fulldr_example_e3` — the three GTGDs of Example E.3 illustrating the
+  substitution blow-up of FullDR's COMPOSE variant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..logic.atoms import Atom, Predicate
+from ..logic.instance import Instance
+from ..logic.terms import Constant, Variable
+from ..logic.tgd import TGD
+
+
+def _vars(*names: str) -> Tuple[Variable, ...]:
+    return tuple(Variable(name) for name in names)
+
+
+def exbdr_blowup_family(n: int) -> Tuple[TGD, ...]:
+    """Proposition 5.14: ``A(x) → ∃ȳ B1(x,y1) ∧ ... ∧ Bn(x,yn)`` plus n side rules."""
+    if n < 1:
+        raise ValueError("family parameter must be at least 1")
+    (x,) = _vars("x")
+    a = Predicate("A", 1)
+    tgds: List[TGD] = []
+    head = []
+    for index in range(1, n + 1):
+        y_i = Variable(f"y{index}")
+        head.append(Atom(Predicate(f"B{index}", 2), (x, y_i)))
+    tgds.append(TGD((Atom(a, (x,)),), tuple(head)))
+    x1, x2 = _vars("x1", "x2")
+    for index in range(1, n + 1):
+        b_i = Predicate(f"B{index}", 2)
+        c_i = Predicate(f"C{index}", 1)
+        d_i = Predicate(f"D{index}", 2)
+        tgds.append(
+            TGD(
+                (Atom(b_i, (x1, x2)), Atom(c_i, (x1,))),
+                (Atom(d_i, (x1, x2)),),
+            )
+        )
+    return tuple(tgds)
+
+
+def skdr_blowup_family(n: int) -> Tuple[TGD, ...]:
+    """Proposition 5.15: ``A(x) → ∃y B1(x,y) ∧ ... ∧ Bn(x,y)`` plus one collecting rule."""
+    if n < 1:
+        raise ValueError("family parameter must be at least 1")
+    (x,) = _vars("x")
+    y = Variable("y")
+    a = Predicate("A", 1)
+    head = tuple(Atom(Predicate(f"B{index}", 2), (x, y)) for index in range(1, n + 1))
+    x1, x2 = _vars("x1", "x2")
+    body = tuple(
+        Atom(Predicate(f"B{index}", 2), (x1, x2)) for index in range(1, n + 1)
+    )
+    return (
+        TGD((Atom(a, (x,)),), head),
+        TGD(body, (Atom(Predicate("C", 1), (x1,)),)),
+    )
+
+
+def hypdr_advantage_family(n: int) -> Tuple[TGD, ...]:
+    """Proposition 5.20: one existential rule, n conditional rules, one collector."""
+    if n < 1:
+        raise ValueError("family parameter must be at least 1")
+    (x,) = _vars("x")
+    y = Variable("y")
+    a = Predicate("A", 1)
+    b = Predicate("B", 2)
+    tgds: List[TGD] = [TGD((Atom(a, (x,)),), (Atom(b, (x, y)),))]
+    x1, x2 = _vars("x1", "x2")
+    for index in range(1, n + 1):
+        c_i = Predicate(f"C{index}", 1)
+        d_i = Predicate(f"D{index}", 2)
+        tgds.append(
+            TGD(
+                (Atom(b, (x1, x2)), Atom(c_i, (x1,))),
+                (Atom(d_i, (x1, x2)),),
+            )
+        )
+    collector_body = tuple(
+        Atom(Predicate(f"D{index}", 2), (x1, x2)) for index in range(1, n + 1)
+    )
+    tgds.append(TGD(collector_body, (Atom(Predicate("E", 1), (x1,)),)))
+    return tuple(tgds)
+
+
+def running_example() -> Tuple[Tuple[TGD, ...], Instance]:
+    """Example 4.3: GTGDs (8)–(13) and the base instance ``{A(a, b)}``."""
+    x1, x2 = _vars("x1", "x2")
+    y, y1, y2 = _vars("y", "y1", "y2")
+    a = Predicate("A", 2)
+    b = Predicate("B", 2)
+    c = Predicate("C", 2)
+    d = Predicate("D", 2)
+    e = Predicate("E", 1)
+    f = Predicate("F", 2)
+    g = Predicate("G", 1)
+    h = Predicate("H", 1)
+    tgds = (
+        TGD((Atom(a, (x1, x2)),), (Atom(b, (x1, y)), Atom(c, (x1, y)))),  # (8)
+        TGD((Atom(c, (x1, x2)),), (Atom(d, (x1, x2)),)),  # (9)
+        TGD((Atom(b, (x1, x2)), Atom(d, (x1, x2))), (Atom(e, (x1,)),)),  # (10)
+        TGD(
+            (Atom(a, (x1, x2)), Atom(e, (x1,))),
+            (Atom(f, (x1, y1)), Atom(f, (y1, y2))),
+        ),  # (11)
+        TGD((Atom(e, (x1,)), Atom(f, (x1, x2))), (Atom(g, (x1,)),)),  # (12)
+        TGD((Atom(b, (x1, x2)), Atom(g, (x1,))), (Atom(h, (x1,)),)),  # (13)
+    )
+    instance = Instance([Atom(a, (Constant("a"), Constant("b")))])
+    return tgds, instance
+
+
+def running_example_shortcuts() -> Tuple[TGD, ...]:
+    """The "shortcut" Datalog rules (14)–(16) of Example 4.6."""
+    x1, x2 = _vars("x1", "x2")
+    a = Predicate("A", 2)
+    e = Predicate("E", 1)
+    g = Predicate("G", 1)
+    h = Predicate("H", 1)
+    return (
+        TGD((Atom(a, (x1, x2)),), (Atom(e, (x1,)),)),  # (14)
+        TGD((Atom(a, (x1, x2)), Atom(e, (x1,))), (Atom(g, (x1,)),)),  # (15)
+        TGD((Atom(a, (x1, x2)), Atom(g, (x1,))), (Atom(h, (x1,)),)),  # (16)
+    )
+
+
+def cim_example() -> Tuple[Tuple[TGD, ...], Instance]:
+    """Example 1.1: the CIM power-distribution GTGDs (1)–(4) and facts (5)–(6)."""
+    x, z = _vars("x", "z")
+    y = Variable("y")
+    ac_equipment = Predicate("ACEquipment", 1)
+    ac_terminal = Predicate("ACTerminal", 1)
+    terminal = Predicate("Terminal", 1)
+    equipment = Predicate("Equipment", 1)
+    has_terminal = Predicate("hasTerminal", 2)
+    part_of = Predicate("partOf", 2)
+    tgds = (
+        TGD(
+            (Atom(ac_equipment, (x,)),),
+            (Atom(has_terminal, (x, y)), Atom(ac_terminal, (y,))),
+        ),  # (1)
+        TGD((Atom(ac_terminal, (x,)),), (Atom(terminal, (x,)),)),  # (2)
+        TGD(
+            (Atom(has_terminal, (x, z)), Atom(terminal, (z,))),
+            (Atom(equipment, (x,)),),
+        ),  # (3)
+        TGD(
+            (Atom(ac_terminal, (x,)),),
+            (Atom(part_of, (x, y)), Atom(ac_equipment, (y,))),
+        ),  # (4)
+    )
+    sw1 = Constant("sw1")
+    sw2 = Constant("sw2")
+    trm1 = Constant("trm1")
+    instance = Instance(
+        [
+            Atom(ac_equipment, (sw1,)),
+            Atom(ac_equipment, (sw2,)),
+            Atom(has_terminal, (sw1, trm1)),
+            Atom(ac_terminal, (trm1,)),
+        ]
+    )
+    return tgds, instance
+
+
+def cim_shortcut() -> TGD:
+    """Rule (7): the "shortcut" ``ACEquipment(x) → Equipment(x)`` of Example 1.2."""
+    (x,) = _vars("x")
+    return TGD(
+        (Atom(Predicate("ACEquipment", 1), (x,)),),
+        (Atom(Predicate("Equipment", 1), (x,)),),
+    )
+
+
+def fulldr_example_e3() -> Tuple[TGD, ...]:
+    """Example E.3: the GTGDs (46)–(48) showing FullDR's substitution blow-up."""
+    x1, x2, x3, x4 = _vars("x1", "x2", "x3", "x4")
+    z1, z2, z3 = _vars("z1", "z2", "z3")
+    y1, y2 = _vars("y1", "y2")
+    r = Predicate("R", 2)
+    s = Predicate("S", 4)
+    t = Predicate("T", 3)
+    u = Predicate("U", 1)
+    p = Predicate("P", 1)
+    return (
+        TGD(
+            (Atom(r, (x1, x2)),),
+            (Atom(s, (x1, x2, y1, y2)), Atom(t, (x1, x2, y2))),
+        ),  # (46)
+        TGD((Atom(s, (x1, x2, x3, x4)),), (Atom(u, (x4,)),)),  # (47)
+        TGD((Atom(t, (z1, z2, z3)), Atom(u, (z3,))), (Atom(p, (z1,)),)),  # (48)
+    )

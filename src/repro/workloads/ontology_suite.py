@@ -1,0 +1,227 @@
+"""Synthetic ontology-derived GTGD benchmark suite (substitute for Section 7.1).
+
+The paper derives its 428 input GTGD sets from the Oxford Ontology Library.
+That library is not available offline, so this module generates a suite of
+synthetic ontologies with the same structural ingredients:
+
+* class hierarchies (``A ⊑ B``), including long chains and diamonds;
+* existential restrictions (``A ⊑ ∃R.B``) that create the recursive,
+  potentially non-terminating chase behaviour motivating the paper;
+* conjunctions on the left (``A ⊓ B ⊑ C``) and on the right;
+* qualified "role propagation" axioms (``∃R.A ⊑ B``) giving guarded TGDs with
+  two body atoms;
+* property domains, ranges, and hierarchies;
+* occasional nested existentials (``A ⊑ ∃R.∃S.B``) which keep the structural
+  transformation ablation meaningful.
+
+Each generated input records both the DL ontology (consumed by the KAON2
+baseline) and its GTGD translation (consumed by ExbDR/SkDR/HypDR), plus the
+Table-1 statistics (numbers of full and non-full TGDs).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dl.axioms import (
+    Axiom,
+    Conjunction,
+    Existential,
+    NamedClass,
+    Ontology,
+    PropertyDomain,
+    PropertyRange,
+    SubClassOf,
+    SubPropertyOf,
+)
+from ..dl.translate import translate_ontology
+from ..logic.tgd import TGD, head_normalize, split_full_non_full
+
+
+@dataclass(frozen=True)
+class OntologyProfile:
+    """Shape parameters for one synthetic ontology."""
+
+    class_count: int
+    property_count: int
+    axiom_count: int
+    existential_fraction: float = 0.35
+    conjunction_fraction: float = 0.15
+    role_axiom_fraction: float = 0.2
+    nested_existential_fraction: float = 0.05
+    seed: int = 0
+
+
+@dataclass
+class BenchmarkInput:
+    """One input of the benchmark suite: an ontology plus its GTGD translation."""
+
+    identifier: str
+    ontology: Ontology
+    tgds: Tuple[TGD, ...]
+    profile: OntologyProfile
+
+    @property
+    def full_tgds(self) -> Tuple[TGD, ...]:
+        return split_full_non_full(head_normalize(self.tgds))[0]
+
+    @property
+    def non_full_tgds(self) -> Tuple[TGD, ...]:
+        return split_full_non_full(head_normalize(self.tgds))[1]
+
+    @property
+    def size(self) -> int:
+        return len(self.tgds)
+
+
+class OntologyGenerator:
+    """Generates one synthetic ontology from a profile."""
+
+    def __init__(self, profile: OntologyProfile) -> None:
+        self.profile = profile
+        self._rng = random.Random(profile.seed)
+        self._classes = [NamedClass(f"C{index}") for index in range(profile.class_count)]
+        self._properties = [f"r{index}" for index in range(profile.property_count)]
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _random_class(self) -> NamedClass:
+        return self._rng.choice(self._classes)
+
+    def _random_property(self) -> str:
+        return self._rng.choice(self._properties)
+
+    def _random_superclass(self) -> object:
+        roll = self._rng.random()
+        profile = self.profile
+        if roll < profile.nested_existential_fraction:
+            return Existential(
+                self._random_property(),
+                Existential(self._random_property(), self._random_class()),
+            )
+        if roll < profile.nested_existential_fraction + profile.existential_fraction:
+            return Existential(self._random_property(), self._random_class())
+        if roll < (
+            profile.nested_existential_fraction
+            + profile.existential_fraction
+            + profile.conjunction_fraction
+        ):
+            first, second = self._rng.sample(self._classes, 2)
+            return Conjunction((first, second))
+        return self._random_class()
+
+    def _random_subclass(self) -> object:
+        roll = self._rng.random()
+        if roll < 0.2:
+            # ∃R.A on the left: guarded translation with two body atoms
+            return Existential(self._random_property(), self._random_class())
+        if roll < 0.35:
+            first, second = self._rng.sample(self._classes, 2)
+            return Conjunction((first, second))
+        return self._random_class()
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+    def generate(self) -> Ontology:
+        axioms: List[Axiom] = []
+        profile = self.profile
+        # a backbone class hierarchy guarantees long full-TGD chains
+        hierarchy_length = max(2, profile.class_count // 4)
+        for index in range(hierarchy_length - 1):
+            axioms.append(SubClassOf(self._classes[index], self._classes[index + 1]))
+        while len(axioms) < profile.axiom_count:
+            roll = self._rng.random()
+            if roll < profile.role_axiom_fraction:
+                kind = self._rng.random()
+                if kind < 0.4:
+                    axioms.append(
+                        PropertyDomain(self._random_property(), self._random_class())
+                    )
+                elif kind < 0.8:
+                    axioms.append(
+                        PropertyRange(self._random_property(), self._random_class())
+                    )
+                else:
+                    sub, sup = self._rng.sample(self._properties, 2) if len(
+                        self._properties
+                    ) >= 2 else (self._properties[0], self._properties[0])
+                    axioms.append(SubPropertyOf(sub, sup))
+            else:
+                axioms.append(
+                    SubClassOf(self._random_subclass(), self._random_superclass())
+                )
+        return Ontology(tuple(axioms), name=f"synthetic-{profile.seed:05d}")
+
+
+def generate_input(profile: OntologyProfile, identifier: Optional[str] = None) -> BenchmarkInput:
+    """Generate one benchmark input from a profile."""
+    ontology = OntologyGenerator(profile).generate()
+    tgds = translate_ontology(ontology)
+    return BenchmarkInput(
+        identifier=identifier or ontology.name,
+        ontology=ontology,
+        tgds=tgds,
+        profile=profile,
+    )
+
+
+def generate_suite(
+    count: int = 60,
+    seed: int = 0,
+    min_axioms: int = 15,
+    max_axioms: int = 400,
+) -> Tuple[BenchmarkInput, ...]:
+    """Generate a whole suite of inputs spanning small to large ontologies.
+
+    Sizes follow a geometric progression between ``min_axioms`` and
+    ``max_axioms`` so that, like the Oxford Ontology Library, the suite mixes
+    many small inputs with a tail of much larger ones.
+    """
+    rng = random.Random(seed)
+    inputs: List[BenchmarkInput] = []
+    for index in range(count):
+        fraction = index / max(count - 1, 1)
+        axiom_count = int(min_axioms * (max_axioms / min_axioms) ** fraction)
+        class_count = max(6, axiom_count // 2)
+        property_count = max(3, axiom_count // 8)
+        profile = OntologyProfile(
+            class_count=class_count,
+            property_count=property_count,
+            axiom_count=axiom_count,
+            existential_fraction=rng.uniform(0.2, 0.45),
+            conjunction_fraction=rng.uniform(0.1, 0.25),
+            role_axiom_fraction=rng.uniform(0.1, 0.3),
+            nested_existential_fraction=rng.uniform(0.0, 0.1),
+            seed=seed * 10_000 + index,
+        )
+        inputs.append(generate_input(profile, identifier=f"{index:05d}"))
+    return tuple(inputs)
+
+
+def suite_statistics(inputs: Sequence[BenchmarkInput]) -> Dict[str, Dict[str, float]]:
+    """Table 1 statistics: min/max/avg/median of full and non-full TGD counts."""
+
+    def stats(values: List[int]) -> Dict[str, float]:
+        ordered = sorted(values)
+        length = len(ordered)
+        if length == 0:
+            return {"min": 0, "max": 0, "avg": 0.0, "med": 0.0}
+        median = (
+            ordered[length // 2]
+            if length % 2 == 1
+            else (ordered[length // 2 - 1] + ordered[length // 2]) / 2
+        )
+        return {
+            "min": ordered[0],
+            "max": ordered[-1],
+            "avg": sum(ordered) / length,
+            "med": median,
+        }
+
+    full_counts = [len(item.full_tgds) for item in inputs]
+    non_full_counts = [len(item.non_full_tgds) for item in inputs]
+    return {"full": stats(full_counts), "non_full": stats(non_full_counts)}

@@ -1,0 +1,160 @@
+"""Tests for chase sequences, the one-pass property, and loop extraction.
+
+The tests replay the tree-like chase sequence of Figure 1 (Example 4.3) and
+check that the loop decomposition matches Example 4.5.
+"""
+
+import pytest
+
+from repro.chase.sequence import ChaseSequence, ChaseStepRecord
+from repro.chase.tree import ChaseTree
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Null, Variable
+from repro.logic.tgd import head_normalize, program_constants
+from repro.workloads.families import running_example
+
+A = Predicate("A", 2)
+B = Predicate("B", 2)
+C = Predicate("C", 2)
+D = Predicate("D", 2)
+E = Predicate("E", 1)
+F = Predicate("F", 2)
+G = Predicate("G", 1)
+H = Predicate("H", 1)
+a, b = Constant("a"), Constant("b")
+x1, x2 = Variable("x1"), Variable("x2")
+
+
+@pytest.fixture
+def figure1_sequence():
+    """Replay the chase sequence T0 ... T4 of Figure 1 (the first loop)."""
+    tgds, instance = running_example()
+    tgds = head_normalize(tgds)
+    sigma_constants = program_constants(tgds)
+    nulls = iter([Null(1), Null(2), Null(3)])
+
+    tgd8 = next(t for t in tgds if t.is_non_full and t.head[0].predicate == B)
+    tgd9 = next(t for t in tgds if t.is_full and t.head[0].predicate == D)
+    tgd10 = next(t for t in tgds if t.is_full and t.head[0].predicate == E)
+
+    sequence = ChaseSequence(ChaseTree.initial(instance))
+    tree = sequence.trees[0]
+    root = tree.root_id
+
+    # T1: chase step with (8) at the root
+    tree, child = tree.apply_non_full_step(
+        root, tgd8, Substitution({x1: a, x2: b}), sigma_constants, lambda: next(nulls)
+    )
+    sequence.record(
+        tree,
+        ChaseStepRecord(
+            kind="non_full", vertex_id=root, tgd=tgd8, created_vertex_id=child
+        ),
+    )
+    null1 = Null(1)
+
+    # T2: chase step with (9) in the child
+    tree = tree.apply_full_step(child, tgd9, Substitution({x1: a, x2: null1}))
+    sequence.record(tree, ChaseStepRecord(kind="full", vertex_id=child, tgd=tgd9))
+
+    # T3: chase step with (10) in the child
+    tree = tree.apply_full_step(child, tgd10, Substitution({x1: a, x2: null1}))
+    sequence.record(tree, ChaseStepRecord(kind="full", vertex_id=child, tgd=tgd10))
+
+    # T4: propagate E(a) back to the root
+    tree = tree.apply_propagation_step(child, root, [E(a)], sigma_constants)
+    sequence.record(
+        tree,
+        ChaseStepRecord(
+            kind="propagation",
+            vertex_id=child,
+            propagated=(E(a),),
+            target_vertex_id=root,
+        ),
+    )
+    return sequence, sigma_constants, root, child
+
+
+class TestSequenceBasics:
+    def test_length_and_final_tree(self, figure1_sequence):
+        sequence, _, root, _ = figure1_sequence
+        assert len(sequence) == 5  # T0 ... T4
+        assert E(a) in sequence.final_tree.facts(root)
+
+    def test_proves(self, figure1_sequence):
+        sequence, _, _, _ = figure1_sequence
+        assert sequence.proves(E(a))
+        assert sequence.proves_at_root(E(a))
+        assert not sequence.proves(H(a))
+
+
+class TestOnePassProperty:
+    def test_figure1_prefix_is_one_pass(self, figure1_sequence):
+        sequence, sigma_constants, _, _ = figure1_sequence
+        assert sequence.is_one_pass(sigma_constants)
+
+    def test_step_at_non_focused_vertex_violates_one_pass(self, figure1_sequence):
+        sequence, sigma_constants, root, child = figure1_sequence
+        tgds, _ = running_example()
+        tgds = head_normalize(tgds)
+        tgd9 = next(t for t in tgds if t.is_full and t.head[0].predicate == D)
+        # after the propagation the child is no longer the recently updated
+        # vertex, so another step there breaks Definition 4.1
+        tree = sequence.final_tree.apply_full_step(
+            child, tgd9, Substitution({x1: a, x2: Null(1)})
+        )
+        sequence.record(tree, ChaseStepRecord(kind="full", vertex_id=child, tgd=tgd9))
+        assert not sequence.is_one_pass(sigma_constants)
+
+    def test_chase_step_while_propagation_applicable_violates_one_pass(self):
+        """A chase step is only allowed when no propagation to the parent applies."""
+        tgds, instance = running_example()
+        tgds = head_normalize(tgds)
+        sigma_constants = program_constants(tgds)
+        nulls = iter([Null(1)])
+        tgd8 = next(t for t in tgds if t.is_non_full and t.head[0].predicate == B)
+        tgd9 = next(t for t in tgds if t.is_full and t.head[0].predicate == D)
+        tgd10 = next(t for t in tgds if t.is_full and t.head[0].predicate == E)
+
+        sequence = ChaseSequence(ChaseTree.initial(instance))
+        tree = sequence.trees[0]
+        root = tree.root_id
+        tree, child = tree.apply_non_full_step(
+            root, tgd8, Substitution({x1: a, x2: b}), sigma_constants, lambda: next(nulls)
+        )
+        sequence.record(
+            tree, ChaseStepRecord(kind="non_full", vertex_id=root, tgd=tgd8,
+                                  created_vertex_id=child)
+        )
+        tree = tree.apply_full_step(child, tgd9, Substitution({x1: a, x2: Null(1)}))
+        sequence.record(tree, ChaseStepRecord(kind="full", vertex_id=child, tgd=tgd9))
+        tree = tree.apply_full_step(child, tgd10, Substitution({x1: a, x2: Null(1)}))
+        sequence.record(tree, ChaseStepRecord(kind="full", vertex_id=child, tgd=tgd10))
+        # E(a) is now derivable in the child and could be propagated; applying
+        # yet another chase step in the child violates the one-pass condition
+        tree = tree.apply_full_step(child, tgd9, Substitution({x1: a, x2: Null(1)}))
+        sequence.record(tree, ChaseStepRecord(kind="full", vertex_id=child, tgd=tgd9))
+        assert not sequence.is_one_pass(sigma_constants)
+
+
+class TestLoops:
+    def test_loop_extraction_matches_example_4_5(self, figure1_sequence):
+        sequence, _, root, _ = figure1_sequence
+        loops = sequence.loops()
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.vertex_id == root
+        assert loop.output_fact == E(a)
+        assert loop.start_index == 0
+        assert loop.end_index == 4
+        assert loop.length == 4
+
+    def test_loop_input_facts(self, figure1_sequence):
+        sequence, _, _, _ = figure1_sequence
+        (loop,) = sequence.loops()
+        assert sequence.loop_input_facts(loop) == {A(a, b)}
+
+    def test_loops_at_root(self, figure1_sequence):
+        sequence, _, _, _ = figure1_sequence
+        assert len(sequence.loops_at_root()) == 1

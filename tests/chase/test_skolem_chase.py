@@ -1,0 +1,102 @@
+"""Unit tests for the depth-bounded Skolem chase."""
+
+from repro.chase.skolem_chase import (
+    SkolemChase,
+    skolem_chase_base_facts,
+    skolem_chase_entails,
+)
+from repro.logic.atoms import Predicate
+from repro.logic.parser import parse_program
+from repro.logic.terms import Constant
+
+
+class TestTerminatingPrograms:
+    def test_datalog_only_saturates_completely(self):
+        program = parse_program(
+            """
+            Edge(?x, ?y) -> Reach(?x, ?y).
+            Reach(?x, ?y), Edge(?y, ?z) -> Reach(?x, ?z).
+            Edge(a, b). Edge(b, c). Edge(c, d).
+            """
+        )
+        chase = SkolemChase(program.tgds)
+        result = chase.run(program.instance)
+        assert result.saturated
+        reach = Predicate("Reach", 2)
+        a, d = Constant("a"), Constant("d")
+        assert reach(a, d) in result.facts
+
+    def test_cim_example_completes_equipment(self):
+        program = parse_program(
+            """
+            ACEquipment(?x) -> exists ?y. hasTerminal(?x, ?y), ACTerminal(?y).
+            ACTerminal(?x) -> Terminal(?x).
+            hasTerminal(?x, ?z), Terminal(?z) -> Equipment(?x).
+            ACEquipment(sw1). ACEquipment(sw2).
+            """
+        )
+        facts = skolem_chase_base_facts(program.instance, program.tgds)
+        equipment = Predicate("Equipment", 1)
+        assert equipment(Constant("sw1")) in facts
+        assert equipment(Constant("sw2")) in facts
+
+    def test_rounds_are_reported(self):
+        program = parse_program("A(?x) -> B(?x). B(?x) -> C(?x). A(a).")
+        result = SkolemChase(program.tgds).run(program.instance)
+        assert result.rounds >= 2
+
+
+class TestNonTerminatingPrograms:
+    def test_depth_bound_cuts_off_infinite_chase(self):
+        program = parse_program(
+            """
+            Person(?x) -> exists ?y. parent(?x, ?y), Person(?y).
+            Person(adam).
+            """
+        )
+        chase = SkolemChase(program.tgds, max_term_depth=3)
+        result = chase.run(program.instance)
+        assert not result.saturated
+        # the base-fact projection is still the correct certain answer set
+        assert result.base_facts() == {
+            Predicate("Person", 1)(Constant("adam"))
+        }
+
+    def test_deeper_bound_derives_more_non_base_facts(self):
+        program = parse_program(
+            """
+            Person(?x) -> exists ?y. parent(?x, ?y), Person(?y).
+            Person(adam).
+            """
+        )
+        shallow = SkolemChase(program.tgds, max_term_depth=1).run(program.instance)
+        deep = SkolemChase(program.tgds, max_term_depth=3).run(program.instance)
+        assert len(deep.facts) > len(shallow.facts)
+
+    def test_fact_cap_stops_runaway_chase(self):
+        program = parse_program(
+            """
+            Person(?x) -> exists ?y. parent(?x, ?y), Person(?y).
+            Person(adam).
+            """
+        )
+        chase = SkolemChase(program.tgds, max_term_depth=50, max_facts=30)
+        result = chase.run(program.instance)
+        assert not result.saturated
+        assert len(result.facts) <= 62  # cap plus at most one round of overshoot
+
+
+class TestSoundness:
+    def test_under_approximates_exact_oracle(self, running):
+        from repro.chase import certain_base_facts
+
+        tgds, instance = running
+        exact = certain_base_facts(instance, tgds)
+        for depth in (0, 1, 2, 3):
+            bounded = skolem_chase_base_facts(instance, tgds, max_term_depth=depth)
+            assert bounded <= exact
+
+    def test_entails_helper(self, running):
+        tgds, instance = running
+        h = Predicate("H", 1)
+        assert skolem_chase_entails(instance, tgds, h(Constant("a")))

@@ -1,0 +1,184 @@
+"""Unit tests for chase trees and chase/propagation steps."""
+
+import pytest
+
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.parser import parse_tgd
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Null, Variable
+from repro.logic.tgd import program_constants
+from repro.chase.tree import ChaseError, ChaseTree
+
+A = Predicate("A", 2)
+B = Predicate("B", 2)
+C = Predicate("C", 2)
+E = Predicate("E", 1)
+a, b = Constant("a"), Constant("b")
+x1, x2 = Variable("x1"), Variable("x2")
+
+
+def null_factory_factory():
+    counter = [0]
+
+    def factory():
+        counter[0] += 1
+        return Null(counter[0])
+
+    return factory
+
+
+class TestInitialTree:
+    def test_single_root_with_base_facts(self):
+        tree = ChaseTree.initial([A(a, b)])
+        assert tree.root_facts() == {A(a, b)}
+        assert tree.recently_updated == tree.root_id
+        assert len(tree.vertices()) == 1
+
+    def test_depth_of_initial_tree(self):
+        assert ChaseTree.initial([A(a, b)]).depth() == 0
+
+
+class TestFullSteps:
+    def test_full_step_adds_head_fact(self):
+        tree = ChaseTree.initial([A(a, b)])
+        tgd = parse_tgd("A(?x1, ?x2) -> E(?x1).")
+        result = tree.apply_full_step(
+            tree.root_id, tgd, Substitution({x1: a, x2: b})
+        )
+        assert E(a) in result.facts(result.root_id)
+        assert result.recently_updated == result.root_id
+        # the original tree is unchanged
+        assert E(a) not in tree.root_facts()
+
+    def test_full_step_requires_body_match(self):
+        tree = ChaseTree.initial([A(a, b)])
+        tgd = parse_tgd("B(?x1, ?x2) -> E(?x1).")
+        with pytest.raises(ChaseError):
+            tree.apply_full_step(tree.root_id, tgd, Substitution({x1: a, x2: b}))
+
+    def test_full_step_rejects_non_full_tgd(self):
+        tree = ChaseTree.initial([A(a, b)])
+        tgd = parse_tgd("A(?x1, ?x2) -> exists ?y. B(?x1, ?y).")
+        with pytest.raises(ChaseError):
+            tree.apply_full_step(tree.root_id, tgd, Substitution({x1: a, x2: b}))
+
+    def test_full_step_rejects_ungrounded_substitution(self):
+        tree = ChaseTree.initial([A(a, b)])
+        tgd = parse_tgd("A(?x1, ?x2) -> E(?x1).")
+        with pytest.raises(ChaseError):
+            tree.apply_full_step(tree.root_id, tgd, Substitution({x2: b, x1: Variable("z")}))
+
+
+class TestNonFullSteps:
+    def test_child_gets_head_and_guarded_parent_facts(self):
+        tree = ChaseTree.initial([A(a, b), E(a)])
+        tgd = parse_tgd("A(?x1, ?x2) -> exists ?y. B(?x1, ?y), C(?x1, ?y).")
+        sigma_constants = program_constants([tgd])
+        result, child = tree.apply_non_full_step(
+            tree.root_id,
+            tgd,
+            Substitution({x1: a, x2: b}),
+            sigma_constants,
+            null_factory_factory(),
+        )
+        child_facts = result.facts(child)
+        predicates = {fact.predicate.name for fact in child_facts}
+        assert predicates == {"B", "C", "E"}  # E(a) is Σ-guarded by the head
+        assert result.recently_updated == child
+        assert result.parent(child) == tree.root_id
+
+    def test_unguarded_parent_facts_are_not_copied(self):
+        tree = ChaseTree.initial([A(a, b), E(b)])
+        tgd = parse_tgd("A(?x1, ?x2) -> exists ?y. B(?x1, ?y).")
+        result, child = tree.apply_non_full_step(
+            tree.root_id,
+            tgd,
+            Substitution({x1: a, x2: b}),
+            frozenset(),
+            null_factory_factory(),
+        )
+        assert E(b) not in result.facts(child)
+
+    def test_fresh_nulls_are_used(self):
+        tree = ChaseTree.initial([A(a, b)])
+        tgd = parse_tgd("A(?x1, ?x2) -> exists ?y. B(?x1, ?y).")
+        result, child = tree.apply_non_full_step(
+            tree.root_id,
+            tgd,
+            Substitution({x1: a, x2: b}),
+            frozenset(),
+            null_factory_factory(),
+        )
+        (fact,) = [f for f in result.facts(child) if f.predicate == B]
+        assert isinstance(fact.args[1], Null)
+
+    def test_rejects_full_tgd(self):
+        tree = ChaseTree.initial([A(a, b)])
+        tgd = parse_tgd("A(?x1, ?x2) -> E(?x1).")
+        with pytest.raises(ChaseError):
+            tree.apply_non_full_step(
+                tree.root_id, tgd, Substitution({x1: a, x2: b}), frozenset(),
+                null_factory_factory(),
+            )
+
+
+class TestPropagationSteps:
+    def _tree_with_child(self):
+        tree = ChaseTree.initial([A(a, b)])
+        tgd = parse_tgd("A(?x1, ?x2) -> exists ?y. B(?x1, ?y).")
+        result, child = tree.apply_non_full_step(
+            tree.root_id, tgd, Substitution({x1: a, x2: b}), frozenset(),
+            null_factory_factory(),
+        )
+        # derive E(a) in the child so there is something to propagate
+        full = parse_tgd("B(?x1, ?x2) -> E(?x1).")
+        (b_fact,) = [f for f in result.facts(child) if f.predicate == B]
+        result = result.apply_full_step(
+            child, full, Substitution({x1: a, x2: b_fact.args[1]})
+        )
+        return result, child
+
+    def test_propagation_copies_guarded_fact_to_parent(self):
+        tree, child = self._tree_with_child()
+        result = tree.apply_propagation_step(child, tree.root_id, [E(a)], frozenset())
+        assert E(a) in result.root_facts()
+        assert result.recently_updated == tree.root_id
+
+    def test_propagation_rejects_missing_fact(self):
+        tree, child = self._tree_with_child()
+        with pytest.raises(ChaseError):
+            tree.apply_propagation_step(child, tree.root_id, [E(b)], frozenset())
+
+    def test_propagation_rejects_unguarded_fact(self):
+        tree, child = self._tree_with_child()
+        (b_fact,) = [f for f in tree.facts(child) if f.predicate == B]
+        with pytest.raises(ChaseError):
+            tree.apply_propagation_step(child, tree.root_id, [b_fact], frozenset())
+
+    def test_propagation_rejects_empty_set(self):
+        tree, child = self._tree_with_child()
+        with pytest.raises(ChaseError):
+            tree.apply_propagation_step(child, tree.root_id, [], frozenset())
+
+
+class TestTreeNavigation:
+    def test_path_between_vertices(self):
+        tree, child = TestPropagationSteps()._tree_with_child()
+        path = tree.path_between(child, tree.root_id)
+        assert path == (child, tree.root_id)
+        assert tree.path_between(tree.root_id, tree.root_id) == (tree.root_id,)
+
+    def test_children_listing(self):
+        tree, child = TestPropagationSteps()._tree_with_child()
+        assert tree.children(tree.root_id) == (child,)
+
+    def test_all_facts_and_nulls(self):
+        tree, child = TestPropagationSteps()._tree_with_child()
+        assert A(a, b) in tree.all_facts()
+        assert len(tree.all_nulls()) == 1
+
+    def test_pretty_rendering_mentions_all_vertices(self):
+        tree, child = TestPropagationSteps()._tree_with_child()
+        rendering = tree.pretty()
+        assert f"v{tree.root_id}" in rendering
+        assert f"v{child}" in rendering

@@ -1,0 +1,78 @@
+"""Unit tests for the indexed fact store."""
+
+import pytest
+
+from repro.datalog.index import FactStore
+from repro.logic.atoms import Predicate
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable
+
+R = Predicate("R", 2)
+S = Predicate("S", 1)
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+x, y = Variable("x"), Variable("y")
+
+
+class TestStorage:
+    def test_add_and_len(self):
+        store = FactStore([R(a, b), S(a)])
+        assert len(store) == 2
+        assert R(a, b) in store
+        assert R(b, a) not in store
+
+    def test_duplicate_adds_are_ignored(self):
+        store = FactStore()
+        assert store.add(R(a, b))
+        assert not store.add(R(a, b))
+        assert len(store) == 1
+
+    def test_add_all_returns_new_count(self):
+        store = FactStore([R(a, b)])
+        assert store.add_all([R(a, b), R(b, c)]) == 1
+
+    def test_non_ground_facts_rejected(self):
+        with pytest.raises(ValueError):
+            FactStore([R(a, x)])
+
+    def test_relation_and_counts(self):
+        store = FactStore([R(a, b), R(b, c), S(a)])
+        assert store.relation(R) == {R(a, b), R(b, c)}
+        assert store.count(R) == 2
+        assert store.counts_by_predicate()[S] == 1
+
+    def test_copy_is_independent(self):
+        store = FactStore([R(a, b)])
+        clone = store.copy()
+        clone.add(S(a))
+        assert len(store) == 1
+
+
+class TestCandidateRetrieval:
+    def test_unbound_atom_returns_whole_relation(self):
+        store = FactStore([R(a, b), R(b, c)])
+        assert set(store.candidates(R(x, y))) == {R(a, b), R(b, c)}
+
+    def test_constant_argument_uses_position_index(self):
+        store = FactStore([R(a, b), R(b, c), R(a, c)])
+        assert set(store.candidates(R(a, y))) == {R(a, b), R(a, c)}
+
+    def test_bound_variable_uses_position_index(self):
+        store = FactStore([R(a, b), R(b, c)])
+        substitution = Substitution({x: b})
+        assert set(store.candidates(R(x, y), substitution)) == {R(b, c)}
+
+    def test_most_selective_position_wins(self):
+        store = FactStore([R(a, b), R(a, c), R(b, c)])
+        # position 0 = a has two candidates, position 1 = c has two; both
+        # bound should intersect down via the smaller index and matching
+        candidates = set(store.candidates(R(a, c)))
+        assert R(a, c) in candidates
+        assert len(candidates) <= 2
+
+    def test_unknown_term_yields_no_candidates(self):
+        store = FactStore([R(a, b)])
+        assert list(store.candidates(R(c, y))) == []
+
+    def test_unknown_predicate_yields_no_candidates(self):
+        store = FactStore([R(a, b)])
+        assert list(store.candidates(S(x))) == []

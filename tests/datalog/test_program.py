@@ -1,0 +1,83 @@
+"""Unit tests for Datalog programs."""
+
+import pytest
+
+from repro.datalog.program import DatalogProgram, DatalogValidationError
+from repro.logic.atoms import Predicate
+from repro.logic.parser import parse_tgd, parse_tgds
+from repro.logic.rules import Rule
+from repro.logic.terms import FunctionSymbol, Variable
+
+A = Predicate("A", 1)
+B = Predicate("B", 2)
+x, y = Variable("x"), Variable("y")
+f = FunctionSymbol("f", 1, is_skolem=True)
+
+
+class TestConstruction:
+    def test_accepts_rules_and_full_tgds(self):
+        program = DatalogProgram([Rule((A(x),), A(x)), parse_tgd("A(?x) -> B(?x, ?x).")])
+        assert len(program) == 2
+
+    def test_rejects_non_full_tgds(self):
+        with pytest.raises(DatalogValidationError):
+            DatalogProgram([parse_tgd("A(?x) -> exists ?y. B(?x, ?y).")])
+
+    def test_rejects_skolem_rules(self):
+        with pytest.raises(DatalogValidationError):
+            DatalogProgram([Rule((A(x),), B(x, f(x)))])
+
+    def test_rejects_multi_head_tgds(self):
+        with pytest.raises(DatalogValidationError):
+            DatalogProgram([parse_tgd("A(?x) -> B(?x, ?x), A(?x).")])
+
+    def test_deduplicates(self):
+        rule = Rule((A(x),), B(x, x))
+        assert len(DatalogProgram([rule, rule])) == 1
+
+    def test_equality_ignores_order(self):
+        first = Rule((A(x),), B(x, x))
+        second = Rule((B(x, y),), A(x))
+        assert DatalogProgram([first, second]) == DatalogProgram([second, first])
+
+
+class TestStructure:
+    def _program(self):
+        return DatalogProgram(
+            parse_tgds(
+                """
+                Edge(?x, ?y) -> Reach(?x, ?y).
+                Reach(?x, ?y), Edge(?y, ?z) -> Reach(?x, ?z).
+                Reach(?x, ?y) -> Node(?x).
+                """
+            )
+        )
+
+    def test_predicates_and_split(self):
+        program = self._program()
+        names = {p.name for p in program.predicates()}
+        assert names == {"Edge", "Reach", "Node"}
+        assert {p.name for p in program.idb_predicates()} == {"Reach", "Node"}
+        assert {p.name for p in program.edb_predicates()} == {"Edge"}
+
+    def test_rules_by_head_and_body(self):
+        program = self._program()
+        reach = Predicate("Reach", 2)
+        assert len(program.rules_by_head()[reach]) == 2
+        assert len(program.rules_by_body_predicate()[reach]) == 2
+
+    def test_dependency_graph_and_recursion(self):
+        program = self._program()
+        assert program.is_recursive()
+        non_recursive = DatalogProgram(parse_tgds("A(?x) -> B(?x, ?x)."))
+        assert not non_recursive.is_recursive()
+
+    def test_max_body_atoms_and_width(self):
+        program = self._program()
+        assert program.max_body_atoms() == 2
+        assert program.max_body_width() == 3
+
+    def test_union(self):
+        first = DatalogProgram(parse_tgds("A(?x) -> B(?x, ?x)."))
+        second = DatalogProgram(parse_tgds("B(?x, ?y) -> A(?x)."))
+        assert len(first.union(second)) == 2

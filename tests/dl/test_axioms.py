@@ -1,0 +1,67 @@
+"""Unit tests for the DL axiom language."""
+
+import pytest
+
+from repro.dl.axioms import (
+    Conjunction,
+    Existential,
+    NamedClass,
+    Ontology,
+    PropertyDomain,
+    PropertyRange,
+    SubClassOf,
+    SubPropertyOf,
+    nesting_depth,
+)
+
+
+class TestClassExpressions:
+    def test_named_class(self):
+        assert str(NamedClass("Equipment")) == "Equipment"
+
+    def test_existential(self):
+        expr = Existential("hasTerminal", NamedClass("Terminal"))
+        assert "hasTerminal" in str(expr)
+
+    def test_conjunction_needs_two_operands(self):
+        with pytest.raises(ValueError):
+            Conjunction((NamedClass("A"),))
+
+    def test_nesting_depth(self):
+        a = NamedClass("A")
+        assert nesting_depth(a) == 0
+        assert nesting_depth(Existential("r", a)) == 1
+        assert nesting_depth(Existential("r", Existential("s", a))) == 2
+        assert nesting_depth(Conjunction((a, Existential("r", a)))) == 1
+
+
+class TestOntology:
+    def _ontology(self):
+        axioms = (
+            SubClassOf(NamedClass("ACEquipment"),
+                       Existential("hasTerminal", NamedClass("ACTerminal"))),
+            SubClassOf(NamedClass("ACTerminal"), NamedClass("Terminal")),
+            PropertyDomain("hasTerminal", NamedClass("Equipment")),
+            PropertyRange("partOf", NamedClass("Equipment")),
+            SubPropertyOf("hasACTerminal", "hasTerminal"),
+        )
+        return Ontology(axioms, name="cim-fragment")
+
+    def test_len(self):
+        assert len(self._ontology()) == 5
+
+    def test_class_names(self):
+        names = self._ontology().class_names()
+        assert {"ACEquipment", "ACTerminal", "Terminal", "Equipment"} == names
+
+    def test_property_names(self):
+        names = self._ontology().property_names()
+        assert {"hasTerminal", "partOf", "hasACTerminal"} == names
+
+    def test_axiom_str_renderings(self):
+        ontology = self._ontology()
+        rendered = [str(axiom) for axiom in ontology.axioms]
+        assert any("subClassOf" in text for text in rendered)
+        assert any("domain(" in text for text in rendered)
+        assert any("range(" in text for text in rendered)
+        assert any("subPropertyOf" in text for text in rendered)

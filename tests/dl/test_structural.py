@@ -1,0 +1,139 @@
+"""Unit tests for the structural transformation."""
+
+from repro.dl.axioms import (
+    Conjunction,
+    Existential,
+    NamedClass,
+    Ontology,
+    PropertyRange,
+    SubClassOf,
+    SubPropertyOf,
+    nesting_depth,
+)
+from repro.dl.structural import StructuralTransformer, structural_transformation
+from repro.dl.translate import translate_ontology
+
+
+class TestAxiomSplitting:
+    def test_nested_existential_is_split(self):
+        """A ⊑ ∃B.∃C.D becomes A ⊑ ∃B.X and X ⊑ ∃C.D (the paper's example)."""
+        axiom = SubClassOf(
+            NamedClass("A"),
+            Existential("B", Existential("C", NamedClass("D"))),
+        )
+        transformed = StructuralTransformer().transform_axiom(axiom)
+        assert len(transformed) == 2
+        assert all(
+            isinstance(result, SubClassOf)
+            and nesting_depth(result.sup) <= 1
+            for result in transformed
+        )
+
+    def test_fresh_class_links_the_two_axioms(self):
+        axiom = SubClassOf(
+            NamedClass("A"),
+            Existential("B", Existential("C", NamedClass("D"))),
+        )
+        helper_axiom, main_axiom = StructuralTransformer().transform_axiom(axiom)
+        # the filler of the main axiom is the fresh class defined by the helper
+        assert isinstance(main_axiom.sup, Existential)
+        assert main_axiom.sup.filler == helper_axiom.sub
+
+    def test_flat_axioms_are_unchanged(self):
+        axiom = SubClassOf(NamedClass("A"), Existential("r", NamedClass("B")))
+        assert StructuralTransformer().transform_axiom(axiom) == (axiom,)
+        role_axiom = SubPropertyOf("r", "s")
+        assert StructuralTransformer().transform_axiom(role_axiom) == (role_axiom,)
+
+    def test_triple_nesting(self):
+        axiom = SubClassOf(
+            NamedClass("A"),
+            Existential("r", Existential("s", Existential("t", NamedClass("D")))),
+        )
+        transformed = StructuralTransformer().transform_axiom(axiom)
+        assert len(transformed) == 3
+
+    def test_nested_existential_inside_conjunction(self):
+        axiom = SubClassOf(
+            NamedClass("A"),
+            Conjunction(
+                (NamedClass("B"), Existential("r", Existential("s", NamedClass("C"))))
+            ),
+        )
+        transformed = StructuralTransformer().transform_axiom(axiom)
+        assert len(transformed) == 2
+
+    def test_property_range_is_flattened(self):
+        axiom = PropertyRange("r", Existential("s", Existential("t", NamedClass("A"))))
+        transformed = StructuralTransformer().transform_axiom(axiom)
+        assert len(transformed) == 2
+
+
+class TestOntologyTransformation:
+    def _nested_ontology(self):
+        return Ontology(
+            (
+                SubClassOf(
+                    NamedClass("A"),
+                    Existential("B", Existential("C", NamedClass("D"))),
+                ),
+                SubClassOf(NamedClass("D"), NamedClass("E")),
+            ),
+            name="nested",
+        )
+
+    def test_transformation_only_adds_axioms(self):
+        ontology = self._nested_ontology()
+        transformed = structural_transformation(ontology)
+        assert len(transformed) == len(ontology) + 1
+        assert transformed.name.endswith("+structural")
+
+    def test_transformed_axioms_translate_to_simpler_tgds(self):
+        ontology = self._nested_ontology()
+        original_tgds = translate_ontology(ontology)
+        transformed_tgds = translate_ontology(structural_transformation(ontology))
+        max_head_original = max(len(tgd.head) for tgd in original_tgds)
+        max_head_transformed = max(len(tgd.head) for tgd in transformed_tgds)
+        assert max_head_transformed < max_head_original
+
+    def test_entailed_facts_over_original_vocabulary_are_preserved(self):
+        from repro.chase import certain_base_facts
+        from repro.logic.parser import parse_facts
+
+        ontology = self._nested_ontology()
+        instance = parse_facts("A(a). D(d).")
+        original = certain_base_facts(instance, translate_ontology(ontology))
+        transformed = certain_base_facts(
+            instance, translate_ontology(structural_transformation(ontology))
+        )
+        original_vocabulary = {
+            fact for fact in original if not fact.predicate.name.startswith("StrX")
+        }
+        transformed_vocabulary = {
+            fact for fact in transformed if not fact.predicate.name.startswith("StrX")
+        }
+        assert original_vocabulary == transformed_vocabulary
+
+    def test_fresh_class_names_are_unique(self):
+        transformer = StructuralTransformer()
+        ontology = Ontology(
+            (
+                SubClassOf(
+                    NamedClass("A"),
+                    Existential("r", Existential("s", NamedClass("B"))),
+                ),
+                SubClassOf(
+                    NamedClass("C"),
+                    Existential("r", Existential("s", NamedClass("D"))),
+                ),
+            )
+        )
+        transformed = transformer.transform(ontology)
+        fresh = [
+            axiom.sub.name
+            for axiom in transformed.axioms
+            if isinstance(axiom, SubClassOf)
+            and isinstance(axiom.sub, NamedClass)
+            and axiom.sub.name.startswith("StrX")
+        ]
+        assert len(fresh) == len(set(fresh)) == 2

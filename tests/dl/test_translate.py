@@ -1,0 +1,151 @@
+"""Unit tests for the DL-to-GTGD translation."""
+
+import pytest
+
+from repro.dl.axioms import (
+    Conjunction,
+    Existential,
+    NamedClass,
+    Ontology,
+    PropertyDomain,
+    PropertyRange,
+    SubClassOf,
+    SubPropertyOf,
+)
+from repro.dl.translate import (
+    UntranslatableAxiomError,
+    translate_axiom,
+    translate_ontology,
+)
+
+
+class TestSubClassAxioms:
+    def test_atomic_inclusion(self):
+        (tgd,) = translate_axiom(SubClassOf(NamedClass("A"), NamedClass("B")))
+        assert tgd.is_full
+        assert tgd.body[0].predicate.name == "A"
+        assert tgd.head[0].predicate.name == "B"
+        assert tgd.body[0].predicate.arity == 1
+
+    def test_existential_superclass(self):
+        (tgd,) = translate_axiom(
+            SubClassOf(NamedClass("A"), Existential("r", NamedClass("B")))
+        )
+        assert tgd.is_non_full
+        assert len(tgd.head) == 2
+        assert {atom.predicate.name for atom in tgd.head} == {"r", "B"}
+        assert len(tgd.existential_variables) == 1
+
+    def test_nested_existential_superclass(self):
+        (tgd,) = translate_axiom(
+            SubClassOf(
+                NamedClass("A"),
+                Existential("r", Existential("s", NamedClass("B"))),
+            )
+        )
+        assert len(tgd.existential_variables) == 2
+        assert len(tgd.head) == 3
+
+    def test_conjunction_superclass(self):
+        (tgd,) = translate_axiom(
+            SubClassOf(NamedClass("A"), Conjunction((NamedClass("B"), NamedClass("C"))))
+        )
+        assert tgd.is_full
+        assert len(tgd.head) == 2
+
+    def test_existential_subclass_is_guarded(self):
+        (tgd,) = translate_axiom(
+            SubClassOf(Existential("r", NamedClass("A")), NamedClass("B"))
+        )
+        assert tgd.is_guarded
+        assert len(tgd.body) == 2
+
+    def test_conjunction_subclass(self):
+        (tgd,) = translate_axiom(
+            SubClassOf(Conjunction((NamedClass("A"), NamedClass("B"))), NamedClass("C"))
+        )
+        assert len(tgd.body) == 2
+        assert tgd.is_guarded
+
+    def test_untranslatable_left_hand_side_rejected(self):
+        # ∃r.∃s.A on the left gives an unguarded translation and must be rejected
+        axiom = SubClassOf(
+            Existential("r", Existential("s", NamedClass("A"))), NamedClass("B")
+        )
+        with pytest.raises(UntranslatableAxiomError):
+            translate_axiom(axiom)
+
+
+class TestPropertyAxioms:
+    def test_subproperty(self):
+        (tgd,) = translate_axiom(SubPropertyOf("r", "s"))
+        assert tgd.is_full
+        assert tgd.body[0].predicate.arity == 2
+
+    def test_domain(self):
+        (tgd,) = translate_axiom(PropertyDomain("r", NamedClass("A")))
+        assert tgd.head[0].predicate.name == "A"
+        # the class applies to the first argument of the role
+        assert tgd.head[0].args[0] == tgd.body[0].args[0]
+
+    def test_range(self):
+        (tgd,) = translate_axiom(PropertyRange("r", NamedClass("A")))
+        assert tgd.head[0].args[0] == tgd.body[0].args[1]
+
+    def test_domain_with_existential_class(self):
+        (tgd,) = translate_axiom(
+            PropertyDomain("r", Existential("s", NamedClass("A")))
+        )
+        assert tgd.is_non_full
+
+
+class TestOntologyTranslation:
+    def test_cim_fragment_round_trip_semantics(self):
+        """Translating the CIM-style axioms reproduces Example 1.1's entailments."""
+        from repro.chase import certain_base_facts
+        from repro.logic.parser import parse_facts
+        from repro.logic.atoms import Predicate
+        from repro.logic.terms import Constant
+
+        ontology = Ontology(
+            (
+                SubClassOf(
+                    NamedClass("ACEquipment"),
+                    Existential("hasTerminal", NamedClass("ACTerminal")),
+                ),
+                SubClassOf(NamedClass("ACTerminal"), NamedClass("Terminal")),
+                SubClassOf(
+                    Existential("hasTerminal", NamedClass("Terminal")),
+                    NamedClass("Equipment"),
+                ),
+                SubClassOf(
+                    NamedClass("ACTerminal"),
+                    Existential("partOf", NamedClass("ACEquipment")),
+                ),
+            )
+        )
+        tgds = translate_ontology(ontology)
+        assert all(tgd.is_guarded for tgd in tgds)
+        instance = parse_facts("ACEquipment(sw1). ACEquipment(sw2).")
+        facts = certain_base_facts(instance, tgds)
+        equipment = Predicate("Equipment", 1)
+        assert equipment(Constant("sw1")) in facts
+        assert equipment(Constant("sw2")) in facts
+
+    def test_translation_deduplicates(self):
+        ontology = Ontology(
+            (
+                SubClassOf(NamedClass("A"), NamedClass("B")),
+                SubClassOf(NamedClass("A"), NamedClass("B")),
+            )
+        )
+        assert len(translate_ontology(ontology)) == 1
+
+    def test_classes_become_unary_and_roles_binary(self):
+        ontology = Ontology(
+            (SubClassOf(NamedClass("A"), Existential("r", NamedClass("B"))),)
+        )
+        tgds = translate_ontology(ontology)
+        arities = {atom.predicate.name: atom.predicate.arity
+                   for tgd in tgds for atom in tgd.body + tgd.head}
+        assert arities["A"] == 1 and arities["B"] == 1 and arities["r"] == 2

@@ -1,0 +1,162 @@
+"""Tests for the benchmark harness: runner, statistics, and reports."""
+
+import pytest
+
+from repro.harness.runner import BenchmarkRunner, RunRecord, run_on_tgds
+from repro.harness.reports import (
+    cactus_report,
+    end_to_end_report,
+    figure_summary_report,
+    format_table,
+    full_figure_report,
+    pairwise_report,
+    table1_report,
+)
+from repro.harness.stats import (
+    both_fail_matrix,
+    cactus_series,
+    inputs_unprocessed_by_all,
+    pairwise_slowdown_matrix,
+    summarize,
+)
+from repro.workloads.ontology_suite import generate_suite, suite_statistics
+
+
+@pytest.fixture(scope="module")
+def mini_suite():
+    return generate_suite(count=3, seed=11, min_axioms=8, max_axioms=24)
+
+
+@pytest.fixture(scope="module")
+def mini_records(mini_suite):
+    runner = BenchmarkRunner(timeout_seconds=10.0, include_kaon2=True)
+    return runner.run_suite(mini_suite, algorithms=("exbdr", "skdr", "hypdr"))
+
+
+class TestRunner:
+    def test_records_cover_all_algorithm_input_pairs(self, mini_suite, mini_records):
+        assert len(mini_records) == len(mini_suite) * 4  # three algorithms + kaon2
+
+    def test_record_fields(self, mini_records):
+        record = mini_records[0]
+        assert record.input_size > 0
+        assert record.output_size >= 0
+        assert record.elapsed_seconds >= 0.0
+        assert isinstance(record.as_dict(), dict)
+
+    def test_blowup_property(self):
+        record = RunRecord(
+            algorithm="x", input_id="i", input_size=10, output_size=15,
+            max_body_atoms=2, elapsed_seconds=0.1, timed_out=False,
+        )
+        assert record.blowup == pytest.approx(1.5)
+        empty = RunRecord(
+            algorithm="x", input_id="i", input_size=0, output_size=0,
+            max_body_atoms=0, elapsed_seconds=0.0, timed_out=False,
+        )
+        assert empty.blowup == 0.0
+
+    def test_run_on_tgds(self, running):
+        tgds, _ = running
+        result, elapsed = run_on_tgds(tgds, "hypdr", timeout_seconds=10.0)
+        assert result.completed
+        assert elapsed >= 0.0
+
+    def test_timeout_marks_record(self, mini_suite):
+        runner = BenchmarkRunner(timeout_seconds=0.0, include_kaon2=False)
+        record = runner.run_algorithm("exbdr", mini_suite[-1])
+        assert record.timed_out
+        assert not record.succeeded
+
+    def test_progress_callback(self, mini_suite):
+        seen = []
+        runner = BenchmarkRunner(timeout_seconds=5.0, include_kaon2=False)
+        runner.run_suite(
+            mini_suite[:1], algorithms=("hypdr",), progress=lambda a, i: seen.append((a, i))
+        )
+        assert seen == [("hypdr", mini_suite[0].identifier)]
+
+
+class TestStats:
+    def test_summaries_per_algorithm(self, mini_records):
+        summaries = summarize(mini_records)
+        names = {summary.algorithm for summary in summaries}
+        assert names == {"exbdr", "skdr", "hypdr", "kaon2"}
+        for summary in summaries:
+            assert summary.processed_inputs + summary.failed_inputs + summary.unsupported_inputs == 3
+            assert summary.min_time <= summary.median_time <= summary.max_time
+
+    def test_cactus_series_are_sorted(self, mini_records):
+        for series in cactus_series(mini_records).values():
+            times = [time for _, time in series]
+            assert times == sorted(times)
+
+    def test_pairwise_matrices_shape(self, mini_records):
+        slowdown = pairwise_slowdown_matrix(mini_records)
+        failures = both_fail_matrix(mini_records)
+        algorithms = {"exbdr", "skdr", "hypdr", "kaon2"}
+        assert {pair[0] for pair in slowdown} == algorithms
+        assert all(count >= 0 for count in slowdown.values())
+        assert all(count >= 0 for count in failures.values())
+
+    def test_inputs_unprocessed_by_all(self):
+        records = [
+            RunRecord("a", "i1", 1, 1, 1, 0.1, timed_out=True),
+            RunRecord("b", "i1", 1, 1, 1, 0.1, timed_out=True),
+            RunRecord("a", "i2", 1, 1, 1, 0.1, timed_out=False),
+            RunRecord("b", "i2", 1, 1, 1, 0.1, timed_out=True),
+        ]
+        assert inputs_unprocessed_by_all(records) == ("i1",)
+
+    def test_slowdown_matrix_counts_timeouts_as_slow(self):
+        records = [
+            RunRecord("fast", "i1", 1, 1, 1, 0.01, timed_out=False),
+            RunRecord("slow", "i1", 1, 1, 1, 1.0, timed_out=True),
+        ]
+        matrix = pairwise_slowdown_matrix(records)
+        assert matrix[("slow", "fast")] == 1
+        assert matrix[("fast", "slow")] == 0
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table(["col", "n"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+
+    def test_table1_report(self, mini_suite):
+        text = table1_report(suite_statistics(mini_suite), len(mini_suite))
+        assert "Table 1" in text
+        assert "Full TGDs" in text and "Non-Full TGDs" in text
+
+    def test_figure_summary_report(self, mini_records):
+        text = figure_summary_report(mini_records, "Figure 4 (test)")
+        assert "Figure 4 (test)" in text
+        assert "# of Processed Inputs" in text
+        assert "hypdr" in text
+
+    def test_cactus_and_pairwise_reports(self, mini_records):
+        assert "Cactus plot" in cactus_report(mini_records)
+        pairwise = pairwise_report(mini_records)
+        assert "time(Y)/time(X)" in pairwise
+        assert "both fail" in pairwise
+
+    def test_full_figure_report_combines_sections(self, mini_records):
+        text = full_figure_report(mini_records, "Figure")
+        assert text.count("\n\n") >= 2
+
+    def test_end_to_end_report(self):
+        rows = [
+            {
+                "input_id": "00001",
+                "rule_count": 10,
+                "input_facts": 100,
+                "output_facts": 450,
+                "elapsed_seconds": 0.5,
+            }
+        ]
+        text = end_to_end_report(rows)
+        assert "Table 2" in text
+        assert "00001" in text
+        assert "4.5" in text

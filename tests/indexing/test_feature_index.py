@@ -1,0 +1,110 @@
+"""Unit tests for the feature-vector subsumption index and relation clustering."""
+
+from repro.indexing.clustering import RelationClustering
+from repro.indexing.feature_index import SubsumptionIndex
+from repro.logic.atoms import Predicate
+from repro.logic.parser import parse_tgd, parse_tgds
+from repro.logic.rules import Rule
+from repro.logic.terms import Variable
+
+x, y = Variable("x"), Variable("y")
+A = Predicate("A", 1)
+B = Predicate("B", 1)
+C = Predicate("C", 1)
+
+
+class TestSubsumptionIndex:
+    def test_add_contains_remove(self):
+        index = SubsumptionIndex()
+        tgd = parse_tgd("A(?x) -> B(?x).")
+        index.add(tgd)
+        assert tgd in index
+        assert len(index) == 1
+        index.remove(tgd)
+        assert tgd not in index
+        assert len(index) == 0
+
+    def test_subsuming_candidates_require_body_subset_and_head_superset(self):
+        index = SubsumptionIndex()
+        general = parse_tgd("A(?x) -> B(?x).")
+        other_head = parse_tgd("A(?x) -> C(?x).")
+        bigger_body = parse_tgd("A(?x), C(?x) -> B(?x).")
+        for tgd in (general, other_head, bigger_body):
+            index.add(tgd)
+        query = parse_tgd("A(?x), D(?x) -> B(?x).")
+        candidates = set(index.subsuming_candidates(query))
+        assert general in candidates
+        assert other_head not in candidates  # head is not a superset
+        assert bigger_body not in candidates  # body is not a subset
+
+    def test_subsumed_candidates_is_the_dual_query(self):
+        index = SubsumptionIndex()
+        specific = parse_tgd("A(?x), D(?x) -> B(?x).")
+        unrelated = parse_tgd("C(?x) -> B(?x).")
+        index.add(specific)
+        index.add(unrelated)
+        query = parse_tgd("A(?x) -> B(?x).")
+        candidates = set(index.subsumed_candidates(query))
+        assert specific in candidates
+        assert unrelated not in candidates
+
+    def test_works_for_rules(self):
+        index = SubsumptionIndex()
+        rule = Rule((A(x),), B(x))
+        index.add(rule)
+        query = Rule((A(x), C(x)), B(x))
+        assert rule in set(index.subsuming_candidates(query))
+
+    def test_multi_head_tgds_use_head_sets(self):
+        index = SubsumptionIndex()
+        both = parse_tgd("A(?x) -> exists ?y. B(?x), R(?x, ?y).")
+        index.add(both)
+        query = parse_tgd("A(?x) -> exists ?y. R(?x, ?y).")
+        assert both in set(index.subsuming_candidates(query))
+
+    def test_items_iteration(self):
+        index = SubsumptionIndex()
+        tgds = parse_tgds("A(?x) -> B(?x). C(?x) -> B(?x).")
+        for tgd in tgds:
+            index.add(tgd)
+        assert set(index.items()) == set(tgds)
+
+
+class TestClustering:
+    def test_identity_clustering(self):
+        clustering = RelationClustering.identity([A, B, C])
+        assert len({clustering.cluster_of(p) for p in (A, B, C)}) == 3
+
+    def test_from_input_respects_requested_count(self):
+        tgds = parse_tgds(
+            """
+            A(?x) -> B(?x).
+            B(?x) -> C(?x).
+            C(?x) -> D(?x).
+            D(?x) -> E(?x).
+            """
+        )
+        clustering = RelationClustering.from_input(tgds, cluster_count=2)
+        clusters = {clustering.cluster_of(atom.predicate)
+                    for tgd in tgds for atom in tgd.body + tgd.head}
+        assert clusters <= {0, 1}
+
+    def test_unknown_predicates_get_fresh_clusters(self):
+        clustering = RelationClustering.from_input([], cluster_count=1)
+        first = clustering.cluster_of(A)
+        second = clustering.cluster_of(B)
+        assert first != second
+
+    def test_index_with_clustering_still_finds_candidates(self):
+        tgds = parse_tgds(
+            """
+            A(?x) -> B(?x).
+            A(?x), C(?x) -> B(?x).
+            """
+        )
+        clustering = RelationClustering.from_input(tgds, cluster_count=1)
+        index = SubsumptionIndex(clustering)
+        index.add(tgds[0])
+        # with a single cluster every stored item is a candidate, but the
+        # post-filter on true predicate sets still applies
+        assert tgds[0] in set(index.subsuming_candidates(tgds[1]))

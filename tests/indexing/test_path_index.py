@@ -1,0 +1,83 @@
+"""Unit tests for the path index over Skolemized rules."""
+
+from repro.indexing.path_index import RulePathIndex, atom_path, paths_compatible
+from repro.logic.atoms import Predicate
+from repro.logic.rules import Rule
+from repro.logic.terms import Constant, FunctionSymbol, Variable
+
+A = Predicate("A", 1)
+B = Predicate("B", 2)
+C = Predicate("C", 2)
+x, y = Variable("x"), Variable("y")
+f = FunctionSymbol("f", 1, is_skolem=True)
+g = FunctionSymbol("g", 1, is_skolem=True)
+
+
+class TestAtomPaths:
+    def test_path_of_function_free_atom(self):
+        assert atom_path(B(x, y)) == ("B/2", "*", "*")
+
+    def test_path_records_skolem_symbols(self):
+        assert atom_path(B(x, f(x))) == ("B/2", "*", "f")
+
+    def test_constants_are_wildcards(self):
+        assert atom_path(B(Constant("a"), x)) == ("B/2", "*", "*")
+
+    def test_compatibility(self):
+        assert paths_compatible(("B/2", "*", "f"), ("B/2", "*", "*"))
+        assert paths_compatible(("B/2", "*", "f"), ("B/2", "*", "f"))
+        assert not paths_compatible(("B/2", "*", "f"), ("B/2", "*", "g"))
+        assert not paths_compatible(("B/2", "*", "f"), ("C/2", "*", "f"))
+        assert not paths_compatible(("B/2", "*"), ("B/2", "*", "*"))
+
+
+class TestRulePathIndex:
+    def _rules(self):
+        generator = Rule((A(x),), B(x, f(x)))          # head with Skolem f
+        other_generator = Rule((A(x),), B(x, g(x)))    # head with Skolem g
+        consumer = Rule((B(x, y), A(x)), C(x, y))      # function-free body
+        skolem_consumer = Rule((A(x), B(x, f(x))), C(x, x))
+        return generator, other_generator, consumer, skolem_consumer
+
+    def test_rules_with_unifiable_head(self):
+        generator, other_generator, consumer, _ = self._rules()
+        index = RulePathIndex()
+        for rule in (generator, other_generator, consumer):
+            index.add(rule)
+        # query with the function-free body atom B(x, y): both Skolem heads match
+        candidates = set(index.rules_with_unifiable_head(B(x, y)))
+        assert {generator, other_generator} <= candidates
+        # query with B(x, f(x)): only the f-generator head is compatible
+        candidates_f = set(index.rules_with_unifiable_head(B(x, f(x))))
+        assert generator in candidates_f
+        assert other_generator not in candidates_f
+
+    def test_rules_with_unifiable_body_atom(self):
+        generator, other_generator, consumer, skolem_consumer = self._rules()
+        index = RulePathIndex()
+        for rule in (consumer, skolem_consumer):
+            index.add(rule)
+        candidates = set(index.rules_with_unifiable_body_atom(generator.head))
+        assert consumer in candidates
+        assert skolem_consumer in candidates
+        candidates_g = set(index.rules_with_unifiable_body_atom(other_generator.head))
+        assert consumer in candidates_g
+        assert skolem_consumer not in candidates_g
+
+    def test_remove(self):
+        generator, _, consumer, _ = self._rules()
+        index = RulePathIndex()
+        index.add(generator)
+        index.add(consumer)
+        index.remove(consumer)
+        assert consumer not in index
+        assert consumer not in set(index.rules_with_unifiable_body_atom(generator.head))
+        assert len(index) == 1
+
+    def test_duplicate_add_is_idempotent(self):
+        generator, *_ = self._rules()
+        index = RulePathIndex()
+        index.add(generator)
+        index.add(generator)
+        assert len(index) == 1
+        assert set(index.items()) == {generator}

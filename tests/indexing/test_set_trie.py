@@ -1,0 +1,92 @@
+"""Unit tests for the set-trie."""
+
+import random
+
+from repro.indexing.set_trie import SetTrie
+
+
+class TestBasicOperations:
+    def test_insert_and_exact(self):
+        trie = SetTrie()
+        trie.insert({"a", "b"}, 1)
+        assert trie.exact({"a", "b"}) == (1,)
+        assert trie.exact({"a"}) == ()
+        assert len(trie) == 1
+
+    def test_multiple_values_per_set(self):
+        trie = SetTrie()
+        trie.insert({"a"}, 1)
+        trie.insert({"a"}, 2)
+        assert set(trie.exact({"a"})) == {1, 2}
+        assert len(trie) == 2
+
+    def test_duplicate_insert_is_idempotent(self):
+        trie = SetTrie()
+        trie.insert({"a"}, 1)
+        trie.insert({"a"}, 1)
+        assert len(trie) == 1
+
+    def test_remove(self):
+        trie = SetTrie()
+        trie.insert({"a", "b"}, 1)
+        assert trie.remove({"a", "b"}, 1)
+        assert not trie.remove({"a", "b"}, 1)
+        assert len(trie) == 0
+        assert list(trie.values()) == []
+
+    def test_empty_set_key(self):
+        trie = SetTrie()
+        trie.insert(set(), "empty")
+        assert trie.exact(set()) == ("empty",)
+        assert "empty" in set(trie.subsets_of({"a", "b"}))
+
+    def test_values_iterates_everything(self):
+        trie = SetTrie()
+        trie.insert({"a"}, 1)
+        trie.insert({"b", "c"}, 2)
+        assert set(trie.values()) == {1, 2}
+
+
+class TestSubsetSupersetQueries:
+    def _populated(self):
+        trie = SetTrie()
+        trie.insert({"a"}, "a")
+        trie.insert({"a", "b"}, "ab")
+        trie.insert({"b", "c"}, "bc")
+        trie.insert({"a", "b", "c"}, "abc")
+        return trie
+
+    def test_subsets_of(self):
+        trie = self._populated()
+        assert set(trie.subsets_of({"a", "b"})) == {"a", "ab"}
+        assert set(trie.subsets_of({"a", "b", "c"})) == {"a", "ab", "bc", "abc"}
+        assert set(trie.subsets_of({"c"})) == set()
+
+    def test_supersets_of(self):
+        trie = self._populated()
+        assert set(trie.supersets_of({"b"})) == {"ab", "bc", "abc"}
+        assert set(trie.supersets_of({"a", "c"})) == {"abc"}
+        assert set(trie.supersets_of(set())) == {"a", "ab", "bc", "abc"}
+
+    def test_contains_set(self):
+        trie = self._populated()
+        assert trie.contains_set({"a", "b"})
+        assert not trie.contains_set({"a", "c"})
+
+
+class TestAgainstBruteForce:
+    def test_randomized_equivalence_with_naive_implementation(self):
+        rng = random.Random(7)
+        universe = list("abcdefgh")
+        stored = []
+        trie = SetTrie()
+        for index in range(120):
+            keys = frozenset(rng.sample(universe, rng.randint(0, 4)))
+            stored.append((keys, index))
+            trie.insert(keys, index)
+        for _ in range(60):
+            query = frozenset(rng.sample(universe, rng.randint(0, 5)))
+            expected_subsets = {value for keys, value in stored if keys <= query}
+            expected_supersets = {value for keys, value in stored if keys >= query}
+            assert set(trie.subsets_of(query)) == expected_subsets
+            assert set(trie.supersets_of(query)) == expected_supersets

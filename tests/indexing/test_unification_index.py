@@ -1,0 +1,73 @@
+"""Unit tests for the TGD unification index."""
+
+from repro.indexing.unification_index import TGDUnificationIndex
+from repro.logic.parser import parse_tgds
+
+
+class TestTGDUnificationIndex:
+    def _tgds(self):
+        return parse_tgds(
+            """
+            A(?x) -> exists ?y. B(?x, ?y), C(?x, ?y).
+            B(?x, ?y), D(?x, ?y) -> E(?x).
+            C(?x, ?y) -> D(?x, ?y).
+            E(?x) -> A(?x).
+            """
+        )
+
+    def test_add_remove_contains(self):
+        index = TGDUnificationIndex()
+        tgds = self._tgds()
+        for tgd in tgds:
+            index.add(tgd)
+        assert len(index) == 4
+        assert tgds[0] in index
+        index.remove(tgds[0])
+        assert tgds[0] not in index
+        assert len(index) == 3
+
+    def test_duplicate_add_is_idempotent(self):
+        index = TGDUnificationIndex()
+        tgd = self._tgds()[0]
+        index.add(tgd)
+        index.add(tgd)
+        assert len(index) == 1
+
+    def test_lookup_by_body_and_head_predicate(self):
+        index = TGDUnificationIndex()
+        tgds = self._tgds()
+        for tgd in tgds:
+            index.add(tgd)
+        b_pred = tgds[0].head[0].predicate  # B/2
+        by_head = set(index.with_head_predicate(b_pred))
+        by_body = set(index.with_body_predicate(b_pred))
+        assert tgds[0] in by_head
+        assert tgds[1] in by_body
+
+    def test_full_partners_for_non_full(self):
+        index = TGDUnificationIndex()
+        tgds = self._tgds()
+        for tgd in tgds:
+            index.add(tgd)
+        partners = set(index.full_partners_for(tgds[0]))
+        # the non-full TGD creates B and C facts; full TGDs mentioning B or C
+        # in their bodies are candidates
+        assert tgds[1] in partners
+        assert tgds[2] in partners
+        assert tgds[3] not in partners
+
+    def test_non_full_partners_for_full(self):
+        index = TGDUnificationIndex()
+        tgds = self._tgds()
+        for tgd in tgds:
+            index.add(tgd)
+        partners = set(index.non_full_partners_for(tgds[1]))
+        assert partners == {tgds[0]}
+
+    def test_removed_items_disappear_from_lookups(self):
+        index = TGDUnificationIndex()
+        tgds = self._tgds()
+        for tgd in tgds:
+            index.add(tgd)
+        index.remove(tgds[1])
+        assert tgds[1] not in set(index.full_partners_for(tgds[0]))

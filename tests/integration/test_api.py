@@ -1,0 +1,98 @@
+"""Integration tests for the high-level KnowledgeBase API."""
+
+import pytest
+
+from repro import (
+    ConjunctiveQuery,
+    KnowledgeBase,
+    Variable,
+    answer_query,
+    entailed_base_facts,
+    parse_program,
+)
+from repro.logic.atoms import Predicate
+from repro.logic.terms import Constant, Null
+
+
+class TestKnowledgeBase:
+    def test_compile_once_query_many_instances(self, cim):
+        tgds, instance = cim
+        kb = KnowledgeBase.compile(tgds)
+        equipment = Predicate("Equipment", 1)
+        first = kb.certain_base_facts(instance)
+        assert equipment(Constant("sw1")) in first
+        other_instance = parse_program("ACEquipment(sw42).").instance
+        second = kb.certain_base_facts(other_instance)
+        assert equipment(Constant("sw42")) in second
+
+    def test_entails(self, cim):
+        tgds, instance = cim
+        kb = KnowledgeBase.compile(tgds)
+        equipment = Predicate("Equipment", 1)
+        assert kb.entails(instance, equipment(Constant("sw2")))
+        assert not kb.entails(instance, equipment(Constant("trm1")))
+
+    def test_entails_rejects_non_base_facts(self, cim):
+        tgds, instance = cim
+        kb = KnowledgeBase.compile(tgds)
+        with pytest.raises(ValueError):
+            kb.entails(instance, Predicate("Equipment", 1)(Null(0)))
+
+    def test_query_answering(self, cim):
+        tgds, instance = cim
+        kb = KnowledgeBase.compile(tgds)
+        x = Variable("x")
+        query = ConjunctiveQuery((x,), (Predicate("Equipment", 1)(x),))
+        answers = kb.answer(query, instance)
+        assert (Constant("sw1"),) in answers
+        assert (Constant("sw2"),) in answers
+
+    def test_materialize_exposes_statistics(self, cim):
+        tgds, instance = cim
+        kb = KnowledgeBase.compile(tgds)
+        result = kb.materialize(instance)
+        assert len(result) >= len(instance)
+        assert result.rounds >= 1
+
+    def test_program_property(self, cim):
+        tgds, _ = cim
+        kb = KnowledgeBase.compile(tgds)
+        assert len(kb.program) == kb.rewriting.output_size
+
+    def test_compile_with_explicit_algorithm_and_settings(self, cim):
+        from repro import RewritingSettings
+
+        tgds, instance = cim
+        kb = KnowledgeBase.compile(
+            tgds, algorithm="exbdr", settings=RewritingSettings(use_lookahead=False)
+        )
+        assert kb.rewriting.algorithm == "ExbDR"
+        assert kb.certain_base_facts(instance)
+
+
+class TestOneShotHelpers:
+    def test_answer_query(self, cim):
+        tgds, instance = cim
+        x = Variable("x")
+        query = ConjunctiveQuery((x,), (Predicate("Equipment", 1)(x),))
+        answers = answer_query(tgds, instance, query)
+        assert len(answers) == 2
+
+    def test_entailed_base_facts(self, running):
+        tgds, instance = running
+        facts = entailed_base_facts(tgds, instance, algorithm="skdr")
+        assert Predicate("H", 1)(Constant("a")) in facts
+
+    def test_queries_with_joins_over_completed_data(self, cim):
+        """Join a derived unary fact with an explicit binary fact."""
+        tgds, instance = cim
+        x, y = Variable("x"), Variable("y")
+        query = ConjunctiveQuery(
+            (x, y),
+            (
+                Predicate("Equipment", 1)(x),
+                Predicate("hasTerminal", 2)(x, y),
+            ),
+        )
+        answers = answer_query(tgds, instance, query)
+        assert answers == {(Constant("sw1"), Constant("trm1"))}

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+CIM_DEPENDENCIES = """
+ACEquipment(?x) -> exists ?y. hasTerminal(?x, ?y), ACTerminal(?y).
+ACTerminal(?x) -> Terminal(?x).
+hasTerminal(?x, ?z), Terminal(?z) -> Equipment(?x).
+"""
+
+CIM_FACTS = """
+ACEquipment(sw1).
+ACEquipment(sw2).
+hasTerminal(sw1, trm1).
+ACTerminal(trm1).
+"""
+
+
+@pytest.fixture
+def dependency_file(tmp_path):
+    path = tmp_path / "deps.gtgd"
+    path.write_text(CIM_DEPENDENCIES, encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def facts_file(tmp_path):
+    path = tmp_path / "data.facts"
+    path.write_text(CIM_FACTS, encoding="utf-8")
+    return path
+
+
+class TestRewriteCommand:
+    def test_rewrite_to_stdout(self, dependency_file, capsys):
+        exit_code = main(["rewrite", str(dependency_file), "--algorithm", "hypdr"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert ":-" in captured.out
+        assert "Equipment(?" in captured.out
+        assert "Datalog rules" in captured.err
+
+    def test_rewrite_to_file(self, dependency_file, tmp_path, capsys):
+        output = tmp_path / "rewriting.dl"
+        exit_code = main(
+            ["rewrite", str(dependency_file), "-o", str(output), "--algorithm", "exbdr"]
+        )
+        assert exit_code == 0
+        text = output.read_text(encoding="utf-8")
+        assert "ACEquipment" in text
+        assert ":-" in text
+
+    def test_rewrite_with_ablation_flags(self, dependency_file, capsys):
+        exit_code = main(
+            [
+                "rewrite",
+                str(dependency_file),
+                "--no-subsumption",
+                "--no-lookahead",
+                "--algorithm",
+                "skdr",
+            ]
+        )
+        assert exit_code == 0
+
+    def test_rewrite_timeout_gives_nonzero_exit(self, dependency_file, capsys):
+        exit_code = main(["rewrite", str(dependency_file), "--timeout", "0"])
+        assert exit_code == 2
+
+    def test_unknown_algorithm_rejected(self, dependency_file):
+        with pytest.raises(SystemExit):
+            main(["rewrite", str(dependency_file), "--algorithm", "magic"])
+
+
+class TestMaterializeCommand:
+    def test_materialize_prints_all_facts(self, dependency_file, facts_file, capsys):
+        exit_code = main(["materialize", str(dependency_file), str(facts_file)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Equipment(sw1)." in captured.out
+        assert "Equipment(sw2)." in captured.out
+        assert "input facts" in captured.err
+
+
+class TestEntailsCommand:
+    def test_entailed_fact(self, dependency_file, facts_file, capsys):
+        exit_code = main(
+            ["entails", str(dependency_file), str(facts_file), "Equipment(sw2)"]
+        )
+        assert exit_code == 0
+        assert "entailed" in capsys.readouterr().out
+
+    def test_non_entailed_fact(self, dependency_file, facts_file, capsys):
+        exit_code = main(
+            ["entails", str(dependency_file), str(facts_file), "Equipment(trm1)"]
+        )
+        assert exit_code == 1
+        assert "not entailed" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    def test_stats_output(self, dependency_file, capsys):
+        exit_code = main(["stats", str(dependency_file)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "full TGDs" in captured.out
+        assert "non-full TGDs" in captured.out
+        assert "maximum arity:     2" in captured.out
+
+    def test_stats_with_facts_in_file(self, tmp_path, capsys):
+        path = tmp_path / "mixed.gtgd"
+        path.write_text(CIM_DEPENDENCIES + CIM_FACTS, encoding="utf-8")
+        exit_code = main(["stats", str(path)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "facts in file:     4" in captured.out

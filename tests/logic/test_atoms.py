@@ -1,0 +1,108 @@
+"""Unit tests for predicates, atoms, and facts."""
+
+import pytest
+
+from repro.logic.atoms import (
+    Atom,
+    Predicate,
+    atom_constants,
+    atom_variables,
+    predicates_of,
+)
+from repro.logic.terms import Constant, FunctionSymbol, Null, Variable
+
+
+class TestPredicate:
+    def test_equality_includes_arity(self):
+        assert Predicate("R", 2) == Predicate("R", 2)
+        assert Predicate("R", 2) != Predicate("R", 3)
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("R", -1)
+
+    def test_call_builds_atom(self):
+        r = Predicate("R", 2)
+        atom = r(Constant("a"), Variable("x"))
+        assert isinstance(atom, Atom)
+        assert atom.predicate == r
+
+
+class TestAtomConstruction:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Atom(Predicate("R", 2), (Constant("a"),))
+
+    def test_zero_arity_atom(self):
+        atom = Atom(Predicate("Go", 0), ())
+        assert atom.is_ground
+        assert str(atom) == "Go"
+
+    def test_equality_and_hash(self):
+        r = Predicate("R", 2)
+        assert r(Constant("a"), Variable("x")) == r(Constant("a"), Variable("x"))
+        assert hash(r(Constant("a"), Variable("x"))) == hash(
+            r(Constant("a"), Variable("x"))
+        )
+        assert r(Constant("a"), Variable("x")) != r(Variable("x"), Constant("a"))
+
+
+class TestAtomClassification:
+    def test_base_fact_requires_constants_only(self):
+        r = Predicate("R", 2)
+        assert r(Constant("a"), Constant("b")).is_base_fact
+        assert not r(Constant("a"), Null(1)).is_base_fact
+        assert not r(Constant("a"), Variable("x")).is_base_fact
+
+    def test_fact_allows_nulls(self):
+        r = Predicate("R", 2)
+        assert r(Constant("a"), Null(1)).is_fact
+        assert not r(Constant("a"), Variable("x")).is_fact
+
+    def test_function_free(self):
+        f = FunctionSymbol("f", 1)
+        r = Predicate("R", 1)
+        assert r(Variable("x")).is_function_free
+        assert not r(f(Variable("x"))).is_function_free
+
+    def test_has_skolem(self):
+        skolem = FunctionSymbol("f", 1, is_skolem=True)
+        plain = FunctionSymbol("g", 1, is_skolem=False)
+        r = Predicate("R", 1)
+        assert r(skolem(Variable("x"))).has_skolem
+        assert not r(plain(Variable("x"))).has_skolem
+
+    def test_depth(self):
+        f = FunctionSymbol("f", 1)
+        r = Predicate("R", 1)
+        assert r(Variable("x")).depth == 0
+        assert r(f(Variable("x"))).depth == 1
+        assert r(f(f(Variable("x")))).depth == 2
+
+
+class TestAtomSymbolAccess:
+    def test_variable_set(self):
+        r = Predicate("R", 3)
+        atom = r(Variable("x"), Constant("a"), Variable("y"))
+        assert atom.variable_set() == {Variable("x"), Variable("y")}
+
+    def test_atom_variables_order(self):
+        r = Predicate("R", 2)
+        s = Predicate("S", 1)
+        atoms = [r(Variable("b"), Variable("a")), s(Variable("b"))]
+        assert atom_variables(atoms) == (Variable("b"), Variable("a"))
+
+    def test_atom_constants(self):
+        r = Predicate("R", 2)
+        atoms = [r(Constant("c"), Constant("d")), r(Constant("c"), Variable("x"))]
+        assert atom_constants(atoms) == (Constant("c"), Constant("d"))
+
+    def test_predicates_of(self):
+        r = Predicate("R", 1)
+        s = Predicate("S", 1)
+        atoms = [r(Constant("a")), s(Constant("a")), r(Constant("b"))]
+        assert predicates_of(atoms) == (r, s)
+
+    def test_str_rendering(self):
+        r = Predicate("R", 2)
+        assert str(r(Constant("a"), Variable("x"))) == "R(a, ?x)"

@@ -1,0 +1,96 @@
+"""Unit tests for instances and Σ-guardedness."""
+
+import pytest
+
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.instance import (
+    Instance,
+    fact_guarded_by_fact,
+    fact_guarded_by_set,
+    guarded_subset,
+    terms_guarded_by_fact,
+    terms_guarded_by_set,
+)
+from repro.logic.terms import Constant, Null, Variable
+
+R = Predicate("R", 2)
+S = Predicate("S", 1)
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+n1, n2 = Null(1), Null(2)
+
+
+class TestInstance:
+    def test_add_and_contains(self):
+        instance = Instance()
+        assert instance.add(R(a, b))
+        assert not instance.add(R(a, b))
+        assert R(a, b) in instance
+        assert len(instance) == 1
+
+    def test_non_ground_facts_rejected(self):
+        with pytest.raises(ValueError):
+            Instance([R(a, Variable("x"))])
+
+    def test_base_instance_classification(self):
+        assert Instance([R(a, b)]).is_base_instance
+        assert not Instance([R(a, n1)]).is_base_instance
+
+    def test_base_facts_projection(self):
+        instance = Instance([R(a, b), R(a, n1)])
+        assert instance.base_facts() == {R(a, b)}
+
+    def test_constants_and_predicates(self):
+        instance = Instance([R(a, b), S(c)])
+        assert instance.constants() == {a, b, c}
+        assert instance.predicates() == {R, S}
+
+    def test_by_predicate(self):
+        instance = Instance([R(a, b), S(c)])
+        assert instance.by_predicate(S) == (S(c),)
+
+    def test_update_counts_new_facts(self):
+        instance = Instance([R(a, b)])
+        assert instance.update([R(a, b), S(c)]) == 1
+
+    def test_copy_is_independent(self):
+        instance = Instance([R(a, b)])
+        clone = instance.copy()
+        clone.add(S(c))
+        assert len(instance) == 1
+        assert len(clone) == 2
+
+    def test_equality_with_sets(self):
+        assert Instance([R(a, b)]) == {R(a, b)}
+
+
+class TestGuardedness:
+    def test_terms_guarded_by_fact(self):
+        assert terms_guarded_by_fact({a, b}, R(a, b), frozenset())
+        assert not terms_guarded_by_fact({a, c}, R(a, b), frozenset())
+
+    def test_sigma_constants_are_always_available(self):
+        assert terms_guarded_by_fact({a, c}, R(a, b), frozenset({c}))
+
+    def test_terms_guarded_by_set(self):
+        facts = [R(a, b), R(b, c)]
+        assert terms_guarded_by_set({b, c}, facts, frozenset())
+        assert not terms_guarded_by_set({a, c}, facts, frozenset())
+
+    def test_fact_guarded_by_fact(self):
+        assert fact_guarded_by_fact(S(a), R(a, b), frozenset())
+        assert not fact_guarded_by_fact(S(c), R(a, b), frozenset())
+
+    def test_fact_guarded_by_set(self):
+        assert fact_guarded_by_set(R(b, a), [R(a, b)], frozenset())
+        assert not fact_guarded_by_set(R(b, c), [R(a, b)], frozenset())
+
+    def test_guarded_subset(self):
+        candidates = [S(a), S(c), R(a, n1)]
+        guards = [R(a, n1)]
+        selected = guarded_subset(candidates, guards, frozenset())
+        assert set(selected) == {S(a), R(a, n1)}
+
+    def test_guarded_subset_with_sigma_constants(self):
+        candidates = [S(c)]
+        guards = [R(a, b)]
+        assert guarded_subset(candidates, guards, frozenset({c})) == (S(c),)

@@ -1,0 +1,93 @@
+"""Unit tests for canonical variable normalization (Section 6)."""
+
+from repro.logic.normal_form import (
+    deduplicate_normalized,
+    normalize,
+    normalize_rule,
+    normalize_tgd,
+)
+from repro.logic.parser import parse_tgd
+from repro.logic.atoms import Predicate
+from repro.logic.rules import Rule
+from repro.logic.terms import FunctionSymbol, Variable
+
+A = Predicate("A", 1)
+B = Predicate("B", 2)
+x, y, u, v = Variable("x"), Variable("y"), Variable("u"), Variable("v")
+f = FunctionSymbol("f", 1, is_skolem=True)
+
+
+class TestTGDNormalization:
+    def test_variable_renamings_are_identified(self):
+        first = parse_tgd("A(?u), B(?u, ?v) -> C(?v).")
+        second = parse_tgd("A(?p), B(?p, ?q) -> C(?q).")
+        assert normalize_tgd(first) == normalize_tgd(second)
+
+    def test_distinct_tgds_stay_distinct(self):
+        first = parse_tgd("A(?u), B(?u, ?v) -> C(?v).")
+        second = parse_tgd("A(?u), B(?v, ?u) -> C(?v).")
+        assert normalize_tgd(first) != normalize_tgd(second)
+
+    def test_body_order_is_canonicalized(self):
+        first = parse_tgd("A(?u), B(?u, ?v) -> C(?u).")
+        second = parse_tgd("B(?u, ?v), A(?u) -> C(?u).")
+        assert normalize_tgd(first) == normalize_tgd(second)
+
+    def test_universal_variables_become_x_names(self):
+        normalized = normalize_tgd(parse_tgd("A(?p) -> exists ?q. B(?p, ?q)."))
+        names = {var.name for var in normalized.universal_variables}
+        assert all(name.startswith("x") for name in names)
+        exist_names = {var.name for var in normalized.existential_variables}
+        assert all(name.startswith("y") for name in exist_names)
+
+    def test_idempotent(self):
+        tgd = parse_tgd("A(?p), B(?p, ?q) -> exists ?r. C(?q, ?r).")
+        assert normalize_tgd(normalize_tgd(tgd)) == normalize_tgd(tgd)
+
+    def test_normalization_preserves_logical_structure(self):
+        tgd = parse_tgd("A(?p), B(?p, ?q) -> exists ?r. C(?q, ?r).")
+        normalized = normalize_tgd(tgd)
+        assert len(normalized.body) == len(tgd.body)
+        assert len(normalized.head) == len(tgd.head)
+        assert len(normalized.existential_variables) == len(tgd.existential_variables)
+        assert normalized.is_guarded == tgd.is_guarded
+
+
+class TestRuleNormalization:
+    def test_variable_renamings_are_identified(self):
+        first = Rule((A(u), B(u, v)), A(v))
+        second = Rule((A(x), B(x, y)), A(y))
+        assert normalize_rule(first) == normalize_rule(second)
+
+    def test_skolem_terms_survive_normalization(self):
+        rule = Rule((A(u),), B(u, f(u)))
+        normalized = normalize_rule(rule)
+        assert not normalized.head.is_function_free
+
+    def test_idempotent(self):
+        rule = Rule((A(u), B(u, v)), A(v))
+        assert normalize_rule(normalize_rule(rule)) == normalize_rule(rule)
+
+
+class TestDispatchersAndDedup:
+    def test_normalize_dispatch(self):
+        assert normalize(parse_tgd("A(?x) -> B(?x, ?x).")) == normalize_tgd(
+            parse_tgd("A(?x) -> B(?x, ?x).")
+        )
+        rule = Rule((A(x),), A(x))
+        assert normalize(rule) == normalize_rule(rule)
+
+    def test_normalize_rejects_other_types(self):
+        import pytest
+
+        with pytest.raises(TypeError):
+            normalize("not a clause")
+
+    def test_deduplicate_normalized(self):
+        items = [
+            parse_tgd("A(?u) -> B(?u, ?u)."),
+            parse_tgd("A(?w) -> B(?w, ?w)."),
+            parse_tgd("A(?u) -> B(?u, ?v)."),
+        ]
+        deduplicated = deduplicate_normalized(items)
+        assert len(deduplicated) == 2

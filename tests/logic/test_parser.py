@@ -1,0 +1,128 @@
+"""Unit tests for the dependency/fact parser."""
+
+import pytest
+
+from repro.logic.parser import (
+    DependencyParser,
+    ParseError,
+    parse_atom,
+    parse_fact,
+    parse_facts,
+    parse_program,
+    parse_tgd,
+    parse_tgds,
+)
+from repro.logic.terms import Constant, Variable
+
+
+class TestAtomParsing:
+    def test_simple_atom(self):
+        atom = parse_atom("R(?x, a)")
+        assert atom.predicate.name == "R"
+        assert atom.args == (Variable("x"), Constant("a"))
+
+    def test_zero_arity_atom(self):
+        atom = parse_atom("Alive()")
+        assert atom.predicate.arity == 0
+
+    def test_propositional_atom_without_parentheses(self):
+        atom = parse_atom("Alive")
+        assert atom.predicate.arity == 0
+
+    def test_fact_requires_groundness(self):
+        with pytest.raises(ParseError):
+            parse_fact("R(?x, a).")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(?x; a)")
+
+
+class TestTGDParsing:
+    def test_full_tgd(self):
+        tgd = parse_tgd("A(?x), B(?x, ?y) -> C(?y).")
+        assert tgd.is_full
+        assert len(tgd.body) == 2
+
+    def test_existential_tgd_with_prefix(self):
+        tgd = parse_tgd("A(?x) -> exists ?y. B(?x, ?y).")
+        assert tgd.existential_variables == {Variable("y")}
+
+    def test_existential_tgd_without_prefix(self):
+        """Head variables missing from the body are existential even if undeclared."""
+        tgd = parse_tgd("A(?x) -> B(?x, ?y).")
+        assert tgd.existential_variables == {Variable("y")}
+
+    def test_declared_existentials_must_match(self):
+        with pytest.raises(ParseError):
+            parse_tgd("A(?x) -> exists ?y, ?z. B(?x, ?y).")
+
+    def test_ampersand_conjunction(self):
+        tgd = parse_tgd("A(?x) & B(?x) -> C(?x).")
+        assert len(tgd.body) == 2
+
+    def test_missing_period_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tgds("A(?x) -> B(?x)")
+
+    def test_parse_tgd_accepts_missing_trailing_period(self):
+        tgd = parse_tgd("A(?x) -> B(?x)")
+        assert tgd.is_full
+
+
+class TestProgramParsing:
+    def test_program_with_tgds_and_facts(self, running_program_text):
+        program = parse_program(running_program_text)
+        assert len(program.tgds) == 6
+        assert len(program.instance) == 1
+
+    def test_comments_are_ignored(self):
+        program = parse_program(
+            """
+            % a comment line
+            A(?x) -> B(?x).  % trailing comment
+            # another comment style
+            A(a).
+            """
+        )
+        assert len(program.tgds) == 1
+        assert len(program.instance) == 1
+
+    def test_predicates_are_interned_per_parser(self):
+        parser = DependencyParser()
+        first = parser.parse_atom("R(?x, ?y)")
+        second = parser.parse_atom("R(a, b)")
+        assert first.predicate is second.predicate
+
+    def test_arity_is_inferred_per_occurrence(self):
+        program = parse_program("R(?x) -> S(?x). R(a, b).")
+        predicates = {(p.name, p.arity) for p in program.instance.predicates()}
+        assert predicates == {("R", 2)}
+
+    def test_parse_facts_rejects_tgds(self):
+        with pytest.raises(ParseError):
+            parse_facts("A(?x) -> B(?x).")
+
+    def test_parse_tgds_rejects_facts(self):
+        with pytest.raises(ParseError):
+            parse_tgds("A(a).")
+
+    def test_multi_atom_fact_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("A(a), B(b).")
+
+    def test_error_mentions_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("A(?x) -> B(?x).\nA(?x) -> .")
+        assert "line 2" in str(excinfo.value)
+
+
+class TestRoundTrip:
+    def test_program_round_trips_through_printer(self, running_program_text):
+        from repro.logic.printer import format_program
+
+        program = parse_program(running_program_text)
+        text = format_program(program.tgds, program.instance)
+        reparsed = parse_program(text)
+        assert set(reparsed.tgds) == set(program.tgds)
+        assert reparsed.instance == program.instance

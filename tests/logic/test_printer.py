@@ -1,0 +1,82 @@
+"""Unit tests for the pretty printers."""
+
+import pytest
+
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.parser import parse_tgd
+from repro.logic.printer import (
+    format_atom,
+    format_datalog_program,
+    format_datalog_rule,
+    format_fact,
+    format_rule,
+    format_term,
+    format_tgd,
+)
+from repro.logic.rules import Rule
+from repro.logic.terms import Constant, FunctionSymbol, Variable
+
+A = Predicate("A", 1)
+B = Predicate("B", 2)
+x, y = Variable("x"), Variable("y")
+f = FunctionSymbol("f", 1, is_skolem=True)
+
+
+class TestTermAndAtomFormatting:
+    def test_variable_gets_question_mark(self):
+        assert format_term(x) == "?x"
+
+    def test_constant_is_bare(self):
+        assert format_term(Constant("a")) == "a"
+
+    def test_function_term(self):
+        assert format_term(f(x)) == "f(?x)"
+
+    def test_atom(self):
+        assert format_atom(B(x, Constant("a"))) == "B(?x, a)"
+
+    def test_zero_arity_atom(self):
+        assert format_atom(Atom(Predicate("Go", 0), ())) == "Go"
+
+    def test_fact(self):
+        assert format_fact(A(Constant("a"))) == "A(a)."
+
+
+class TestTGDFormatting:
+    def test_full_tgd(self):
+        tgd = parse_tgd("A(?x) -> B(?x, ?x).")
+        assert format_tgd(tgd) == "A(?x) -> B(?x, ?x)."
+
+    def test_existential_prefix_is_explicit(self):
+        tgd = parse_tgd("A(?x) -> exists ?y. B(?x, ?y).")
+        assert "exists ?y." in format_tgd(tgd)
+
+    def test_round_trip(self):
+        source = "A(?x1, ?x2), B(?x2, ?x2) -> exists ?y. C(?x1, ?y)."
+        tgd = parse_tgd(source)
+        assert parse_tgd(format_tgd(tgd)) == tgd
+
+
+class TestRuleFormatting:
+    def test_skolem_rule(self):
+        rule = Rule((A(x),), B(x, f(x)))
+        assert format_rule(rule) == "A(?x) -> B(?x, f(?x))."
+
+    def test_datalog_syntax(self):
+        rule = Rule((A(x), B(x, y)), A(y))
+        assert format_datalog_rule(rule) == "A(?y) :- A(?x), B(?x, ?y)."
+
+    def test_datalog_fact_rule(self):
+        rule = Rule((), A(Constant("a")))
+        assert format_datalog_rule(rule) == "A(a)."
+
+    def test_datalog_syntax_rejects_skolem_rules(self):
+        rule = Rule((A(x),), B(x, f(x)))
+        with pytest.raises(ValueError):
+            format_datalog_rule(rule)
+
+    def test_datalog_program(self):
+        rules = [Rule((A(x),), B(x, x)), Rule((B(x, y),), A(x))]
+        text = format_datalog_program(rules)
+        assert text.count(":-") == 2
+        assert text.count("\n") == 1

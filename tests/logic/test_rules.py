@@ -1,0 +1,122 @@
+"""Unit tests for Skolemized rules and Definition 5.9 guardedness."""
+
+import pytest
+
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.parser import parse_tgd
+from repro.logic.rules import (
+    Rule,
+    datalog_rules,
+    datalog_tgd_to_rule,
+    rule_to_datalog_tgd,
+)
+from repro.logic.terms import Constant, FunctionSymbol, Variable
+
+A = Predicate("A", 1)
+B = Predicate("B", 2)
+C = Predicate("C", 2)
+x, y = Variable("x"), Variable("y")
+f = FunctionSymbol("f", 1, is_skolem=True)
+g_plain = FunctionSymbol("g", 1, is_skolem=False)
+
+
+class TestRuleConstruction:
+    def test_head_variables_must_occur_in_body(self):
+        with pytest.raises(ValueError):
+            Rule((A(x),), B(x, y))
+
+    def test_skolem_free_classification(self):
+        rule = Rule((A(x),), B(x, x))
+        assert rule.is_skolem_free
+        assert rule.is_datalog_rule
+
+    def test_skolem_head_not_datalog(self):
+        rule = Rule((A(x),), B(x, f(x)))
+        assert not rule.is_skolem_free
+        assert not rule.is_datalog_rule
+        assert rule.body_is_skolem_free
+
+    def test_syntactic_tautology(self):
+        assert Rule((A(x), B(x, x)), A(x)).is_syntactic_tautology
+        assert not Rule((A(x),), B(x, x)).is_syntactic_tautology
+
+    def test_size_and_width(self):
+        rule = Rule((A(x), B(x, y)), C(x, y))
+        assert rule.size == 3
+        assert rule.width == 2
+
+
+class TestGuardedness:
+    def test_simple_guarded_rule(self):
+        # Skolemization of A(x) -> exists y. B(x, y)
+        rule = Rule((A(x),), B(x, f(x)))
+        assert rule.is_guarded
+        assert rule.guards() == (A(x),)
+
+    def test_guard_must_be_skolem_free(self):
+        rule = Rule((B(x, f(x)),), A(x))
+        # the only body atom contains a Skolem term, so no guard exists
+        assert not rule.is_guarded
+
+    def test_skolem_term_must_contain_all_variables(self):
+        # f(x) does not contain y, so the rule violates Definition 5.9
+        rule = Rule((B(x, y),), C(x, f(x)))
+        assert not rule.is_guarded
+
+    def test_non_skolem_function_symbols_forbidden(self):
+        rule = Rule((A(x),), B(x, g_plain(x)))
+        assert not rule.is_guarded
+
+    def test_nested_skolem_terms_forbidden(self):
+        f2 = FunctionSymbol("f2", 1, is_skolem=True)
+        rule = Rule((A(x),), B(x, f(x)))
+        nested = Rule((A(x),), B(x, f2(Variable("x"))))
+        assert rule.is_guarded and nested.is_guarded
+        deep = Rule((A(x),), Atom(B, (x, FunctionSymbol("h", 1, True)(f(x)))))
+        assert not deep.is_guarded
+
+    def test_datalog_guard_contains_all_variables(self):
+        rule = Rule((B(x, y), A(x)), A(y))
+        assert rule.is_guarded
+        assert rule.guards() == (B(x, y),)
+
+
+class TestConversions:
+    def test_rule_to_tgd_round_trip(self):
+        tgd = parse_tgd("A(?x), B(?x, ?y) -> C(?x, ?y).")
+        rule = datalog_tgd_to_rule(tgd)
+        assert rule_to_datalog_tgd(rule) == tgd
+
+    def test_rule_to_tgd_rejects_skolem_rules(self):
+        rule = Rule((A(x),), B(x, f(x)))
+        with pytest.raises(ValueError):
+            rule_to_datalog_tgd(rule)
+
+    def test_tgd_to_rule_rejects_non_full(self):
+        tgd = parse_tgd("A(?x) -> exists ?y. B(?x, ?y).")
+        with pytest.raises(ValueError):
+            datalog_tgd_to_rule(tgd)
+
+    def test_datalog_rules_filter(self):
+        rules = [Rule((A(x),), B(x, x)), Rule((A(x),), B(x, f(x)))]
+        assert datalog_rules(rules) == (rules[0],)
+
+
+class TestTransformations:
+    def test_apply_substitution(self):
+        from repro.logic.substitution import Substitution
+
+        rule = Rule((A(x),), B(x, x))
+        applied = rule.apply(Substitution({x: Constant("a")}))
+        assert applied.head == B(Constant("a"), Constant("a"))
+
+    def test_rename_apart(self):
+        rule = Rule((A(x), B(x, y)), C(x, y))
+        renamed = rule.rename_apart("z")
+        assert not (rule.variables() & renamed.variables())
+        assert len(renamed.variables()) == 2
+
+    def test_equality_and_str(self):
+        rule = Rule((A(x),), B(x, x))
+        assert rule == Rule((A(x),), B(x, x))
+        assert "A(?x)" in str(rule)

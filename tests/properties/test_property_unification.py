@@ -1,0 +1,89 @@
+"""Property-based tests for unification and matching."""
+
+from hypothesis import given
+
+from repro.logic.substitution import Substitution
+from repro.unification.matching import match_atom
+from repro.unification.mgu import mgu, restricted_mgu
+
+from .strategies import atoms, constants, ground_atoms, variables
+
+
+class TestMGUProperties:
+    @given(atoms(), atoms())
+    def test_mgu_unifies(self, left, right):
+        theta = mgu(left, right)
+        if theta is not None:
+            assert theta.apply_atom(left) == theta.apply_atom(right)
+
+    @given(atoms())
+    def test_mgu_with_itself_is_trivial(self, atom):
+        theta = mgu(atom, atom)
+        assert theta is not None
+        assert theta.apply_atom(atom) == atom
+
+    @given(atoms(), atoms())
+    def test_mgu_is_symmetric_up_to_unifiability(self, left, right):
+        assert (mgu(left, right) is None) == (mgu(right, left) is None)
+
+    @given(atoms(), ground_atoms())
+    def test_matching_implies_unifiability(self, pattern, target):
+        if match_atom(pattern, target) is not None:
+            theta = mgu(pattern, target)
+            assert theta is not None
+            assert theta.apply_atom(pattern) == target
+
+    @given(atoms(), atoms())
+    def test_mgu_is_most_general(self, left, right):
+        """Any grounding that unifies the atoms factors through the MGU image."""
+        theta = mgu(left, right)
+        if theta is None:
+            return
+        # ground both unified atoms with a fixed constant; the results agree
+        from repro.logic.terms import Constant
+
+        grounding = Substitution(
+            {var: Constant("zz") for var in
+             set(theta.apply_atom(left).variables()) | set(theta.apply_atom(right).variables())}
+        )
+        assert grounding.apply_atom(theta.apply_atom(left)) == grounding.apply_atom(
+            theta.apply_atom(right)
+        )
+
+
+class TestRestrictedMGUProperties:
+    @given(atoms(), atoms(), variables())
+    def test_frozen_variables_are_never_bound(self, left, right, frozen):
+        theta = restricted_mgu((left,), (right,), [frozen])
+        if theta is not None:
+            assert theta.get(frozen) is None
+
+    @given(atoms(), atoms())
+    def test_restricted_with_empty_set_equals_plain_mgu(self, left, right):
+        plain = mgu(left, right)
+        restricted = restricted_mgu((left,), (right,), [])
+        assert (plain is None) == (restricted is None)
+
+    @given(atoms(), atoms(), variables())
+    def test_restricted_success_implies_plain_success(self, left, right, frozen):
+        restricted = restricted_mgu((left,), (right,), [frozen])
+        if restricted is not None:
+            assert mgu(left, right) is not None
+
+
+class TestMatchingProperties:
+    @given(atoms(), ground_atoms())
+    def test_match_produces_exact_image(self, pattern, target):
+        match = match_atom(pattern, target)
+        if match is not None:
+            assert match.apply_atom(pattern) == target
+
+    @given(ground_atoms(), ground_atoms())
+    def test_ground_atoms_match_only_if_equal(self, left, right):
+        assert (match_atom(left, right) is not None) == (left == right)
+
+    @given(atoms(), constants())
+    def test_instances_always_match_their_pattern(self, pattern, constant):
+        grounding = Substitution({var: constant for var in pattern.variables()})
+        instance = grounding.apply_atom(pattern)
+        assert match_atom(pattern, instance) is not None

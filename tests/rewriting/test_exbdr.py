@@ -1,0 +1,156 @@
+"""Tests for the ExbDR algorithm (Definition 5.5, Example 5.6, Proposition 5.7)."""
+
+from repro.chase import certain_base_facts
+from repro.datalog import materialize
+from repro.logic.atoms import Predicate
+from repro.logic.normal_form import normalize_tgd
+from repro.logic.parser import parse_tgd, parse_tgds
+from repro.logic.tgd import bwidth, head_normalize, hwidth
+from repro.rewriting import RewritingSettings, rewrite
+from repro.rewriting.exbdr import ExbDR
+from repro.workloads.families import (
+    exbdr_blowup_family,
+    running_example,
+    running_example_shortcuts,
+    skdr_blowup_family,
+)
+
+
+def _shortcut_derived(result, shortcut_tgd) -> bool:
+    """Check that some rule of the rewriting is the given shortcut (up to renaming)."""
+    from repro.logic.rules import rule_to_datalog_tgd
+
+    target = normalize_tgd(shortcut_tgd)
+    for rule in result.datalog_rules:
+        if normalize_tgd(rule_to_datalog_tgd(rule)) == target:
+            return True
+    return False
+
+
+class TestExampleFiveSix:
+    def test_all_shortcuts_of_example_4_6_are_derived(self):
+        tgds, _ = running_example()
+        result = rewrite(tgds, algorithm="exbdr")
+        for shortcut in running_example_shortcuts():
+            assert _shortcut_derived(result, shortcut), f"missing shortcut {shortcut}"
+
+    def test_rewriting_contains_input_datalog_rules(self):
+        tgds, _ = running_example()
+        result = rewrite(tgds, algorithm="exbdr")
+        for tgd in tgds:
+            if tgd.is_datalog_rule:
+                assert _shortcut_derived(result, tgd)
+
+    def test_rewriting_is_correct_on_the_running_instance(self):
+        tgds, instance = running_example()
+        result = rewrite(tgds, algorithm="exbdr")
+        base_facts = {
+            fact
+            for fact in materialize(result.program(), instance).facts()
+            if fact.is_base_fact
+        }
+        assert base_facts == certain_base_facts(instance, tgds)
+
+    def test_rewriting_output_contains_only_datalog_rules(self):
+        tgds, _ = running_example()
+        result = rewrite(tgds, algorithm="exbdr")
+        assert all(rule.is_datalog_rule for rule in result.datalog_rules)
+
+
+class TestInferenceRuleProperties:
+    def test_derived_tgds_respect_width_bounds(self):
+        """Proposition 5.7(3): derived widths stay within the input widths."""
+        tgds = parse_tgds(
+            """
+            A(?x1, ?x2) -> exists ?y. B(?x1, ?y), C(?x1, ?y).
+            B(?x1, ?x2), C(?x1, ?x2) -> D(?x1, ?x2).
+            D(?x1, ?x2) -> E(?x1).
+            """
+        )
+        exbdr = ExbDR()
+        exbdr.prepare(tgds)
+        from repro.rewriting.saturation import Saturation
+
+        saturation = Saturation(exbdr)
+        saturation.run(tgds)
+        input_bwidth = bwidth(head_normalize(tgds))
+        input_hwidth = hwidth(head_normalize(tgds))
+        for clause in saturation._worked_off:
+            assert clause.body_width <= input_bwidth
+            assert clause.head_width <= input_hwidth
+
+    def test_no_inference_without_existential_contact(self):
+        """A full TGD whose body shares no relation with non-full heads yields nothing new."""
+        tgds = parse_tgds(
+            """
+            A(?x) -> exists ?y. B(?x, ?y).
+            C(?x), D(?x) -> E(?x).
+            """
+        )
+        result = rewrite(tgds, algorithm="exbdr")
+        # only the input Datalog rule C, D -> E is in the rewriting
+        assert result.output_size == 1
+
+    def test_guard_participation_is_required(self):
+        """Proposition 5.7(1): if the guard of τ' cannot match, nothing is derived."""
+        tgds = parse_tgds(
+            """
+            A(?x) -> exists ?y. B(?x, ?y).
+            C(?x1, ?x2), B(?x1, ?x2) -> E(?x1).
+            """
+        )
+        result = rewrite(tgds, algorithm="exbdr")
+        # the guard C(x1, x2) of the full TGD never matches a head atom of the
+        # non-full TGD, so no shortcut involving A can exist
+        predicates_in_bodies = {
+            atom.predicate.name
+            for rule in result.datalog_rules
+            for atom in rule.body
+        }
+        assert "A" not in predicates_in_bodies
+
+
+class TestBlowupFamilies:
+    def test_proposition_5_14_exponential_family(self):
+        """ExbDR derives one TGD per subset of {1..n} on the Σn of Prop. 5.14."""
+        n = 4
+        tgds = exbdr_blowup_family(n)
+        exbdr = ExbDR(RewritingSettings(use_lookahead=False))
+        from repro.rewriting.saturation import Saturation
+
+        saturation = Saturation(exbdr)
+        saturation.run(tgds)
+        non_full = [clause for clause in saturation._worked_off if clause.is_non_full]
+        # 2^n - 1 derived non-full TGDs plus the original one
+        assert len(non_full) == 2 ** n
+
+    def test_proposition_5_15_single_shortcut(self):
+        """On the Σn of Prop. 5.15 ExbDR derives just A(x) → C(x)."""
+        tgds = skdr_blowup_family(4)
+        result = rewrite(tgds, algorithm="exbdr")
+        shortcut = parse_tgd("A(?x) -> C(?x).")
+        assert _shortcut_derived(result, shortcut)
+        # output: the collecting rule plus the shortcut
+        assert result.output_size == 2
+
+
+class TestCorrectnessOnGeneratedInputs:
+    def test_matches_oracle_on_random_inputs(self):
+        from repro.workloads.random_gtgds import (
+            RandomGTGDConfig,
+            generate_random_gtgds,
+            generate_random_instance,
+        )
+
+        for seed in range(8):
+            config = RandomGTGDConfig(seed=seed, tgd_count=6, predicate_count=5)
+            tgds = generate_random_gtgds(config)
+            instance = generate_random_instance(tgds, seed=seed)
+            expected = certain_base_facts(instance, tgds)
+            result = rewrite(tgds, algorithm="exbdr")
+            facts = {
+                fact
+                for fact in materialize(result.program(), instance).facts()
+                if fact.is_base_fact
+            }
+            assert facts == expected, f"seed {seed}"

@@ -1,0 +1,88 @@
+"""Tests for the cheap lookahead optimization (Section 6)."""
+
+from repro.logic.atoms import Predicate
+from repro.logic.parser import parse_tgds
+from repro.logic.terms import FunctionSymbol, Variable
+from repro.rewriting import RewritingSettings, rewrite
+from repro.rewriting.lookahead import rule_result_is_dead_end, tgd_result_is_dead_end
+
+A = Predicate("A", 1)
+B = Predicate("B", 2)
+x, y = Variable("x"), Variable("y")
+f = FunctionSymbol("f", 1, is_skolem=True)
+
+
+class TestTGDLookahead:
+    def test_existential_head_atom_with_unused_relation_is_dead_end(self):
+        atom = B(x, y)
+        assert tgd_result_is_dead_end(atom, {y}, frozenset({A}))
+
+    def test_relation_used_in_some_body_is_kept(self):
+        atom = B(x, y)
+        assert not tgd_result_is_dead_end(atom, {y}, frozenset({A, B}))
+
+    def test_atom_without_existential_variables_is_kept(self):
+        atom = B(x, x)
+        assert not tgd_result_is_dead_end(atom, {y}, frozenset({A}))
+
+
+class TestRuleLookahead:
+    def test_skolem_head_with_unused_relation_is_dead_end(self):
+        atom = B(x, f(x))
+        assert rule_result_is_dead_end(atom, frozenset({A}))
+
+    def test_function_free_head_is_kept(self):
+        atom = B(x, x)
+        assert not rule_result_is_dead_end(atom, frozenset({A}))
+
+    def test_skolem_head_with_used_relation_is_kept(self):
+        atom = B(x, f(x))
+        assert not rule_result_is_dead_end(atom, frozenset({A, B}))
+
+
+class TestEndToEndEffect:
+    def _chain(self):
+        # Final(x, y) never occurs in any body, so derivations producing it
+        # inside a child vertex are useless
+        return parse_tgds(
+            """
+            A(?x) -> exists ?y. B(?x, ?y).
+            B(?x1, ?x2) -> Final(?x1, ?x2).
+            B(?x1, ?x2) -> C(?x1).
+            """
+        )
+
+    def test_lookahead_reduces_derivations(self):
+        tgds = self._chain()
+        with_lookahead = rewrite(
+            tgds, algorithm="skdr", settings=RewritingSettings(use_lookahead=True)
+        )
+        without_lookahead = rewrite(
+            tgds, algorithm="skdr", settings=RewritingSettings(use_lookahead=False)
+        )
+        assert (
+            with_lookahead.statistics.derived
+            <= without_lookahead.statistics.derived
+        )
+
+    def test_lookahead_preserves_answers(self):
+        from repro.chase import certain_base_facts
+        from repro.datalog import materialize
+        from repro.logic.parser import parse_facts
+
+        tgds = self._chain()
+        instance = parse_facts("A(a). B(a, b).")
+        expected = certain_base_facts(instance, tgds)
+        for use_lookahead in (True, False):
+            for algorithm in ("exbdr", "skdr", "hypdr"):
+                result = rewrite(
+                    tgds,
+                    algorithm=algorithm,
+                    settings=RewritingSettings(use_lookahead=use_lookahead),
+                )
+                facts = {
+                    fact
+                    for fact in materialize(result.program(), instance).facts()
+                    if fact.is_base_fact
+                }
+                assert facts == expected, (algorithm, use_lookahead)

@@ -1,0 +1,88 @@
+"""Tests for the top-level rewrite() dispatcher and input validation."""
+
+import pytest
+
+from repro.logic.parser import parse_tgds
+from repro.rewriting import (
+    UnguardedTGDError,
+    available_algorithms,
+    make_inference,
+    rewrite,
+    rewrite_program,
+    validate_guardedness,
+)
+from repro.rewriting.exbdr import ExbDR
+from repro.rewriting.hypdr import HypDR
+from repro.workloads.families import running_example
+
+
+class TestDispatch:
+    def test_available_algorithms(self):
+        assert set(available_algorithms()) == {"exbdr", "skdr", "hypdr", "fulldr"}
+
+    def test_make_inference(self):
+        assert isinstance(make_inference("exbdr"), ExbDR)
+        assert isinstance(make_inference("HypDR"), HypDR)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            make_inference("magic")
+        tgds, _ = running_example()
+        with pytest.raises(ValueError):
+            rewrite(tgds, algorithm="magic")
+
+    def test_default_algorithm_is_hypdr(self):
+        tgds, _ = running_example()
+        result = rewrite(tgds)
+        assert result.algorithm == "HypDR"
+
+    def test_rewrite_program_returns_datalog_program(self):
+        from repro.datalog import DatalogProgram
+
+        tgds, _ = running_example()
+        program = rewrite_program(tgds, algorithm="skdr")
+        assert isinstance(program, DatalogProgram)
+        assert len(program) > 0
+
+
+class TestValidation:
+    def test_unguarded_input_rejected(self):
+        tgds = parse_tgds("A(?x), B(?y) -> C(?x, ?y).")
+        with pytest.raises(UnguardedTGDError):
+            rewrite(tgds, algorithm="hypdr")
+
+    def test_validate_guardedness_passes_through_guarded_sets(self):
+        tgds, _ = running_example()
+        assert validate_guardedness(tgds) == tuple(tgds)
+
+    def test_empty_input_yields_empty_rewriting(self):
+        for algorithm in available_algorithms():
+            result = rewrite((), algorithm=algorithm)
+            assert result.output_size == 0
+            assert result.completed
+
+
+class TestAlgorithmsAgree:
+    def test_all_algorithms_produce_equivalent_rewritings(self):
+        """Different algorithms may output different rules, but the rewritings
+        must entail the same base facts on every base instance."""
+        from repro.chase import certain_base_facts
+        from repro.datalog import materialize
+        from repro.workloads.random_gtgds import (
+            RandomGTGDConfig,
+            generate_random_gtgds,
+            generate_random_instance,
+        )
+
+        for seed in (3, 11, 17):
+            tgds = generate_random_gtgds(RandomGTGDConfig(seed=seed, tgd_count=6))
+            instance = generate_random_instance(tgds, seed=seed)
+            expected = certain_base_facts(instance, tgds)
+            for algorithm in ("exbdr", "skdr", "hypdr"):
+                result = rewrite(tgds, algorithm=algorithm)
+                facts = {
+                    fact
+                    for fact in materialize(result.program(), instance).facts()
+                    if fact.is_base_fact
+                }
+                assert facts == expected, (seed, algorithm)

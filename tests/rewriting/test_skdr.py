@@ -1,0 +1,151 @@
+"""Tests for the SkDR algorithm (Definition 5.10, Example 5.11, Prop. 5.14/5.15)."""
+
+from repro.chase import certain_base_facts
+from repro.datalog import materialize
+from repro.logic.normal_form import normalize_rule
+from repro.logic.parser import parse_tgd, parse_tgds
+from repro.logic.rules import Rule, datalog_tgd_to_rule
+from repro.rewriting import RewritingSettings, rewrite
+from repro.rewriting.saturation import Saturation
+from repro.rewriting.skdr import SkDR
+from repro.workloads.families import (
+    exbdr_blowup_family,
+    running_example,
+    running_example_shortcuts,
+    skdr_blowup_family,
+)
+
+
+def _contains_rule(result, tgd) -> bool:
+    target = normalize_rule(datalog_tgd_to_rule(tgd))
+    return any(normalize_rule(rule) == target for rule in result.datalog_rules)
+
+
+class TestRunningExample:
+    def test_shortcut_rules_are_derived(self):
+        tgds, _ = running_example()
+        result = rewrite(tgds, algorithm="skdr")
+        for shortcut in running_example_shortcuts():
+            assert _contains_rule(result, shortcut), f"missing {shortcut}"
+
+    def test_correct_on_running_instance(self):
+        tgds, instance = running_example()
+        result = rewrite(tgds, algorithm="skdr")
+        facts = {
+            fact
+            for fact in materialize(result.program(), instance).facts()
+            if fact.is_base_fact
+        }
+        assert facts == certain_base_facts(instance, tgds)
+
+    def test_output_rules_are_skolem_free(self):
+        tgds, _ = running_example()
+        result = rewrite(tgds, algorithm="skdr")
+        assert all(rule.is_skolem_free for rule in result.datalog_rules)
+
+    def test_intermediate_skolem_rules_exist_in_worked_off_set(self):
+        """Rules such as (26)/(27) with Skolem terms appear during saturation."""
+        tgds, _ = running_example()
+        skdr = SkDR()
+        saturation = Saturation(skdr)
+        saturation.run(tgds)
+        skolem_rules = [
+            rule for rule in saturation._worked_off if not rule.is_skolem_free
+        ]
+        assert skolem_rules, "SkDR should derive intermediate Skolem rules"
+
+
+class TestGeneratorAndConsumerSelection:
+    def test_generator_requires_skolem_free_body(self):
+        skdr = SkDR()
+        rules = skdr.initial_clauses(
+            parse_tgds("A(?x) -> exists ?y. B(?x, ?y).")
+        )
+        assert all(skdr._is_generator(rule) for rule in rules)
+
+    def test_datalog_consumer_atom_must_be_a_guard(self):
+        """For Skolem-free τ', only body atoms containing all variables are eligible."""
+        skdr = SkDR()
+        tgds = parse_tgds("B(?x1, ?x2), C(?x1) -> D(?x1).")
+        (rule,) = skdr.initial_clauses(tgds)
+        eligible = skdr._eligible_body_atoms(rule)
+        assert [atom.predicate.name for atom in eligible] == ["B"]
+
+    def test_skolem_consumer_atoms_must_contain_skolems(self):
+        from repro.logic.atoms import Predicate
+        from repro.logic.terms import FunctionSymbol, Variable
+
+        skdr = SkDR()
+        x = Variable("x")
+        f = FunctionSymbol("f", 1, is_skolem=True)
+        A, B, C = Predicate("A", 1), Predicate("B", 2), Predicate("C", 1)
+        rule = Rule((A(x), B(x, f(x))), C(x))
+        eligible = skdr._eligible_body_atoms(rule)
+        assert [atom.predicate.name for atom in eligible] == ["B"]
+
+
+class TestSeparationFamilies:
+    def test_proposition_5_14_skdr_stays_linear(self):
+        """On the Σn of Prop. 5.14 SkDR derives only the n rules (34)."""
+        n = 4
+        tgds = exbdr_blowup_family(n)
+        skdr = SkDR(RewritingSettings(use_lookahead=False))
+        saturation = Saturation(skdr)
+        result = saturation.run(tgds)
+        derived_datalog = [
+            rule
+            for rule in result.datalog_rules
+            if rule.head.predicate.name.startswith("D")
+        ]
+        assert len(derived_datalog) == n
+
+    def test_proposition_5_15_skdr_explodes(self):
+        """On the Σn of Prop. 5.15 SkDR derives ~2^n rules deriving C."""
+        n = 4
+        tgds = skdr_blowup_family(n)
+        skdr = SkDR(RewritingSettings(use_subsumption=False, use_lookahead=False))
+        saturation = Saturation(skdr)
+        saturation.run(tgds)
+        c_rules = [
+            rule
+            for rule in saturation._worked_off
+            if rule.head.predicate.name == "C"
+        ]
+        # one rule per nonempty-complement subset {k1..km} ⊊ {1..n}, plus the
+        # original collecting rule and the final Datalog shortcut
+        assert len(c_rules) >= 2 ** n - 1
+
+    def test_proposition_5_15_rewriting_is_still_correct(self):
+        from repro.logic.parser import parse_facts
+
+        tgds = skdr_blowup_family(3)
+        instance = parse_facts("A(a).")
+        result = rewrite(tgds, algorithm="skdr")
+        facts = {
+            fact
+            for fact in materialize(result.program(), instance).facts()
+            if fact.is_base_fact
+        }
+        assert facts == certain_base_facts(instance, tgds)
+
+
+class TestCorrectnessOnGeneratedInputs:
+    def test_matches_oracle_on_random_inputs(self):
+        from repro.workloads.random_gtgds import (
+            RandomGTGDConfig,
+            generate_random_gtgds,
+            generate_random_instance,
+        )
+
+        for seed in range(20, 28):
+            config = RandomGTGDConfig(seed=seed, tgd_count=6, predicate_count=5)
+            tgds = generate_random_gtgds(config)
+            instance = generate_random_instance(tgds, seed=seed)
+            expected = certain_base_facts(instance, tgds)
+            result = rewrite(tgds, algorithm="skdr")
+            facts = {
+                fact
+                for fact in materialize(result.program(), instance).facts()
+                if fact.is_base_fact
+            }
+            assert facts == expected, f"seed {seed}"

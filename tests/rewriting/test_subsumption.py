@@ -1,0 +1,140 @@
+"""Unit tests for tautology detection and subsumption (Definition 5.1, Section 6)."""
+
+from repro.logic.atoms import Predicate
+from repro.logic.parser import parse_tgd
+from repro.logic.rules import Rule
+from repro.logic.terms import FunctionSymbol, Variable
+from repro.rewriting.subsumption import (
+    approximate_rule_subsumes,
+    approximate_tgd_subsumes,
+    exact_rule_subsumes,
+    exact_tgd_subsumes,
+    is_syntactic_tautology,
+    subsumes,
+)
+
+A = Predicate("A", 2)
+B = Predicate("B", 1)
+B2 = Predicate("B", 2)
+x1, x2, x3 = Variable("x1"), Variable("x2"), Variable("x3")
+f = FunctionSymbol("f", 1, is_skolem=True)
+
+
+class TestTautologies:
+    def test_rule_tautology(self):
+        rule = Rule((B(x1), A(x1, x1)), B(x1))
+        assert is_syntactic_tautology(rule)
+
+    def test_tgd_tautology(self):
+        assert is_syntactic_tautology(parse_tgd("A(?x), B(?x) -> A(?x)."))
+
+    def test_non_full_head_normal_tgd_is_never_a_tautology(self):
+        # Example 5.2: each head atom contains an existential variable
+        assert not is_syntactic_tautology(
+            parse_tgd("A(?x, ?x) -> exists ?y. A(?x, ?y).")
+        )
+
+
+class TestExactRuleSubsumption:
+    def test_example_5_2_rules(self):
+        """τ2 = A(x2, x3) → B(x2) subsumes τ1 = A(f(x1), f(x1)) ∧ B(x1) → B(f(x1))."""
+        tau1 = Rule((A(f(x1), f(x1)), B(x1)), B(f(x1)))
+        tau2 = Rule((A(x2, x3),), B(x2))
+        assert exact_rule_subsumes(tau2, tau1)
+        assert not exact_rule_subsumes(tau1, tau2)
+
+    def test_identical_rules_subsume_each_other(self):
+        rule = Rule((A(x1, x2),), B(x1))
+        assert exact_rule_subsumes(rule, rule)
+
+    def test_head_must_match(self):
+        general = Rule((A(x1, x2),), B(x1))
+        other = Rule((A(x1, x2),), B(x2))
+        assert not exact_rule_subsumes(general, other)
+
+    def test_extra_body_atoms_in_subsumed_rule(self):
+        general = Rule((A(x1, x2),), B(x1))
+        specific = Rule((A(x1, x2), B(x2)), B(x1))
+        assert exact_rule_subsumes(general, specific)
+        assert not exact_rule_subsumes(specific, general)
+
+
+class TestExactTGDSubsumption:
+    def test_example_5_2_tgds(self):
+        """τ4 subsumes τ3 by the substitution μ2 of Example 5.2."""
+        tau3 = parse_tgd("A(?x1, ?x1), B(?x1) -> exists ?y1. C(?x1, ?y1).")
+        tau4 = parse_tgd("A(?x2, ?x3) -> exists ?y2, ?y3. C(?x2, ?y2), D(?x3, ?y3).")
+        assert exact_tgd_subsumes(tau4, tau3)
+        assert not exact_tgd_subsumes(tau3, tau4)
+
+    def test_existentials_must_map_injectively(self):
+        # collapsing y2 and y3 onto the single y1 of the subsumed TGD is forbidden
+        subsumer = parse_tgd("A(?x1, ?x1) -> exists ?y2, ?y3. C(?x1, ?y2), D(?x1, ?y3).")
+        subsumed = parse_tgd("A(?x1, ?x1) -> exists ?y1. C(?x1, ?y1), D(?x1, ?y1).")
+        assert not exact_tgd_subsumes(subsumer, subsumed)
+
+    def test_existential_cannot_map_to_universal(self):
+        subsumer = parse_tgd("A(?x1, ?x2) -> exists ?y. C(?x1, ?y).")
+        subsumed = parse_tgd("A(?x1, ?x2) -> C(?x1, ?x2).")
+        assert not exact_tgd_subsumes(subsumer, subsumed)
+
+    def test_full_tgd_subsumption(self):
+        general = parse_tgd("A(?x1, ?x2) -> B(?x1).")
+        specific = parse_tgd("A(?x1, ?x1), B(?x1) -> B(?x1).")
+        assert exact_tgd_subsumes(general, specific)
+
+
+class TestApproximateChecks:
+    def test_approximate_agrees_on_identical_normalized_forms(self):
+        first = parse_tgd("A(?u, ?v) -> B(?u).")
+        second = parse_tgd("A(?p, ?q) -> B(?p).")
+        assert approximate_tgd_subsumes(first, second)
+        assert approximate_tgd_subsumes(second, first)
+
+    def test_approximate_detects_body_extension(self):
+        general = parse_tgd("A(?x1, ?x2) -> B(?x1).")
+        specific = parse_tgd("A(?x1, ?x2), C(?x2) -> B(?x1).")
+        assert approximate_tgd_subsumes(general, specific)
+        assert not approximate_tgd_subsumes(specific, general)
+
+    def test_approximate_is_sound_but_incomplete(self):
+        """The Example 5.2 subsumption needs variable merging, which the
+        normalized check cannot see — it must answer "no" (keeping the TGD),
+        never a wrong "yes"."""
+        tau3 = parse_tgd("A(?x1, ?x1), B(?x1) -> exists ?y1. C(?x1, ?y1).")
+        tau4 = parse_tgd("A(?x2, ?x3) -> exists ?y2, ?y3. C(?x2, ?y2), D(?x3, ?y3).")
+        assert exact_tgd_subsumes(tau4, tau3)
+        assert not approximate_tgd_subsumes(tau4, tau3)
+
+    def test_approximate_implies_exact_on_random_pairs(self):
+        """Soundness of the approximation: approximate ⇒ exact."""
+        from repro.workloads.random_gtgds import RandomGTGDConfig, generate_random_gtgds
+
+        for seed in range(12):
+            tgds = generate_random_gtgds(RandomGTGDConfig(seed=seed, tgd_count=5))
+            for left in tgds:
+                for right in tgds:
+                    if approximate_tgd_subsumes(left, right):
+                        assert exact_tgd_subsumes(left, right)
+
+    def test_approximate_rule_check(self):
+        general = Rule((A(x1, x2),), B(x1))
+        specific = Rule((A(x1, x2), B(x2)), B(x1))
+        assert approximate_rule_subsumes(general, specific)
+        assert not approximate_rule_subsumes(specific, general)
+
+
+class TestDispatcher:
+    def test_dispatch_on_types(self):
+        tgd_general = parse_tgd("A(?x1, ?x2) -> B(?x1).")
+        tgd_specific = parse_tgd("A(?x1, ?x2), C(?x1) -> B(?x1).")
+        assert subsumes(tgd_general, tgd_specific)
+        rule_general = Rule((A(x1, x2),), B(x1))
+        rule_specific = Rule((A(x1, x2), B(x1)), B(x1))
+        assert subsumes(rule_general, rule_specific, exact=True)
+
+    def test_mixed_types_never_subsume(self):
+        tgd = parse_tgd("A(?x1, ?x2) -> B(?x1).")
+        rule = Rule((A(x1, x2),), B(x1))
+        assert not subsumes(tgd, rule)
+        assert not subsumes(rule, tgd)

@@ -1,0 +1,70 @@
+"""Unit tests for weak covering and variable depth (de Nivelle)."""
+
+from repro.logic.atoms import Predicate
+from repro.logic.parser import parse_tgds
+from repro.logic.rules import Rule
+from repro.logic.skolem import skolemize
+from repro.logic.terms import Constant, FunctionSymbol, Variable
+from repro.unification.covering import (
+    atom_variable_depth,
+    is_weakly_covering,
+    rule_is_weakly_covering,
+    rule_variable_depth,
+    term_variable_depth,
+)
+
+R = Predicate("R", 2)
+S = Predicate("S", 1)
+x, y = Variable("x"), Variable("y")
+a = Constant("a")
+f = FunctionSymbol("f", 1, is_skolem=True)
+g = FunctionSymbol("g", 2, is_skolem=True)
+
+
+class TestVariableDepth:
+    def test_ground_terms_have_depth_minus_one(self):
+        assert term_variable_depth(a) == -1
+        assert term_variable_depth(f(a)) == -1
+
+    def test_plain_variable_has_depth_zero(self):
+        assert term_variable_depth(x) == 0
+
+    def test_nesting_increases_depth(self):
+        assert term_variable_depth(f(x)) == 1
+        assert term_variable_depth(f(f(x))) == 2
+
+    def test_atom_depth_takes_maximum(self):
+        assert atom_variable_depth(R(x, f(x))) == 1
+        assert atom_variable_depth(R(a, a)) == -1
+
+    def test_rule_depth(self):
+        rule = Rule((S(x),), S(f(x)))
+        assert rule_variable_depth(rule) == 1
+
+
+class TestWeakCovering:
+    def test_function_free_atoms_are_weakly_covering(self):
+        assert is_weakly_covering(R(x, y))
+        assert is_weakly_covering(R(a, a))
+
+    def test_functional_term_with_all_variables_is_covering(self):
+        # g(x, y) mentions every variable of the atom, so the atom is covering
+        assert is_weakly_covering(R(x, g(x, y)))
+        assert is_weakly_covering(S(g(x, y)))
+
+    def test_functional_term_missing_a_variable_is_not_covering(self):
+        # f(x) misses the atom variable y
+        assert not is_weakly_covering(R(y, f(x)))
+
+    def test_ground_functional_subterms_are_ignored(self):
+        assert is_weakly_covering(R(x, f(a)))
+
+    def test_skolemized_guarded_tgds_are_weakly_covering(self):
+        tgds = parse_tgds(
+            """
+            A(?x1, ?x2) -> exists ?y. B(?x1, ?y), C(?x1, ?y).
+            B(?x1, ?x2), D(?x1, ?x2) -> E(?x1).
+            """
+        )
+        for rule in skolemize(tgds):
+            assert rule_is_weakly_covering(rule)

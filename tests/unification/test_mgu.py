@@ -1,0 +1,126 @@
+"""Unit tests for most general unifiers and X-restricted MGUs."""
+
+from repro.logic.atoms import Predicate
+from repro.logic.terms import Constant, FunctionSymbol, Variable
+from repro.unification.mgu import (
+    mgu,
+    mgu_atoms,
+    rename_disjoint,
+    restricted_mgu,
+    terms_unifiable,
+    unifiable,
+)
+
+R = Predicate("R", 2)
+S = Predicate("S", 1)
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+a, b = Constant("a"), Constant("b")
+f = FunctionSymbol("f", 1, is_skolem=True)
+g = FunctionSymbol("g", 2, is_skolem=True)
+
+
+class TestBasicUnification:
+    def test_variable_to_constant(self):
+        theta = mgu(R(x, y), R(a, b))
+        assert theta is not None
+        assert theta.apply_atom(R(x, y)) == R(a, b)
+
+    def test_variable_to_variable(self):
+        theta = mgu(S(x), S(y))
+        assert theta is not None
+        assert theta.apply_term(x) == theta.apply_term(y)
+
+    def test_different_predicates_fail(self):
+        assert mgu(S(x), R(x, y)) is None
+
+    def test_constant_clash_fails(self):
+        assert mgu(R(a, x), R(b, y)) is None
+
+    def test_shared_variable_propagates(self):
+        theta = mgu(R(x, x), R(a, y))
+        assert theta is not None
+        assert theta.apply_term(y) == a
+
+    def test_unifier_is_most_general(self):
+        """The MGU of R(x, y) and R(y, z) must not ground any variable."""
+        theta = mgu(R(x, y), R(y, z))
+        assert theta is not None
+        image = theta.apply_atom(R(x, y))
+        assert all(not term.is_ground for term in image.args)
+
+
+class TestFunctionTerms:
+    def test_unify_variable_with_function_term(self):
+        theta = mgu(S(x), S(f(y)))
+        assert theta is not None
+        assert theta.apply_term(x) == f(y)
+
+    def test_function_symbol_clash(self):
+        assert mgu(S(f(x)), S(g(y, z))) is None
+
+    def test_occurs_check(self):
+        assert mgu(R(x, x), R(y, f(y))) is None
+        assert not terms_unifiable(x, f(x))
+
+    def test_nested_unification(self):
+        theta = mgu(S(f(x)), S(f(a)))
+        assert theta is not None
+        assert theta.apply_term(x) == a
+
+    def test_unification_of_skolem_atoms_example_5_11(self):
+        """Unifying the head of rule (22) with the first body atom of rule (10)."""
+        skolem = FunctionSymbol("f", 2, is_skolem=True)
+        B = Predicate("B", 2)
+        x1, x2 = Variable("x1"), Variable("x2")
+        u1, u2 = Variable("u1"), Variable("u2")
+        head = B(x1, skolem(x1, x2))
+        body_atom = B(u1, u2)
+        theta = mgu(head, body_atom)
+        assert theta is not None
+        assert theta.apply_atom(head) == theta.apply_atom(body_atom)
+        unified_second_argument = theta.apply_term(u2)
+        assert not unified_second_argument.is_ground
+        assert any(sym == skolem for sym in unified_second_argument.function_symbols())
+
+
+class TestAtomLists:
+    def test_simultaneous_unification(self):
+        theta = mgu_atoms((R(x, y), S(x)), (R(a, z), S(a)))
+        assert theta is not None
+        assert theta.apply_term(x) == a
+
+    def test_length_mismatch(self):
+        assert mgu_atoms((S(x),), (S(x), S(y))) is None
+
+    def test_conflicting_positions_fail(self):
+        assert mgu_atoms((S(x), S(x)), (S(a), S(b))) is None
+
+
+class TestRestrictedMGU:
+    def test_frozen_variable_stays_fixed(self):
+        theta = restricted_mgu((S(y),), (S(x),), [y])
+        assert theta is not None
+        assert theta.get(y) is None
+        assert theta.apply_term(x) == y
+
+    def test_two_frozen_variables_cannot_unify(self):
+        assert restricted_mgu((S(y),), (S(z),), [y, z]) is None
+
+    def test_frozen_variable_cannot_bind_to_constant(self):
+        assert restricted_mgu((S(y),), (S(a),), [y]) is None
+
+    def test_unrestricted_behaviour_unchanged(self):
+        assert restricted_mgu((S(y),), (S(a),), []) is not None
+
+
+class TestHelpers:
+    def test_unifiable(self):
+        assert unifiable(R(x, y), R(a, b))
+        assert not unifiable(R(a, x), R(b, y))
+
+    def test_rename_disjoint_only_renames_clashes(self):
+        atoms = (R(x, y),)
+        renamed, renaming = rename_disjoint(atoms, {x}, "1")
+        assert x not in renamed[0].variable_set()
+        assert y in renamed[0].variable_set()
+        assert x in renaming.domain()

@@ -1,0 +1,101 @@
+"""Tests for the paper's parametric GTGD families and fixture examples."""
+
+import pytest
+
+from repro.logic.tgd import all_guarded, head_normalize
+from repro.workloads.families import (
+    cim_example,
+    cim_shortcut,
+    exbdr_blowup_family,
+    fulldr_example_e3,
+    hypdr_advantage_family,
+    running_example,
+    running_example_shortcuts,
+    skdr_blowup_family,
+)
+
+
+class TestFamilyShapes:
+    @pytest.mark.parametrize("n", [1, 2, 5])
+    def test_exbdr_blowup_family(self, n):
+        tgds = exbdr_blowup_family(n)
+        assert len(tgds) == n + 1
+        assert all_guarded(tgds)
+        non_full = [t for t in tgds if t.is_non_full]
+        assert len(non_full) == 1
+        assert len(non_full[0].existential_variables) == n
+
+    @pytest.mark.parametrize("n", [1, 3, 6])
+    def test_skdr_blowup_family(self, n):
+        tgds = skdr_blowup_family(n)
+        assert len(tgds) == 2
+        assert all_guarded(tgds)
+        non_full = [t for t in tgds if t.is_non_full][0]
+        assert len(non_full.head) == n
+        assert len(non_full.existential_variables) == 1
+
+    @pytest.mark.parametrize("n", [1, 4])
+    def test_hypdr_advantage_family(self, n):
+        tgds = hypdr_advantage_family(n)
+        assert len(tgds) == n + 2
+        assert all_guarded(tgds)
+        collector = tgds[-1]
+        assert len(collector.body) == n
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            exbdr_blowup_family(0)
+        with pytest.raises(ValueError):
+            skdr_blowup_family(0)
+        with pytest.raises(ValueError):
+            hypdr_advantage_family(0)
+
+
+class TestFixtureExamples:
+    def test_running_example_shape(self):
+        tgds, instance = running_example()
+        assert len(tgds) == 6
+        assert len(instance) == 1
+        assert all_guarded(tgds)
+        assert all(t.is_head_normal for t in head_normalize(tgds))
+
+    def test_running_example_shortcuts_are_full(self):
+        for shortcut in running_example_shortcuts():
+            assert shortcut.is_datalog_rule
+
+    def test_shortcuts_are_consequences_of_the_example(self):
+        """Rules (14)–(16) must hold in every model of Σ — check them on the oracle."""
+        from repro.chase import certain_base_facts
+        from repro.logic.parser import parse_facts
+
+        tgds, _ = running_example()
+        # if the body of shortcut (14) holds, its head must be entailed
+        instance = parse_facts("A(a, b).")
+        facts = certain_base_facts(instance, tgds)
+        assert any(f.predicate.name == "E" for f in facts)
+
+    def test_cim_example_shape(self):
+        tgds, instance = cim_example()
+        assert len(tgds) == 4
+        assert len(instance) == 4
+        assert all_guarded(tgds)
+
+    def test_cim_shortcut_is_a_consequence(self):
+        """Rule (7) ACEquipment(x) → Equipment(x) follows from GTGDs (1)–(3)."""
+        from repro.chase import certain_base_facts
+        from repro.logic.parser import parse_facts
+        from repro.logic.atoms import Predicate
+        from repro.logic.terms import Constant
+
+        tgds, _ = cim_example()
+        facts = certain_base_facts(parse_facts("ACEquipment(sw9)."), tgds)
+        assert Predicate("Equipment", 1)(Constant("sw9")) in facts
+        assert cim_shortcut().is_datalog_rule
+
+    def test_fulldr_example_shape(self):
+        tgds = fulldr_example_e3()
+        assert len(tgds) == 3
+        assert all_guarded(tgds)
+        arities = {atom.predicate.name: atom.predicate.arity
+                   for tgd in tgds for atom in tgd.body + tgd.head}
+        assert arities["S"] == 4 and arities["T"] == 3

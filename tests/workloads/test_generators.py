@@ -1,0 +1,179 @@
+"""Tests for the workload generators: random GTGDs, ontology suite, blow-up, instances."""
+
+import pytest
+
+from repro.logic.tgd import all_guarded, head_normalize, split_full_non_full
+from repro.workloads.blowup import ArityBlowup, blow_up_arity
+from repro.workloads.instances import (
+    generate_instance,
+    generate_power_grid_instance,
+    predicates_of_tgds,
+    scale_report,
+)
+from repro.workloads.ontology_suite import (
+    OntologyProfile,
+    generate_input,
+    generate_suite,
+    suite_statistics,
+)
+from repro.workloads.random_gtgds import (
+    RandomGTGDConfig,
+    generate_random_gtgds,
+    generate_random_instance,
+)
+
+
+class TestRandomGTGDs:
+    def test_generated_tgds_are_guarded(self):
+        for seed in range(10):
+            tgds = generate_random_gtgds(RandomGTGDConfig(seed=seed))
+            assert all_guarded(tgds)
+
+    def test_determinism(self):
+        config = RandomGTGDConfig(seed=5)
+        assert generate_random_gtgds(config) == generate_random_gtgds(config)
+
+    def test_seed_override(self):
+        config = RandomGTGDConfig(seed=5)
+        assert generate_random_gtgds(config, seed=6) != generate_random_gtgds(config)
+
+    def test_requested_count(self):
+        tgds = generate_random_gtgds(RandomGTGDConfig(seed=0, tgd_count=9))
+        assert len(tgds) == 9
+
+    def test_existential_probability_zero_gives_full_tgds(self):
+        tgds = generate_random_gtgds(
+            RandomGTGDConfig(seed=0, existential_probability=0.0)
+        )
+        assert all(tgd.is_full for tgd in tgds)
+
+    def test_random_instance_uses_program_predicates(self):
+        tgds = generate_random_gtgds(RandomGTGDConfig(seed=1))
+        instance = generate_random_instance(tgds, seed=1)
+        assert instance.is_base_instance
+        program_predicates = set(predicates_of_tgds(tgds))
+        assert instance.predicates() <= program_predicates
+
+
+class TestOntologySuite:
+    def test_single_input_generation(self):
+        profile = OntologyProfile(
+            class_count=10, property_count=3, axiom_count=25, seed=3
+        )
+        benchmark_input = generate_input(profile)
+        assert len(benchmark_input.ontology) == 25
+        assert benchmark_input.size > 0
+        assert all_guarded(benchmark_input.tgds)
+
+    def test_suite_sizes_grow_geometrically(self):
+        suite = generate_suite(count=5, seed=0, min_axioms=10, max_axioms=160)
+        sizes = [len(item.ontology) for item in suite]
+        assert sizes[0] == 10
+        assert sizes[-1] == 160
+        assert sizes == sorted(sizes)
+
+    def test_suite_is_deterministic(self):
+        first = generate_suite(count=3, seed=7, min_axioms=10, max_axioms=30)
+        second = generate_suite(count=3, seed=7, min_axioms=10, max_axioms=30)
+        assert [item.tgds for item in first] == [item.tgds for item in second]
+
+    def test_suite_contains_full_and_non_full_tgds(self):
+        suite = generate_suite(count=4, seed=2, min_axioms=20, max_axioms=60)
+        for item in suite:
+            full, non_full = split_full_non_full(head_normalize(item.tgds))
+            assert full, item.identifier
+            assert non_full, item.identifier
+
+    def test_statistics_block(self):
+        suite = generate_suite(count=4, seed=2, min_axioms=20, max_axioms=60)
+        stats = suite_statistics(suite)
+        assert stats["full"]["min"] <= stats["full"]["med"] <= stats["full"]["max"]
+        assert stats["non_full"]["min"] <= stats["non_full"]["max"]
+
+    def test_identifiers_are_unique(self):
+        suite = generate_suite(count=6, seed=0, min_axioms=10, max_axioms=20)
+        identifiers = [item.identifier for item in suite]
+        assert len(set(identifiers)) == len(identifiers)
+
+
+class TestArityBlowup:
+    def test_arities_are_multiplied(self, cim):
+        tgds, _ = cim
+        blown = blow_up_arity(tgds, factor=5, extra_atom_probability=0.0, seed=0)
+        original_arities = {
+            atom.predicate.name: atom.predicate.arity
+            for tgd in tgds
+            for atom in tgd.body + tgd.head
+        }
+        for tgd in blown:
+            for atom in tgd.body + tgd.head:
+                if atom.predicate.name in original_arities:
+                    assert (
+                        atom.predicate.arity
+                        == original_arities[atom.predicate.name] * 5
+                    )
+
+    def test_guardedness_is_preserved(self, cim):
+        tgds, _ = cim
+        for seed in range(5):
+            blown = blow_up_arity(tgds, factor=3, extra_atom_probability=0.5, seed=seed)
+            assert all_guarded(blown)
+
+    def test_factor_one_without_extras_is_a_renaming(self, cim):
+        tgds, _ = cim
+        blown = blow_up_arity(tgds, factor=1, extra_atom_probability=0.0, seed=0)
+        assert len(blown) == len(tgds)
+        for original, transformed in zip(tgds, blown):
+            assert len(original.body) == len(transformed.body)
+            assert len(original.head) == len(transformed.head)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            ArityBlowup(factor=0)
+
+    def test_extra_atoms_can_appear(self, cim):
+        tgds, _ = cim
+        blown = blow_up_arity(tgds, factor=2, extra_atom_probability=1.0, seed=1)
+        body_sizes_original = sum(len(t.body) for t in tgds)
+        body_sizes_blown = sum(len(t.body) for t in blown)
+        assert body_sizes_blown > body_sizes_original
+
+    def test_existentials_are_preserved(self, cim):
+        tgds, _ = cim
+        blown = blow_up_arity(tgds, factor=2, extra_atom_probability=0.0, seed=0)
+        assert sum(t.is_non_full for t in blown) == sum(t.is_non_full for t in tgds)
+
+
+class TestInstanceGenerators:
+    def test_generated_instance_size(self, cim):
+        tgds, _ = cim
+        instance = generate_instance(tgds, fact_count=200, constant_count=40, seed=0)
+        assert 150 <= len(instance) <= 200
+        assert instance.is_base_instance
+
+    def test_instances_are_deterministic(self, cim):
+        tgds, _ = cim
+        first = generate_instance(tgds, fact_count=50, seed=3)
+        second = generate_instance(tgds, fact_count=50, seed=3)
+        assert first == second
+
+    def test_empty_tgds_give_empty_instance(self):
+        assert len(generate_instance([], fact_count=10)) == 0
+
+    def test_power_grid_instance_has_incomplete_equipment(self):
+        instance = generate_power_grid_instance(
+            equipment_count=30, terminal_fraction=0.5, seed=1
+        )
+        counts = {p.name: 0 for p in instance.predicates()}
+        for fact in instance:
+            counts[fact.predicate.name] += 1
+        assert counts["ACEquipment"] == 30
+        assert 0 < counts.get("hasTerminal", 0) < 30
+
+    def test_scale_report(self, cim):
+        tgds, _ = cim
+        instance = generate_instance(tgds, fact_count=80, constant_count=20, seed=0)
+        report = scale_report(instance)
+        assert report["facts"] == len(instance)
+        assert report["constants"] <= 20
+        assert report["predicates"] >= 1
