@@ -1,0 +1,58 @@
+"""Standalone timing probe for the separation-families saturation workload.
+
+Mirrors benchmarks/bench_separation_families.py without pytest so that the
+wall time of the saturation loop itself can be measured before and after
+optimizations.  Run with::
+
+    PYTHONPATH=src python benchmarks/perf_baseline_probe.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.rewriting import RewritingSettings
+from repro.rewriting.exbdr import ExbDR
+from repro.rewriting.hypdr import HypDR
+from repro.rewriting.saturation import Saturation
+from repro.rewriting.skdr import SkDR
+from repro.workloads.families import (
+    exbdr_blowup_family,
+    hypdr_advantage_family,
+    skdr_blowup_family,
+)
+
+NS = (2, 3, 4, 5)
+RAW_SETTINGS = RewritingSettings(use_subsumption=False, use_lookahead=False)
+
+
+def _clause_count(inference_cls, tgds) -> int:
+    saturation = Saturation(inference_cls(RAW_SETTINGS))
+    saturation.run(tgds)
+    return len(saturation._worked_off)
+
+
+def run_once() -> dict:
+    timings = {}
+    start_all = time.perf_counter()
+    for n in NS:
+        family_514 = exbdr_blowup_family(n)
+        family_515 = skdr_blowup_family(n)
+        family_520 = hypdr_advantage_family(n)
+        start = time.perf_counter()
+        _clause_count(ExbDR, family_514)
+        _clause_count(SkDR, family_514)
+        _clause_count(ExbDR, family_515)
+        _clause_count(SkDR, family_515)
+        _clause_count(SkDR, family_520)
+        _clause_count(HypDR, family_520)
+        timings[f"n={n}"] = time.perf_counter() - start
+    timings["total"] = time.perf_counter() - start_all
+    return timings
+
+
+if __name__ == "__main__":
+    runs = [run_once() for _ in range(3)]
+    best = {key: min(run[key] for run in runs) for key in runs[0]}
+    print(json.dumps(best, indent=2))

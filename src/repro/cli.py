@@ -148,6 +148,47 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_perf(args: argparse.Namespace) -> int:
+    import json
+
+    from .harness.runner import run_perf_capture
+    from .harness.reports import perf_report
+
+    # validate both paths before paying for the capture run
+    previous = None
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_file():
+            print(f"error: baseline file not found: {baseline_path}", file=sys.stderr)
+            return 2
+        try:
+            previous = json.loads(baseline_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            print(f"error: baseline is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        expected_scale = "smoke" if args.smoke else "default"
+        baseline_scale = previous.get("scale")
+        if baseline_scale != expected_scale:
+            print(
+                f"error: scale mismatch: this run is {expected_scale!r} but the "
+                f"baseline capture is {baseline_scale!r}; wall times would not "
+                "be comparable",
+                file=sys.stderr,
+            )
+            return 2
+    output_dir = Path(args.output).resolve().parent
+    if not output_dir.is_dir():
+        print(f"error: output directory does not exist: {output_dir}", file=sys.stderr)
+        return 2
+
+    payload = run_perf_capture(
+        smoke=args.smoke, output_path=args.output, baseline=previous
+    )
+    print(perf_report(payload))
+    print(f"# written to {args.output}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -185,6 +226,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats_parser.add_argument("dependencies")
     stats_parser.set_defaults(handler=_command_stats)
+
+    perf_parser = subparsers.add_parser(
+        "perf",
+        help="run the recorded benchmark scenarios and emit BENCH_rewriting.json",
+    )
+    perf_parser.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_rewriting.json",
+        help="where to write the JSON capture (default: BENCH_rewriting.json)",
+    )
+    perf_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workloads only (seconds, for CI smoke runs)",
+    )
+    perf_parser.add_argument(
+        "--baseline",
+        help="a previous BENCH_rewriting.json to compare wall times against",
+    )
+    perf_parser.set_defaults(handler=_command_perf)
 
     return parser
 

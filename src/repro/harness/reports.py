@@ -149,6 +149,60 @@ def end_to_end_report(rows: Sequence[Mapping[str, object]]) -> str:
     )
 
 
+def perf_report(payload: Mapping[str, object]) -> str:
+    """Render a BENCH_rewriting capture (see harness.perfcapture) as text."""
+    lines: List[str] = [
+        f"Perf capture ({payload.get('scale', '?')} scale): "
+        f"{payload.get('wall_seconds', 0.0):.2f}s total"
+    ]
+    scenarios = payload.get("scenarios", {})
+    if isinstance(scenarios, Mapping):
+        rows = []
+        for name, scenario in scenarios.items():
+            if not isinstance(scenario, Mapping):
+                continue
+            clauses = scenario.get("clauses", {})
+            rows.append(
+                [
+                    name,
+                    scenario.get("wall_seconds", ""),
+                    clauses.get("generated", ""),
+                    clauses.get("retained", ""),
+                    clauses.get("subsumption_hit_rate", ""),
+                ]
+            )
+        lines.append(
+            format_table(
+                ["Scenario", "Wall (s)", "Generated", "Retained", "Subs. hit rate"],
+                rows,
+            )
+        )
+        separation = scenarios.get("separation_families")
+        if isinstance(separation, Mapping) and separation.get("speedup_vs_pre_change"):
+            lines.append(
+                f"separation_families speedup vs pre-change loop: "
+                f"{separation['speedup_vs_pre_change']}x"
+            )
+    interning = payload.get("interning", {})
+    if isinstance(interning, Mapping) and "overall" in interning:
+        overall = interning["overall"]
+        lines.append(
+            f"interning: {overall.get('hits', 0)} hits / "
+            f"{overall.get('misses', 0)} misses "
+            f"(hit rate {overall.get('hit_rate', 0.0)})"
+        )
+    baseline = payload.get("speedup_vs_baseline_file")
+    if isinstance(baseline, Mapping):
+        if "error" in baseline:
+            lines.append(f"baseline comparison FAILED: {baseline['error']}")
+        else:
+            rendered = ", ".join(
+                f"{name} {ratio}x" for name, ratio in baseline.items()
+            )
+            lines.append(f"speedup vs baseline file: {rendered or '(no data)'}")
+    return "\n".join(lines)
+
+
 def full_figure_report(records: Sequence[RunRecord], title: str) -> str:
     """The complete Figure 4/5-style report: summary, cactus plot, pairwise matrices."""
     return "\n\n".join(

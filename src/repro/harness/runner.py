@@ -137,6 +137,28 @@ class BenchmarkRunner:
         return tuple(records)
 
 
+def run_perf_capture(
+    smoke: bool = False,
+    output_path: "str | None" = "BENCH_rewriting.json",
+    baseline: "Optional[dict]" = None,
+):
+    """Perf-capture mode: run the recorded benchmark scenarios and persist JSON.
+
+    The single composition of :mod:`repro.harness.perfcapture` used by the
+    CLI (``python -m repro perf``) and available programmatically: capture,
+    optionally compare against a previously recorded payload, write the
+    JSON (unless ``output_path`` is ``None``), return the payload.
+    """
+    from .perfcapture import capture_perf, compare_captures, write_bench_json
+
+    payload = capture_perf(smoke=smoke)
+    if baseline is not None:
+        payload["speedup_vs_baseline_file"] = compare_captures(payload, baseline)
+    if output_path is not None:
+        write_bench_json(payload, output_path)
+    return payload
+
+
 def run_on_tgds(
     tgds: Iterable[TGD],
     algorithm: str,

@@ -46,6 +46,10 @@ class SubsumptionIndex(Generic[Item]):
         self._clustering = clustering
         self._trie: SetTrie = SetTrie()
         self._features: Dict[Clause, Tuple[frozenset, FrozenSet[Predicate], FrozenSet[Predicate]]] = {}
+        #: one-slot memo for the clause currently being queried, so the
+        #: forward check, backward check, and add of one admission compute
+        #: its features once without pinning discarded clauses forever
+        self._last_query: Optional[Tuple[Clause, Tuple]] = None
 
     # ------------------------------------------------------------------
     # feature computation
@@ -55,12 +59,25 @@ class SubsumptionIndex(Generic[Item]):
             return frozenset((pred.name, pred.arity) for pred in predicates)
         return self._clustering.clusters_of(predicates)
 
-    def _features_of(self, item: Clause):
+    def _features_of(self, item: Clause, store: bool = False):
+        """Feature tuple of ``item``; cached only for stored items.
+
+        Query clauses (forward-subsumption probes that get discarded) must
+        not populate the cache, or the index would pin every clause ever
+        queried for the lifetime of the run.
+        """
         cached = self._features.get(item)
-        if cached is None:
+        if cached is not None:
+            return cached
+        last = self._last_query
+        if last is not None and last[0] is item:
+            cached = last[1]
+        else:
             body_preds = _body_predicates(item)
             head_preds = _head_predicates(item)
             cached = (self._body_key(body_preds), body_preds, head_preds)
+            self._last_query = (item, cached)
+        if store:
             self._features[item] = cached
         return cached
 
@@ -68,7 +85,7 @@ class SubsumptionIndex(Generic[Item]):
     # mutation
     # ------------------------------------------------------------------
     def add(self, item: Item) -> None:
-        body_key, _, _ = self._features_of(item)
+        body_key, _, _ = self._features_of(item, store=True)
         self._trie.insert(body_key, item)
 
     def remove(self, item: Item) -> None:
@@ -76,6 +93,9 @@ class SubsumptionIndex(Generic[Item]):
         if features is None:
             return
         self._trie.remove(features[0], item)
+        # evict the feature cache entry so long saturation runs with heavy
+        # backward subsumption do not accumulate features of dead clauses
+        del self._features[item]
 
     def __len__(self) -> int:
         return len(self._trie)

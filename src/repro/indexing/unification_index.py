@@ -6,6 +6,16 @@ containing it in the head.  Given a newly processed TGD, the partners that
 could participate in an ExbDR (or FullDR) inference with it are retrieved by
 looking up the relations of its head (to find full TGDs whose body mentions
 them) or of its body (to find non-full TGDs whose head mentions them).
+
+On top of the body/head tables, this implementation maintains
+*fullness-split* and *guard-signature* buckets:
+
+* full TGDs are additionally indexed by the relations of their guards, so an
+  ExbDR lookup — whose unification always goes through a guard of the full
+  premise (Proposition 5.7) — only meets partners whose guard relation
+  actually occurs in the non-full premise's head;
+* the full/non-full partner retrievals draw from pre-split buckets instead
+  of filtering a mixed bucket per query.
 """
 
 from __future__ import annotations
@@ -18,11 +28,17 @@ from ..logic.tgd import TGD
 
 
 class TGDUnificationIndex:
-    """Hash-based retrieval of TGDs by body/head relation."""
+    """Hash-based retrieval of TGDs by body/head/guard relation."""
 
     def __init__(self) -> None:
         self._by_body: Dict[Predicate, Set[TGD]] = defaultdict(set)
         self._by_head: Dict[Predicate, Set[TGD]] = defaultdict(set)
+        #: full TGDs keyed by body relation (PROPAGATE/COMPOSE partners)
+        self._full_by_body: Dict[Predicate, Set[TGD]] = defaultdict(set)
+        #: full TGDs keyed by the relations of their guards (ExbDR partners)
+        self._full_by_guard: Dict[Predicate, Set[TGD]] = defaultdict(set)
+        #: non-full TGDs keyed by head relation
+        self._non_full_by_head: Dict[Predicate, Set[TGD]] = defaultdict(set)
         self._items: Set[TGD] = set()
 
     # ------------------------------------------------------------------
@@ -32,19 +48,35 @@ class TGDUnificationIndex:
         if tgd in self._items:
             return
         self._items.add(tgd)
-        for atom in tgd.body:
-            self._by_body[atom.predicate].add(tgd)
-        for atom in tgd.head:
-            self._by_head[atom.predicate].add(tgd)
+        for predicate in {atom.predicate for atom in tgd.body}:
+            self._by_body[predicate].add(tgd)
+            if tgd.is_full:
+                self._full_by_body[predicate].add(tgd)
+        for predicate in {atom.predicate for atom in tgd.head}:
+            self._by_head[predicate].add(tgd)
+            if tgd.is_non_full:
+                self._non_full_by_head[predicate].add(tgd)
+        if tgd.is_full:
+            for predicate in {atom.predicate for atom in tgd.guards()}:
+                self._full_by_guard[predicate].add(tgd)
 
     def remove(self, tgd: TGD) -> None:
         if tgd not in self._items:
             return
         self._items.discard(tgd)
+        # mirror add()'s fullness guards: subscripting the defaultdict for a
+        # bucket the clause was never in would leave dead empty-set entries
         for atom in tgd.body:
             self._by_body[atom.predicate].discard(tgd)
+            if tgd.is_full:
+                self._full_by_body[atom.predicate].discard(tgd)
         for atom in tgd.head:
             self._by_head[atom.predicate].discard(tgd)
+            if tgd.is_non_full:
+                self._non_full_by_head[atom.predicate].discard(tgd)
+        if tgd.is_full:
+            for atom in tgd.guards():
+                self._full_by_guard[atom.predicate].discard(tgd)
 
     def __contains__(self, tgd: TGD) -> bool:
         return tgd in self._items
@@ -71,8 +103,25 @@ class TGDUnificationIndex:
         seen: Set[TGD] = set()
         ordered: List[TGD] = []
         for atom in non_full.head:
-            for candidate in self._by_body.get(atom.predicate, ()):
-                if candidate.is_full and candidate not in seen:
+            for candidate in self._full_by_body.get(atom.predicate, ()):
+                if candidate not in seen:
+                    seen.add(candidate)
+                    ordered.append(candidate)
+        return tuple(ordered)
+
+    def full_partners_by_guard(self, non_full: TGD) -> Tuple[TGD, ...]:
+        """Full TGDs some guard of which shares a relation with ``non_full``'s head.
+
+        This is the ExbDR partner signature: the unification of Definition 5.5
+        always unifies a guard of the full premise with a head atom of the
+        non-full premise, so partners whose guards mention none of the head
+        relations can be skipped without looking at them.
+        """
+        seen: Set[TGD] = set()
+        ordered: List[TGD] = []
+        for atom in non_full.head:
+            for candidate in self._full_by_guard.get(atom.predicate, ()):
+                if candidate not in seen:
                     seen.add(candidate)
                     ordered.append(candidate)
         return tuple(ordered)
@@ -82,8 +131,19 @@ class TGDUnificationIndex:
         seen: Set[TGD] = set()
         ordered: List[TGD] = []
         for atom in full.body:
-            for candidate in self._by_head.get(atom.predicate, ()):
-                if candidate.is_non_full and candidate not in seen:
+            for candidate in self._non_full_by_head.get(atom.predicate, ()):
+                if candidate not in seen:
+                    seen.add(candidate)
+                    ordered.append(candidate)
+        return tuple(ordered)
+
+    def non_full_partners_by_guard(self, full: TGD) -> Tuple[TGD, ...]:
+        """Non-full TGDs whose head shares a relation with a *guard* of ``full``."""
+        seen: Set[TGD] = set()
+        ordered: List[TGD] = []
+        for atom in full.guards():
+            for candidate in self._non_full_by_head.get(atom.predicate, ()):
+                if candidate not in seen:
                     seen.add(candidate)
                     ordered.append(candidate)
         return tuple(ordered)

@@ -9,12 +9,18 @@ Following Section 3 of the paper:
 
 A single :class:`Atom` class covers both notions; helper predicates classify
 an atom as a fact or a base fact.
+
+Predicates and atoms are interned (hash-consed) like terms: equal values are
+identical objects, and per-atom derived data (variable tuple/set, groundness,
+function-freeness) is computed once per distinct atom and shared by every
+occurrence.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Sequence, Tuple
 
+from .interning import counter, maybe_evict, register_cache_clearer
 from .terms import (
     Constant,
     FunctionSymbol,
@@ -30,15 +36,31 @@ class Predicate:
 
     __slots__ = ("name", "arity", "_hash")
 
-    def __init__(self, name: str, arity: int) -> None:
+    _interned: Dict[Tuple[str, int], "Predicate"] = {}
+    _counter = counter("predicate")
+
+    def __new__(cls, name: str, arity: int) -> "Predicate":
+        key = (name, arity)
+        interned = cls._interned.get(key)
+        if interned is not None:
+            cls._counter.hits += 1
+            return interned
         if arity < 0:
             raise ValueError("predicate arity must be nonnegative")
+        cls._counter.misses += 1
+        maybe_evict(cls._interned)
+        self = super().__new__(cls)
         self.name = name
         self.arity = arity
         self._hash = hash(("pred", name, arity))
+        cls._interned[key] = self
+        return self
+
+    def __reduce__(self):
+        return (Predicate, (self.name, self.arity))
 
     def __eq__(self, other: object) -> bool:
-        return (
+        return self is other or (
             isinstance(other, Predicate)
             and self.name == other.name
             and self.arity == other.arity
@@ -60,22 +82,57 @@ class Predicate:
 class Atom:
     """An atom ``R(t1, ..., tn)``.
 
-    Atoms are immutable and hashable.  The same class represents facts
-    (all-ground argument vectors) and base facts (all-constant vectors).
+    Atoms are immutable, hashable, and interned.  The same class represents
+    facts (all-ground argument vectors) and base facts (all-constant vectors).
     """
 
-    __slots__ = ("predicate", "args", "_hash")
+    __slots__ = (
+        "predicate",
+        "args",
+        "_hash",
+        "_variables",
+        "_varset",
+        "_ground",
+        "_function_free",
+        "_sort_key",
+    )
 
-    def __init__(self, predicate: Predicate, args: Sequence[Term]) -> None:
+    _interned: Dict[Tuple[Predicate, Tuple[Term, ...]], "Atom"] = {}
+    _counter = counter("atom")
+
+    def __new__(cls, predicate: Predicate, args: Sequence[Term]) -> "Atom":
         args = tuple(args)
+        key = (predicate, args)
+        interned = cls._interned.get(key)
+        if interned is not None:
+            cls._counter.hits += 1
+            return interned
         if len(args) != predicate.arity:
             raise ValueError(
                 f"predicate {predicate.name} has arity {predicate.arity}, "
                 f"got {len(args)} arguments"
             )
+        cls._counter.misses += 1
+        maybe_evict(cls._interned)
+        self = super().__new__(cls)
         self.predicate = predicate
         self.args = args
         self._hash = hash(("atom", predicate, args))
+        variables = tuple(var for arg in args for var in arg.variables())
+        self._variables = variables
+        self._varset = frozenset(variables)
+        self._ground = not variables
+        self._function_free = not any(
+            isinstance(arg, FunctionTerm) for arg in args
+        )
+        #: lazily computed by repro.logic.normal_form._atom_sort_key; interning
+        #: makes the cache global across every occurrence of the atom
+        self._sort_key = None
+        cls._interned[key] = self
+        return self
+
+    def __reduce__(self):
+        return (Atom, (self.predicate, self.args))
 
     # ------------------------------------------------------------------
     # classification
@@ -83,12 +140,12 @@ class Atom:
     @property
     def is_ground(self) -> bool:
         """``True`` if no argument contains a variable (i.e. the atom is a fact)."""
-        return all(arg.is_ground for arg in self.args)
+        return self._ground
 
     @property
     def is_fact(self) -> bool:
         """Alias of :attr:`is_ground`."""
-        return self.is_ground
+        return self._ground
 
     @property
     def is_base_fact(self) -> bool:
@@ -98,7 +155,7 @@ class Atom:
     @property
     def is_function_free(self) -> bool:
         """``True`` if no argument is (or contains) a functional term."""
-        return not any(isinstance(arg, FunctionTerm) for arg in self.args)
+        return self._function_free
 
     @property
     def has_skolem(self) -> bool:
@@ -116,8 +173,7 @@ class Atom:
     # symbol access
     # ------------------------------------------------------------------
     def variables(self) -> Iterator[Variable]:
-        for arg in self.args:
-            yield from arg.variables()
+        return iter(self._variables)
 
     def constants(self) -> Iterator[Constant]:
         for arg in self.args:
@@ -131,8 +187,8 @@ class Atom:
         for arg in self.args:
             yield from arg.function_symbols()
 
-    def variable_set(self) -> frozenset:
-        return frozenset(self.variables())
+    def variable_set(self) -> FrozenSet[Variable]:
+        return self._varset
 
     def terms(self) -> Iterator[Term]:
         """Yield the top-level argument terms."""
@@ -142,7 +198,7 @@ class Atom:
     # dunder
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
-        return (
+        return self is other or (
             isinstance(other, Atom)
             and self._hash == other._hash
             and self.predicate == other.predicate
@@ -162,11 +218,15 @@ class Atom:
         return f"{self.predicate.name}({inner})"
 
 
+register_cache_clearer(Predicate._interned.clear)
+register_cache_clearer(Atom._interned.clear)
+
+
 def atom_variables(atoms: Iterable[Atom]) -> Tuple[Variable, ...]:
     """Distinct variables of a collection of atoms, in order of first occurrence."""
     seen = {}
     for atom in atoms:
-        for var in atom.variables():
+        for var in atom._variables:
             if var not in seen:
                 seen[var] = None
     return tuple(seen)

@@ -23,44 +23,51 @@ from .terms import Constant, FunctionTerm, Term, Variable
 from .tgd import TGD
 
 
+def _term_shape(term: Term) -> Tuple:
+    if isinstance(term, Constant):
+        return (0, term.name)
+    if isinstance(term, FunctionTerm):
+        return (1, term.symbol.name, tuple(_term_shape(arg) for arg in term.args))
+    return (2, "")
+
+
 def _atom_sort_key(atom: Atom) -> Tuple:
     """Deterministic ordering on atoms: by predicate, then by argument shape.
 
     The argument shape distinguishes constants and functional terms but treats
     all variables alike, so the key is invariant under variable renaming; this
-    keeps the normalization canonical.
+    keeps the normalization canonical.  Keys are cached on the (interned)
+    atom, so each distinct atom computes its shape once per process.
     """
-
-    def term_shape(term: Term) -> Tuple:
-        if isinstance(term, Constant):
-            return (0, term.name)
-        if isinstance(term, FunctionTerm):
-            return (1, term.symbol.name, tuple(term_shape(arg) for arg in term.args))
-        return (2, "")
-
-    return (
-        atom.predicate.name,
-        atom.predicate.arity,
-        tuple(term_shape(arg) for arg in atom.args),
-    )
+    key = atom._sort_key
+    if key is None:
+        key = atom._sort_key = (
+            atom.predicate.name,
+            atom.predicate.arity,
+            tuple(_term_shape(arg) for arg in atom.args),
+        )
+    return key
 
 
-def _rename_term(term: Term, mapping: Dict[Variable, Variable], prefix: str,
-                 existential: frozenset, exist_prefix: str) -> Term:
+def _rename_term(term: Term, mapping: Dict[Variable, Variable],
+                 existential: frozenset, counts: List[int]) -> Term:
+    """``counts`` holds the running [universal, existential] rename counters."""
     if isinstance(term, Variable):
         renamed = mapping.get(term)
         if renamed is None:
             if term in existential:
-                renamed = Variable(f"{exist_prefix}{sum(1 for v in mapping.values() if v.name.startswith(exist_prefix)) + 1}")
+                counts[1] += 1
+                renamed = Variable(f"y{counts[1]}")
             else:
-                renamed = Variable(f"{prefix}{sum(1 for v in mapping.values() if v.name.startswith(prefix)) + 1}")
+                counts[0] += 1
+                renamed = Variable(f"x{counts[0]}")
             mapping[term] = renamed
         return renamed
     if isinstance(term, FunctionTerm):
         return FunctionTerm(
             term.symbol,
             tuple(
-                _rename_term(arg, mapping, prefix, existential, exist_prefix)
+                _rename_term(arg, mapping, existential, counts)
                 for arg in term.args
             ),
         )
@@ -71,11 +78,15 @@ def _rename_atoms(
     atoms: Sequence[Atom],
     mapping: Dict[Variable, Variable],
     existential: frozenset,
+    counts: List[int],
 ) -> Tuple[Atom, ...]:
     renamed: List[Atom] = []
     for atom in atoms:
+        if atom.is_ground:
+            renamed.append(atom)
+            continue
         new_args = tuple(
-            _rename_term(arg, mapping, "x", existential, "y") for arg in atom.args
+            _rename_term(arg, mapping, existential, counts) for arg in atom.args
         )
         renamed.append(Atom(atom.predicate, new_args))
     return tuple(renamed)
@@ -86,24 +97,48 @@ def normalize_tgd(tgd: TGD) -> TGD:
 
     Atoms are sorted deterministically and variables renamed to
     ``x1, x2, ...`` (universal) and ``y1, y2, ...`` (existential) in order of
-    first occurrence.
+    first occurrence.  Outputs carry the ``is_canonical`` flag, so
+    renormalizing a clause that is already in canonical form is O(1); the
+    subsumption hot path relies on this.
     """
+    cached = tgd._canonical_form
+    if cached is not None:
+        return cached
+    if tgd.is_canonical:
+        tgd._canonical_form = tgd
+        return tgd
     body = tuple(sorted(tgd.body, key=_atom_sort_key))
     head = tuple(sorted(tgd.head, key=_atom_sort_key))
     mapping: Dict[Variable, Variable] = {}
-    existential = frozenset(tgd.existential_variables)
-    new_body = _rename_atoms(body, mapping, existential)
-    new_head = _rename_atoms(head, mapping, existential)
-    return TGD(new_body, new_head)
+    counts = [0, 0]
+    existential = tgd.existential_variables
+    new_body = _rename_atoms(body, mapping, existential, counts)
+    new_head = _rename_atoms(head, mapping, existential, counts)
+    normalized = TGD(new_body, new_head)
+    normalized.is_canonical = True
+    normalized._canonical_form = normalized
+    tgd._canonical_form = normalized
+    return normalized
 
 
 def normalize_rule(rule: Rule) -> Rule:
     """Return the canonical-variable form of a rule (head last, body sorted)."""
+    cached = rule._canonical_form
+    if cached is not None:
+        return cached
+    if rule.is_canonical:
+        rule._canonical_form = rule
+        return rule
     body = tuple(sorted(rule.body, key=_atom_sort_key))
     mapping: Dict[Variable, Variable] = {}
-    new_body = _rename_atoms(body, mapping, frozenset())
-    new_head = _rename_atoms((rule.head,), mapping, frozenset())[0]
-    return Rule(new_body, new_head)
+    counts = [0, 0]
+    new_body = _rename_atoms(body, mapping, frozenset(), counts)
+    new_head = _rename_atoms((rule.head,), mapping, frozenset(), counts)[0]
+    normalized = Rule(new_body, new_head)
+    normalized.is_canonical = True
+    normalized._canonical_form = normalized
+    rule._canonical_form = normalized
+    return normalized
 
 
 def normalize(obj):

@@ -16,28 +16,77 @@ from __future__ import annotations
 from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
 
 from .atoms import Atom, atom_constants, atom_variables
+from .interning import counter, maybe_evict, register_cache_clearer
 from .substitution import Substitution
 from .terms import Constant, FunctionTerm, Variable
 
 
 class Rule:
-    """A rule ``body → head`` with a single head atom and no existentials."""
+    """A rule ``body → head`` with a single head atom and no existentials.
 
-    __slots__ = ("body", "head", "_hash", "_variables")
+    Rules are interned like TGDs: re-deriving an already-seen rule returns
+    the identical object, sharing the per-clause caches (guards, premise
+    renamings, canonical-form flag).
+    """
+
+    __slots__ = (
+        "body",
+        "head",
+        "_hash",
+        "_variables",
+        "_guards",
+        "_renamed",
+        "is_canonical",
+        "_body_set",
+        "_skolem_free",
+        "_body_skolem_free",
+        "_canonical_form",
+    )
+
+    _interned: dict = {}
+    _counter = counter("rule")
+
+    def __new__(cls, body: Sequence[Atom], head: Atom) -> "Rule":
+        key = (tuple(body), head)
+        interned = cls._interned.get(key)
+        if interned is not None:
+            cls._counter.hits += 1
+            return interned
+        self = super().__new__(cls)
+        self._init_structure(key[0], head)
+        cls._counter.misses += 1
+        maybe_evict(cls._interned)
+        cls._interned[key] = self
+        return self
 
     def __init__(self, body: Sequence[Atom], head: Atom) -> None:
-        body = tuple(body)
+        # construction happens entirely in __new__ (interned); nothing to do
+        pass
+
+    def __reduce__(self):
+        return (Rule, (self.body, self.head))
+
+    def _init_structure(self, body: Tuple[Atom, ...], head: Atom) -> None:
         self.body = body
         self.head = head
         self._hash = hash(("rule", body, head))
         variables = set(atom_variables(body))
-        head_vars = set(head.variables())
+        head_vars = head.variable_set()
         if not head_vars <= variables:
             raise ValueError(
                 "rule head variables must be contained in the body variables: "
                 f"{head} has free variables not in {body}"
             )
         self._variables = frozenset(variables)
+        self._guards: Optional[Tuple[Atom, ...]] = None
+        self._renamed: Optional[dict] = None
+        #: set by :func:`repro.logic.normal_form.normalize_rule` on its output
+        self.is_canonical = False
+        self._body_set: Optional[FrozenSet[Atom]] = None
+        self._body_skolem_free = all(atom.is_function_free for atom in body)
+        self._skolem_free = self._body_skolem_free and head.is_function_free
+        #: set by normalize_rule: this rule's canonical-variable form
+        self._canonical_form: "Optional[Rule]" = None
 
     # ------------------------------------------------------------------
     # structure
@@ -51,13 +100,11 @@ class Rule:
     @property
     def is_skolem_free(self) -> bool:
         """``True`` if no atom of the rule contains a function symbol."""
-        return all(atom.is_function_free for atom in self.body) and (
-            self.head.is_function_free
-        )
+        return self._skolem_free
 
     @property
     def body_is_skolem_free(self) -> bool:
-        return all(atom.is_function_free for atom in self.body)
+        return self._body_skolem_free
 
     @property
     def is_datalog_rule(self) -> bool:
@@ -67,7 +114,15 @@ class Rule:
     @property
     def is_syntactic_tautology(self) -> bool:
         """Definition 5.1 for rules: the head occurs in the body."""
-        return self.head in self.body
+        return self.head in self.body_atom_set
+
+    @property
+    def body_atom_set(self) -> FrozenSet[Atom]:
+        """The body atoms as a (cached) frozenset."""
+        cached = self._body_set
+        if cached is None:
+            cached = self._body_set = frozenset(self.body)
+        return cached
 
     @property
     def size(self) -> int:
@@ -83,12 +138,15 @@ class Rule:
     # ------------------------------------------------------------------
     def guards(self) -> Tuple[Atom, ...]:
         """Skolem-free body atoms mentioning every variable of the rule."""
-        variables = self._variables
-        return tuple(
-            atom
-            for atom in self.body
-            if atom.is_function_free and atom.variable_set() >= variables
-        )
+        cached = self._guards
+        if cached is None:
+            variables = self._variables
+            cached = self._guards = tuple(
+                atom
+                for atom in self.body
+                if atom.is_function_free and atom.variable_set() >= variables
+            )
+        return cached
 
     @property
     def is_guarded(self) -> bool:
@@ -116,22 +174,31 @@ class Rule:
     # transformations
     # ------------------------------------------------------------------
     def apply(self, substitution: Substitution) -> "Rule":
+        if not substitution:
+            return self
         return Rule(
             substitution.apply_atoms(self.body),
             substitution.apply_atom(self.head),
         )
 
     def rename_apart(self, suffix: str) -> "Rule":
-        mapping = {
-            var: Variable(f"{var.name}@{suffix}") for var in self._variables
-        }
-        return self.apply(Substitution(mapping))
+        """Deterministic premise renaming, cached per suffix (see TGD)."""
+        cache = self._renamed
+        if cache is None:
+            cache = self._renamed = {}
+        renamed = cache.get(suffix)
+        if renamed is None:
+            mapping = {
+                var: Variable(f"{var.name}@{suffix}") for var in self._variables
+            }
+            renamed = cache[suffix] = self.apply(Substitution(mapping))
+        return renamed
 
     # ------------------------------------------------------------------
     # dunder
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
-        return (
+        return self is other or (
             isinstance(other, Rule)
             and self._hash == other._hash
             and self.body == other.body
@@ -147,6 +214,9 @@ class Rule:
     def __str__(self) -> str:
         body = " & ".join(str(atom) for atom in self.body) if self.body else "true"
         return f"{body} -> {self.head}"
+
+
+register_cache_clearer(Rule._interned.clear)
 
 
 def datalog_rules(rules: Iterable[Rule]) -> Tuple[Rule, ...]:

@@ -25,6 +25,13 @@ class Substitution:
     def __init__(self, mapping: Optional[Mapping[Variable, Term]] = None) -> None:
         self._mapping: Dict[Variable, Term] = dict(mapping) if mapping else {}
 
+    @classmethod
+    def _from_dict(cls, mapping: Dict[Variable, Term]) -> "Substitution":
+        """Wrap a dict the caller hands over (hot path: skips the defensive copy)."""
+        self = cls.__new__(cls)
+        self._mapping = mapping
+        return self
+
     # ------------------------------------------------------------------
     # mapping protocol
     # ------------------------------------------------------------------
@@ -73,14 +80,32 @@ class Substitution:
 
     def apply_atom(self, atom: Atom) -> Atom:
         """Apply the substitution to an atom."""
-        new_args = tuple(self.apply_term(arg) for arg in atom.args)
-        if new_args == atom.args:
+        # Ground atoms and atoms whose variables are disjoint from the domain
+        # map to themselves; with interned atoms both checks are cheap and
+        # skip the per-argument recursion entirely.
+        mapping = self._mapping
+        if not mapping or atom.is_ground:
+            return atom
+        if mapping.keys().isdisjoint(atom.variable_set()):
+            return atom
+        changed = False
+        new_args = []
+        for arg in atom.args:
+            if type(arg) is Variable:
+                image = mapping.get(arg, arg)
+            else:
+                image = self.apply_term(arg)
+            if image is not arg:
+                changed = True
+            new_args.append(image)
+        if not changed:
             return atom
         return Atom(atom.predicate, new_args)
 
     def apply_atoms(self, atoms: Iterable[Atom]) -> Tuple[Atom, ...]:
         """Apply the substitution to a collection of atoms (preserving order)."""
-        return tuple(self.apply_atom(atom) for atom in atoms)
+        apply = self.apply_atom
+        return tuple(apply(atom) for atom in atoms)
 
     def __call__(self, value):
         """Apply the substitution to a term, an atom, or an iterable of atoms."""

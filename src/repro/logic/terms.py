@@ -6,14 +6,18 @@ are encoded with Skolem symbols (Section 3, "Encoding Existentials by
 Function Symbols"), terms may additionally be *functional terms* built from
 Skolem function symbols.
 
-All term classes are immutable and hashable; hashes are computed eagerly so
-that saturation, which hashes atoms and rules constantly, does not pay the
-cost repeatedly.
+All term classes are immutable, hashable, and *interned* (hash-consed):
+constructing a term that was constructed before returns the identical
+object, so structural equality coincides with identity and hashes are
+computed once per distinct term.  Saturation, which hashes and compares
+atoms and rules constantly, never pays those costs repeatedly.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, Sequence, Tuple, Union
+
+from .interning import counter, maybe_evict, register_cache_clearer
 
 
 class Term:
@@ -53,9 +57,24 @@ class Constant(Term):
 
     __slots__ = ("name", "_hash")
 
-    def __init__(self, name: str) -> None:
+    _interned: Dict[str, "Constant"] = {}
+    _counter = counter("constant")
+
+    def __new__(cls, name: str) -> "Constant":
+        interned = cls._interned.get(name)
+        if interned is not None:
+            cls._counter.hits += 1
+            return interned
+        cls._counter.misses += 1
+        maybe_evict(cls._interned)
+        self = super().__new__(cls)
         self.name = name
         self._hash = hash(("const", name))
+        cls._interned[name] = self
+        return self
+
+    def __reduce__(self):
+        return (Constant, (self.name,))
 
     @property
     def is_ground(self) -> bool:
@@ -74,7 +93,9 @@ class Constant(Term):
         return iter(())
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Constant) and self.name == other.name
+        return self is other or (
+            isinstance(other, Constant) and self.name == other.name
+        )
 
     def __hash__(self) -> int:
         return self._hash
@@ -91,9 +112,24 @@ class Variable(Term):
 
     __slots__ = ("name", "_hash")
 
-    def __init__(self, name: str) -> None:
+    _interned: Dict[str, "Variable"] = {}
+    _counter = counter("variable")
+
+    def __new__(cls, name: str) -> "Variable":
+        interned = cls._interned.get(name)
+        if interned is not None:
+            cls._counter.hits += 1
+            return interned
+        cls._counter.misses += 1
+        maybe_evict(cls._interned)
+        self = super().__new__(cls)
         self.name = name
         self._hash = hash(("var", name))
+        cls._interned[name] = self
+        return self
+
+    def __reduce__(self):
+        return (Variable, (self.name,))
 
     @property
     def is_ground(self) -> bool:
@@ -112,7 +148,9 @@ class Variable(Term):
         return iter(())
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Variable) and self.name == other.name
+        return self is other or (
+            isinstance(other, Variable) and self.name == other.name
+        )
 
     def __hash__(self) -> int:
         return self._hash
@@ -129,9 +167,24 @@ class Null(Term):
 
     __slots__ = ("label", "_hash")
 
-    def __init__(self, label: int) -> None:
+    _interned: Dict[int, "Null"] = {}
+    _counter = counter("null")
+
+    def __new__(cls, label: int) -> "Null":
+        interned = cls._interned.get(label)
+        if interned is not None:
+            cls._counter.hits += 1
+            return interned
+        cls._counter.misses += 1
+        maybe_evict(cls._interned)
+        self = super().__new__(cls)
         self.label = label
         self._hash = hash(("null", label))
+        cls._interned[label] = self
+        return self
+
+    def __reduce__(self):
+        return (Null, (self.label,))
 
     @property
     def is_ground(self) -> bool:
@@ -150,7 +203,9 @@ class Null(Term):
         return iter(())
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Null) and self.label == other.label
+        return self is other or (
+            isinstance(other, Null) and self.label == other.label
+        )
 
     def __hash__(self) -> int:
         return self._hash
@@ -167,14 +222,30 @@ class FunctionSymbol:
 
     __slots__ = ("name", "arity", "is_skolem", "_hash")
 
-    def __init__(self, name: str, arity: int, is_skolem: bool = True) -> None:
+    _interned: Dict[Tuple[str, int, bool], "FunctionSymbol"] = {}
+    _counter = counter("function_symbol")
+
+    def __new__(cls, name: str, arity: int, is_skolem: bool = True) -> "FunctionSymbol":
+        key = (name, arity, is_skolem)
+        interned = cls._interned.get(key)
+        if interned is not None:
+            cls._counter.hits += 1
+            return interned
+        cls._counter.misses += 1
+        maybe_evict(cls._interned)
+        self = super().__new__(cls)
         self.name = name
         self.arity = arity
         self.is_skolem = is_skolem
         self._hash = hash(("fsym", name, arity, is_skolem))
+        cls._interned[key] = self
+        return self
+
+    def __reduce__(self):
+        return (FunctionSymbol, (self.name, self.arity, self.is_skolem))
 
     def __eq__(self, other: object) -> bool:
-        return (
+        return self is other or (
             isinstance(other, FunctionSymbol)
             and self.name == other.name
             and self.arity == other.arity
@@ -197,27 +268,45 @@ class FunctionSymbol:
 class FunctionTerm(Term):
     """A functional term ``f(t1, ..., tn)`` (used to encode existentials)."""
 
-    __slots__ = ("symbol", "args", "_hash", "_ground")
+    __slots__ = ("symbol", "args", "_hash", "_ground", "_variables")
 
-    def __init__(self, symbol: FunctionSymbol, args: Sequence[Term]) -> None:
+    _interned: Dict[Tuple[FunctionSymbol, Tuple[Term, ...]], "FunctionTerm"] = {}
+    _counter = counter("function_term")
+
+    def __new__(cls, symbol: FunctionSymbol, args: Sequence[Term]) -> "FunctionTerm":
         args = tuple(args)
+        key = (symbol, args)
+        interned = cls._interned.get(key)
+        if interned is not None:
+            cls._counter.hits += 1
+            return interned
         if len(args) != symbol.arity:
             raise ValueError(
                 f"function symbol {symbol.name} has arity {symbol.arity}, "
                 f"got {len(args)} arguments"
             )
+        cls._counter.misses += 1
+        maybe_evict(cls._interned)
+        self = super().__new__(cls)
         self.symbol = symbol
         self.args = args
         self._hash = hash(("fterm", symbol, args))
         self._ground = all(arg.is_ground for arg in args)
+        self._variables = tuple(
+            var for arg in args for var in arg.variables()
+        )
+        cls._interned[key] = self
+        return self
+
+    def __reduce__(self):
+        return (FunctionTerm, (self.symbol, self.args))
 
     @property
     def is_ground(self) -> bool:
         return self._ground
 
     def variables(self) -> Iterator[Variable]:
-        for arg in self.args:
-            yield from arg.variables()
+        return iter(self._variables)
 
     def constants(self) -> Iterator[Constant]:
         for arg in self.args:
@@ -239,7 +328,7 @@ class FunctionTerm(Term):
         return 1 + max(arg.depth for arg in self.args)
 
     def __eq__(self, other: object) -> bool:
-        return (
+        return self is other or (
             isinstance(other, FunctionTerm)
             and self._hash == other._hash
             and self.symbol == other.symbol
@@ -255,6 +344,13 @@ class FunctionTerm(Term):
     def __str__(self) -> str:
         inner = ", ".join(str(arg) for arg in self.args)
         return f"{self.symbol.name}({inner})"
+
+
+register_cache_clearer(Constant._interned.clear)
+register_cache_clearer(Variable._interned.clear)
+register_cache_clearer(Null._interned.clear)
+register_cache_clearer(FunctionSymbol._interned.clear)
+register_cache_clearer(FunctionTerm._interned.clear)
 
 
 GroundTerm = Union[Constant, Null, FunctionTerm]
@@ -293,31 +389,21 @@ def nulls_of(terms: Iterable[Term]) -> Tuple[Null, ...]:
 class TermFactory:
     """Convenience factory producing interned variables/constants and fresh nulls.
 
-    Interning keeps term creation cheap in hot paths (parsing, blow-up
-    generation) and guarantees that equal names map to identical objects,
-    which speeds up equality checks in dictionaries.
+    Interning is global (see :mod:`repro.logic.interning`); the factory
+    remains as the API used by parsing and generation code, and still owns
+    the fresh-null counter.
     """
 
     def __init__(self) -> None:
-        self._constants: dict[str, Constant] = {}
-        self._variables: dict[str, Variable] = {}
         self._next_null = 0
 
     def constant(self, name: str) -> Constant:
         """Return the interned constant with the given name."""
-        const = self._constants.get(name)
-        if const is None:
-            const = Constant(name)
-            self._constants[name] = const
-        return const
+        return Constant(name)
 
     def variable(self, name: str) -> Variable:
         """Return the interned variable with the given name."""
-        var = self._variables.get(name)
-        if var is None:
-            var = Variable(name)
-            self._variables[name] = var
-        return var
+        return Variable(name)
 
     def fresh_null(self) -> Null:
         """Return a labeled null never produced by this factory before."""

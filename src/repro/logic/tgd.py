@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
 
 from .atoms import Atom, atom_constants, atom_variables
+from .interning import counter, maybe_evict, register_cache_clearer
 from .substitution import Substitution
 from .terms import Constant, Variable
 
@@ -25,13 +26,54 @@ class TGD:
     body; the existentially quantified variables are the head variables that
     do not occur in the body.  Both conventions follow the paper, so the
     quantifier prefix never needs to be stored explicitly.
+
+    TGDs are interned like atoms and terms: a derivation that reconstructs an
+    already-seen TGD gets the identical object back, so the per-clause caches
+    (guards, premise renamings, canonical-form flag) are shared and the
+    variable-structure analysis below runs once per distinct clause.
     """
 
-    __slots__ = ("body", "head", "_hash", "_frontier", "_existential", "_universal")
+    __slots__ = (
+        "body",
+        "head",
+        "_hash",
+        "_frontier",
+        "_existential",
+        "_universal",
+        "_guards",
+        "_renamed",
+        "is_canonical",
+        "_body_set",
+        "_head_set",
+        "_head_normal",
+        "_hnf",
+        "_canonical_form",
+    )
+
+    _interned: dict = {}
+    _counter = counter("tgd")
+
+    def __new__(cls, body: Sequence[Atom], head: Sequence[Atom]) -> "TGD":
+        key = (tuple(body), tuple(head))
+        interned = cls._interned.get(key)
+        if interned is not None:
+            cls._counter.hits += 1
+            return interned
+        self = super().__new__(cls)
+        self._init_structure(key[0], key[1])
+        cls._counter.misses += 1
+        maybe_evict(cls._interned)
+        cls._interned[key] = self
+        return self
 
     def __init__(self, body: Sequence[Atom], head: Sequence[Atom]) -> None:
-        body = tuple(body)
-        head = tuple(head)
+        # construction happens entirely in __new__ (interned); nothing to do
+        pass
+
+    def __reduce__(self):
+        return (TGD, (self.body, self.head))
+
+    def _init_structure(self, body: Tuple[Atom, ...], head: Tuple[Atom, ...]) -> None:
         if not head:
             raise ValueError("a TGD must have a nonempty head")
         self.body = body
@@ -42,6 +84,18 @@ class TGD:
         self._universal = universal
         self._existential = head_vars - universal
         self._frontier = head_vars & universal
+        self._guards: Optional[Tuple[Atom, ...]] = None
+        self._renamed: Optional[dict] = None
+        #: set by :func:`repro.logic.normal_form.normalize_tgd` on its output,
+        #: so renormalizing an already-canonical TGD is a no-op
+        self.is_canonical = False
+        self._body_set: Optional[FrozenSet[Atom]] = None
+        self._head_set: Optional[FrozenSet[Atom]] = None
+        self._head_normal: Optional[bool] = None
+        self._hnf: Optional[Tuple["TGD", ...]] = None
+        #: set by normalize_tgd: this clause's canonical-variable form,
+        #: cached on the interned clause so rederivations normalize in O(1)
+        self._canonical_form: Optional["TGD"] = None
 
     # ------------------------------------------------------------------
     # variable structure
@@ -88,36 +142,60 @@ class TGD:
 
     @property
     def is_head_normal(self) -> bool:
-        """Head-normal form check (Section 3).
+        """Head-normal form check (Section 3), cached on the interned TGD.
 
         A TGD is in head-normal form if it is full with a single head atom, or
         it is non-full and every head atom contains at least one existentially
         quantified variable.
         """
-        if self.is_full:
-            return len(self.head) == 1
-        existential = self._existential
-        return all(
-            any(var in existential for var in atom.variables()) for atom in self.head
-        )
+        cached = self._head_normal
+        if cached is None:
+            if self.is_full:
+                cached = len(self.head) == 1
+            else:
+                existential = self._existential
+                cached = all(
+                    not existential.isdisjoint(atom.variable_set())
+                    for atom in self.head
+                )
+            self._head_normal = cached
+        return cached
 
     @property
     def is_syntactic_tautology(self) -> bool:
         """Definition 5.1: head-normal form and ``body ∩ head ≠ ∅``."""
         if not self.is_head_normal:
             return False
-        body_set = set(self.body)
-        return any(atom in body_set for atom in self.head)
+        return not self.body_atom_set.isdisjoint(self.head)
+
+    @property
+    def body_atom_set(self) -> FrozenSet[Atom]:
+        """The body atoms as a (cached) frozenset."""
+        cached = self._body_set
+        if cached is None:
+            cached = self._body_set = frozenset(self.body)
+        return cached
+
+    @property
+    def head_atom_set(self) -> FrozenSet[Atom]:
+        """The head atoms as a (cached) frozenset."""
+        cached = self._head_set
+        if cached is None:
+            cached = self._head_set = frozenset(self.head)
+        return cached
 
     # ------------------------------------------------------------------
     # guardedness
     # ------------------------------------------------------------------
     def guards(self) -> Tuple[Atom, ...]:
         """Body atoms containing every universally quantified variable."""
-        universal = self._universal
-        return tuple(
-            atom for atom in self.body if universal <= atom.variable_set()
-        )
+        cached = self._guards
+        if cached is None:
+            universal = self._universal
+            cached = self._guards = tuple(
+                atom for atom in self.body if universal <= atom.variable_set()
+            )
+        return cached
 
     @property
     def is_guarded(self) -> bool:
@@ -154,17 +232,30 @@ class TGD:
     # ------------------------------------------------------------------
     def apply(self, substitution: Substitution) -> "TGD":
         """Apply a substitution to body and head."""
+        if not substitution:
+            return self
         return TGD(
             substitution.apply_atoms(self.body),
             substitution.apply_atoms(self.head),
         )
 
     def rename_apart(self, suffix: str) -> "TGD":
-        """Rename all variables by appending ``@suffix`` (for premise renaming)."""
-        mapping = {
-            var: Variable(f"{var.name}@{suffix}") for var in self.variables()
-        }
-        return self.apply(Substitution(mapping))
+        """Rename all variables by appending ``@suffix`` (for premise renaming).
+
+        The renaming is deterministic, so the result is cached per suffix;
+        saturation renames every retained partner apart once instead of once
+        per premise pair.
+        """
+        cache = self._renamed
+        if cache is None:
+            cache = self._renamed = {}
+        renamed = cache.get(suffix)
+        if renamed is None:
+            mapping = {
+                var: Variable(f"{var.name}@{suffix}") for var in self.variables()
+            }
+            renamed = cache[suffix] = self.apply(Substitution(mapping))
+        return renamed
 
     def head_normal_form(self) -> Tuple["TGD", ...]:
         """Split this TGD into an equivalent set of TGDs in head-normal form.
@@ -172,8 +263,17 @@ class TGD:
         Full head atoms (atoms without existentially quantified variables) of a
         non-full TGD are emitted as separate full single-atom TGDs; the
         remaining head atoms stay together in one non-full TGD.  A full TGD is
-        split into one Datalog rule per head atom.
+        split into one Datalog rule per head atom.  Results are cached on the
+        interned TGD — every re-derivation of a clause shares the split.
         """
+        cached = self._hnf
+        if cached is not None:
+            return cached
+        cached = self._head_normal_form()
+        self._hnf = cached
+        return cached
+
+    def _head_normal_form(self) -> Tuple["TGD", ...]:
         if self.is_head_normal:
             return (self,)
         if self.is_full:
@@ -195,7 +295,7 @@ class TGD:
     # dunder
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
-        return (
+        return self is other or (
             isinstance(other, TGD)
             and self._hash == other._hash
             and self.body == other.body
@@ -215,6 +315,9 @@ class TGD:
             exist = ", ".join(sorted(f"?{v.name}" for v in self._existential))
             return f"{body} -> exists {exist}. {head}"
         return f"{body} -> {head}"
+
+
+register_cache_clearer(TGD._interned.clear)
 
 
 def head_normalize(tgds: Iterable[TGD]) -> Tuple[TGD, ...]:

@@ -59,10 +59,22 @@ class SaturationStatistics:
     inferences: int = 0
     discarded_tautology: int = 0
     discarded_forward: int = 0
+    discarded_duplicate: int = 0
     removed_backward: int = 0
     processed: int = 0
+    retained: int = 0
+    forward_checks: int = 0
+    forward_candidates: int = 0
+    backward_candidates: int = 0
     elapsed_seconds: float = 0.0
     timed_out: bool = False
+
+    @property
+    def subsumption_hit_rate(self) -> float:
+        """Fraction of forward-subsumption queries that discarded the clause."""
+        if not self.forward_checks:
+            return 0.0
+        return self.discarded_forward / self.forward_checks
 
     def as_dict(self) -> dict:
         return {
@@ -71,8 +83,14 @@ class SaturationStatistics:
             "inferences": self.inferences,
             "discarded_tautology": self.discarded_tautology,
             "discarded_forward": self.discarded_forward,
+            "discarded_duplicate": self.discarded_duplicate,
             "removed_backward": self.removed_backward,
             "processed": self.processed,
+            "retained": self.retained,
+            "forward_checks": self.forward_checks,
+            "forward_candidates": self.forward_candidates,
+            "backward_candidates": self.backward_candidates,
+            "subsumption_hit_rate": round(self.subsumption_hit_rate, 4),
             "elapsed_seconds": self.elapsed_seconds,
             "timed_out": self.timed_out,
         }

@@ -68,13 +68,17 @@ class ExbDR(InferenceRule[TGD]):
         return tuple(rules)
 
     def infer(self, clause: TGD, worked_off: Set[TGD]) -> Iterable[TGD]:
+        # Partner retrieval goes through the guard-signature buckets: the
+        # Definition 5.5 unification always joins a guard of the full premise
+        # with a head atom of the non-full premise, so partners without a
+        # matching guard relation are never even enumerated.
         results: List[TGD] = []
         if clause.is_non_full:
-            for partner in self._index.full_partners_for(clause):
+            for partner in self._index.full_partners_by_guard(clause):
                 if partner in worked_off and partner.is_datalog_rule:
                     results.extend(self._combine(clause, partner))
         else:
-            for partner in self._index.non_full_partners_for(clause):
+            for partner in self._index.non_full_partners_by_guard(clause):
                 if partner in worked_off:
                     results.extend(self._combine(partner, clause))
         return results

@@ -10,6 +10,13 @@ forward-subsumed by a retained clause) are dropped; otherwise backward
 subsumption removes the retained clauses they subsume and the result joins
 ``U``.  When ``U`` empties, the Skolem-free Datalog rules of ``W`` are the
 rewriting.
+
+Redundancy bookkeeping is fully index-driven: retained clauses live in a
+predicate-signature set-trie (:class:`SubsumptionIndex`), forward and
+backward subsumption only touch the candidates it yields, and backward
+subsumption deletes victims through the index instead of scanning the
+retained sets.  Clauses are stored in canonical-variable form (flagged, so
+renormalization in the subsumption tests is O(1)).
 """
 
 from __future__ import annotations
@@ -46,8 +53,6 @@ class Saturation(Generic[ClauseT]):
         self._unprocessed: Set[ClauseT] = set()
         self._queue: List[Tuple[int, int, ClauseT]] = []
         self._queue_counter = itertools.count()
-        self._normal_forms: Dict[Clause, Clause] = {}
-        self._seen_normal_forms: Set[Clause] = set()
         self._subsumption_index: SubsumptionIndex = SubsumptionIndex()
         self._deadline: Optional[float] = None
 
@@ -71,6 +76,7 @@ class Saturation(Generic[ClauseT]):
             completed = False
             self.statistics.timed_out = True
         self.statistics.elapsed_seconds = time.monotonic() - start
+        self.statistics.retained = len(self._worked_off)
         datalog = self.inference.extract_datalog(tuple(self._worked_off))
         return RewritingResult(
             algorithm=self.inference.name,
@@ -121,11 +127,9 @@ class Saturation(Generic[ClauseT]):
     # redundancy management
     # ------------------------------------------------------------------
     def _normal_form(self, clause: Clause) -> Clause:
-        cached = self._normal_forms.get(clause)
-        if cached is None:
-            cached = normalize(clause)
-            self._normal_forms[clause] = cached
-        return cached
+        # normalize memoizes on the interned clause itself (_canonical_form),
+        # so no per-saturation cache is needed
+        return normalize(clause)
 
     def _admit(self, clause: ClauseT) -> None:
         """Line 7–10 of Algorithm 1: redundancy checks, backward subsumption, enqueue."""
@@ -137,21 +141,21 @@ class Saturation(Generic[ClauseT]):
         if is_syntactic_tautology(clause):
             self.statistics.discarded_tautology += 1
             return
+        # An exact duplicate of a retained clause is redundant under either
+        # setting; canonical forms make this a set lookup.  Duplicates are
+        # counted separately from subsumption discards so the subsumption hit
+        # rate measures the index, not trivial dedup.
+        if clause in self._worked_off or clause in self._unprocessed:
+            self.statistics.discarded_duplicate += 1
+            return
         if self.settings.use_subsumption:
             if self._is_forward_subsumed(clause):
                 self.statistics.discarded_forward += 1
                 return
             self._backward_subsume(clause)
-        else:
-            # Without redundancy elimination, termination is still guaranteed
-            # by discarding exact duplicates up to variable normalization
-            # (Section 6: "our normalization of variables still guarantees
-            # termination").
-            key = self._normal_form(clause)
-            if key in self._seen_normal_forms:
-                self.statistics.discarded_forward += 1
-                return
-            self._seen_normal_forms.add(key)
+        # Without redundancy elimination, termination is still guaranteed by
+        # the duplicate check above (Section 6: "our normalization of
+        # variables still guarantees termination").
         self._unprocessed.add(clause)
         self._subsumption_index.add(clause)
         heapq.heappush(
@@ -159,21 +163,26 @@ class Saturation(Generic[ClauseT]):
         )
 
     def _is_forward_subsumed(self, clause: Clause) -> bool:
+        self.statistics.forward_checks += 1
+        exact = self.settings.exact_subsumption
         for candidate in self._subsumption_index.subsuming_candidates(clause):
             if candidate not in self._worked_off and candidate not in self._unprocessed:
                 continue
-            if subsumes(candidate, clause, exact=self.settings.exact_subsumption):
+            self.statistics.forward_candidates += 1
+            if subsumes(candidate, clause, exact=exact):
                 return True
         return False
 
     def _backward_subsume(self, clause: Clause) -> None:
         victims: List[Clause] = []
+        exact = self.settings.exact_subsumption
         for candidate in self._subsumption_index.subsumed_candidates(clause):
             if candidate == clause:
                 continue
             if candidate not in self._worked_off and candidate not in self._unprocessed:
                 continue
-            if subsumes(clause, candidate, exact=self.settings.exact_subsumption):
+            self.statistics.backward_candidates += 1
+            if subsumes(clause, candidate, exact=exact):
                 victims.append(candidate)
         for victim in victims:
             self.statistics.removed_backward += 1

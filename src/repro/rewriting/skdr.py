@@ -34,6 +34,9 @@ class SkDR(InferenceRule[Rule]):
     def __init__(self, settings: Optional[RewritingSettings] = None) -> None:
         super().__init__(settings)
         self._index = RulePathIndex()
+        #: eligible-A' atoms per rule; rules are interned, so renamed-apart
+        #: consumers hit this cache on every premise pairing after the first
+        self._eligible_cache: dict = {}
 
     # ------------------------------------------------------------------
     # InferenceRule hooks
@@ -58,7 +61,7 @@ class SkDR(InferenceRule[Rule]):
                 if partner in worked_off:
                     results.extend(self._combine(clause, partner))
         # clause as the consumer premise τ'
-        for atom in self._eligible_body_atoms(clause):
+        for atom in self._eligible_atoms(clause):
             for partner in self._index.rules_with_unifiable_head(atom):
                 if partner in worked_off and self._is_generator(partner):
                     results.extend(self._combine(partner, clause))
@@ -82,12 +85,19 @@ class SkDR(InferenceRule[Rule]):
             )
         return tuple(atom for atom in rule.body if not atom.is_function_free)
 
+    def _eligible_atoms(self, rule: Rule) -> Tuple[Atom, ...]:
+        """Cached :meth:`_eligible_body_atoms` (sound because rules are immutable)."""
+        cached = self._eligible_cache.get(rule)
+        if cached is None:
+            cached = self._eligible_cache[rule] = self._eligible_body_atoms(rule)
+        return cached
+
     def _combine(self, generator: Rule, consumer: Rule) -> List[Rule]:
         """All SkDR consequences of resolving the generator head into the consumer body."""
         consumer = consumer.rename_apart("r")
         results: List[Rule] = []
         seen: Set[Rule] = set()
-        for atom in self._eligible_body_atoms(consumer):
+        for atom in self._eligible_atoms(consumer):
             theta = mgu(generator.head, atom)
             if theta is None:
                 continue

@@ -133,17 +133,25 @@ def exact_tgd_subsumes(subsumer: TGD, subsumed: TGD) -> bool:
 # approximate (normalized) subsumption — Section 6
 # ----------------------------------------------------------------------
 def approximate_tgd_subsumes(subsumer: TGD, subsumed: TGD) -> bool:
-    """Normalized-inclusion approximation of TGD subsumption."""
+    """Normalized-inclusion approximation of TGD subsumption.
+
+    Saturation stores clauses in canonical form, so both normalize calls are
+    O(1) flag checks and the inclusion tests run on cached frozensets of
+    interned atoms.
+    """
     left = normalize_tgd(subsumer)
     right = normalize_tgd(subsumed)
-    return set(left.body) <= set(right.body) and set(left.head) >= set(right.head)
+    return (
+        left.body_atom_set <= right.body_atom_set
+        and left.head_atom_set >= right.head_atom_set
+    )
 
 
 def approximate_rule_subsumes(subsumer: Rule, subsumed: Rule) -> bool:
     """Normalized-inclusion approximation of rule subsumption."""
     left = normalize_rule(subsumer)
     right = normalize_rule(subsumed)
-    return left.head == right.head and set(left.body) <= set(right.body)
+    return left.head == right.head and left.body_atom_set <= right.body_atom_set
 
 
 # ----------------------------------------------------------------------

@@ -45,11 +45,15 @@ def match_atom(
     """
     if pattern.predicate != target.predicate:
         return None
+    if pattern.is_ground:
+        # A ground pattern matches only itself; atoms are interned, so the
+        # comparison is an identity check.
+        return (base or Substitution()) if pattern == target else None
     bindings: Dict[Variable, Term] = dict(base.items()) if base else {}
     for pattern_arg, target_arg in zip(pattern.args, target.args):
         if not _match_term(pattern_arg, target_arg, bindings):
             return None
-    return Substitution(bindings)
+    return Substitution._from_dict(bindings)
 
 
 def match_atom_lists(

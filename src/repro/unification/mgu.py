@@ -89,7 +89,9 @@ def _resolve(term: Term, bindings: Dict[Variable, Term]) -> Term:
 
 
 def _to_substitution(bindings: Dict[Variable, Term]) -> Substitution:
-    return Substitution({var: _resolve(term, bindings) for var, term in bindings.items()})
+    return Substitution._from_dict(
+        {var: _resolve(term, bindings) for var, term in bindings.items()}
+    )
 
 
 def mgu_atoms(

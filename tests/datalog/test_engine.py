@@ -127,3 +127,77 @@ class TestEngineBehaviour:
         result = materialize(rewriting.program(), instance)
         base_facts = {f for f in result.facts() if f.is_base_fact}
         assert base_facts == certain_base_facts(instance, tgds)
+
+
+class TestSemiNaiveBookkeeping:
+    """Regression tests for the engine's round/derivation accounting."""
+
+    def _chain_program(self, length: int):
+        rules = "\n".join(
+            f"P{index}(?x) -> P{index + 1}(?x)." for index in range(length)
+        )
+        return parse_program(rules + "\nP0(a).")
+
+    def test_rounds_track_derivation_depth(self):
+        # A length-4 chain needs exactly four semi-naive rounds: each round
+        # derives the single fact enabling the next rule.
+        program = self._chain_program(4)
+        result = materialize(program.tgds, program.instance)
+        assert result.rounds == 4
+        assert result.derived_count == 4
+
+    def test_rounds_zero_when_nothing_fires(self):
+        program = parse_program(
+            """
+            A(?x) -> B(?x).
+            C(c).
+            """
+        )
+        result = materialize(program.tgds, program.instance)
+        assert result.rounds == 0
+        assert result.derived_count == 0
+        assert len(result) == 1
+
+    def test_max_rounds_truncates_at_exact_depth(self):
+        program = self._chain_program(4)
+        p = lambda i: Predicate(f"P{i}", 1)
+        for cap in range(1, 5):
+            result = materialize(program.tgds, program.instance, max_rounds=cap)
+            assert result.rounds == cap
+            assert result.derived_count == cap
+            assert p(cap)(a) in result
+            if cap < 4:
+                assert p(cap + 1)(a) not in result
+
+    def test_max_rounds_larger_than_fixpoint_is_harmless(self):
+        program = self._chain_program(3)
+        capped = materialize(program.tgds, program.instance, max_rounds=50)
+        uncapped = materialize(program.tgds, program.instance)
+        assert capped.facts() == uncapped.facts()
+        assert capped.rounds == uncapped.rounds == 3
+
+    def test_derived_count_is_new_facts_only(self):
+        # deriving a fact that is already in the base instance counts nothing
+        program = parse_program(
+            """
+            Edge(?x, ?y) -> Reach(?x, ?y).
+            Edge(a, b). Reach(a, b).
+            """
+        )
+        result = materialize(program.tgds, program.instance)
+        assert result.derived_count == 0
+        assert len(result) == 2
+
+    def test_derived_count_matches_store_growth(self):
+        program = self._closure_or_none()
+        result = materialize(program.tgds, program.instance)
+        assert result.derived_count == len(result) - len(program.instance)
+
+    def _closure_or_none(self):
+        return parse_program(
+            """
+            Edge(?x, ?y) -> Reach(?x, ?y).
+            Reach(?x, ?y), Edge(?y, ?z) -> Reach(?x, ?z).
+            Edge(a, b). Edge(b, c). Edge(c, d).
+            """
+        )
