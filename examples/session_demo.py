@@ -1,0 +1,98 @@
+"""Session demo: compile → save → load → session → incremental adds → batch.
+
+The script walks the full service-oriented lifecycle of the API:
+
+1. compile the CIM GTGDs once (the expensive saturation),
+2. save the compiled knowledge base to a versioned JSON artifact,
+3. load it back — the way a fleet of query servers would start up,
+4. open a :class:`repro.ReasoningSession` on the initial base facts,
+5. stream two incremental fact deltas through semi-naive delta propagation
+   (no re-materialization), and
+6. answer a batch of queries against the live materialization.
+
+Run with::
+
+    python examples/session_demo.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import KnowledgeBase, parse_program, parse_query
+from repro.kb import compile_cache_stats
+
+CIM_DEPENDENCIES = """
+% a fragment of the IEC Common Information Model (Example 1.1)
+ACEquipment(?x) -> exists ?y. hasTerminal(?x, ?y), ACTerminal(?y).
+ACTerminal(?x) -> Terminal(?x).
+hasTerminal(?x, ?z), Terminal(?z) -> Equipment(?x).
+"""
+
+INITIAL_FACTS = """
+ACEquipment(sw1).
+hasTerminal(sw1, trm1).
+ACTerminal(trm1).
+"""
+
+DELTAS = (
+    "ACEquipment(sw2).",
+    "ACEquipment(sw3). hasTerminal(sw3, trm7). ACTerminal(trm7).",
+)
+
+QUERIES = (
+    "Equipment(?x)",
+    "Equipment(?x), hasTerminal(?x, ?y)",
+)
+
+
+def main() -> None:
+    dependencies = parse_program(CIM_DEPENDENCIES)
+
+    # 1. compile once — repeated compiles of the same Σ hit the cache
+    kb = KnowledgeBase.compile(dependencies.tgds, algorithm="hypdr")
+    KnowledgeBase.compile(dependencies.tgds, algorithm="hypdr")
+    print(
+        f"compiled {len(kb.tgds)} GTGDs into {kb.rewriting.output_size} Datalog "
+        f"rules; compile cache: {compile_cache_stats()}"
+    )
+
+    # 2./3. save and load the compiled artifact (what a query server ships)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "cim.kb.json"
+        kb.save(path)
+        served = KnowledgeBase.load(path)
+        print(f"saved + loaded {path.name}: fingerprint {served.fingerprint[:12]}")
+
+    # 4. open a long-lived session on the initial facts
+    session = served.session(parse_program(INITIAL_FACTS).instance)
+    print(f"session opened: {session}")
+
+    # 5. stream deltas — each one is propagated semi-naively, not re-run
+    for delta_text in DELTAS:
+        delta = parse_program(delta_text).instance
+        update = session.add_facts(delta)
+        print(
+            f"  delta of {len(delta)}: +{update.added_facts} facts, "
+            f"{update.derived_count} inferred in {update.rounds} rounds"
+        )
+
+    # 6. answer a batch of queries against the live materialization
+    queries = [parse_query(text) for text in QUERIES]
+    for query, answers in zip(queries, session.answer_many(queries)):
+        print(f"{query}")
+        for row in sorted(answers, key=str):
+            print("   " + ", ".join(str(term) for term in row))
+
+    # snapshots are decoupled from later updates
+    snapshot = session.snapshot()
+    session.add_facts(parse_program("ACEquipment(sw99).").instance)
+    print(
+        f"snapshot holds {len(snapshot)} facts; live session grew to "
+        f"{len(session)} after one more delta"
+    )
+
+
+if __name__ == "__main__":
+    main()

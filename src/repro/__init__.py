@@ -24,10 +24,13 @@ from .api import KnowledgeBase, answer_query, entailed_base_facts
 from .datalog import (
     ConjunctiveQuery,
     DatalogProgram,
+    DeltaUpdateResult,
     FactStore,
     MaterializationResult,
+    ReasoningSession,
     evaluate_query,
     materialize,
+    parse_query,
 )
 from .logic import (
     TGD,
@@ -46,9 +49,11 @@ from .logic import (
     parse_tgds,
 )
 from .rewriting import (
+    AlgorithmCapabilities,
     RewritingResult,
     RewritingSettings,
     available_algorithms,
+    register_algorithm,
     rewrite,
     rewrite_program,
 )
@@ -56,15 +61,18 @@ from .rewriting import (
 __version__ = "0.1.0"
 
 __all__ = [
+    "AlgorithmCapabilities",
     "Atom",
     "ConjunctiveQuery",
     "Constant",
     "DatalogProgram",
+    "DeltaUpdateResult",
     "FactStore",
     "Instance",
     "KnowledgeBase",
     "MaterializationResult",
     "Predicate",
+    "ReasoningSession",
     "RewritingResult",
     "RewritingSettings",
     "Rule",
@@ -80,8 +88,10 @@ __all__ = [
     "parse_fact",
     "parse_facts",
     "parse_program",
+    "parse_query",
     "parse_tgd",
     "parse_tgds",
+    "register_algorithm",
     "rewrite",
     "rewrite_program",
     "__version__",

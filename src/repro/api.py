@@ -1,22 +1,58 @@
-"""High-level convenience API.
+"""High-level service-oriented API: compile once, serve many.
 
-This module ties the pieces together for the most common end-to-end use
-case described in the paper's introduction: given GTGDs and a base instance,
-answer existential-free conjunctive queries (or check fact entailment) by
+The paper's intended deployment mode is to pay for the expensive saturation
+of Σ exactly once and then serve arbitrarily many instances, updates, and
+queries from the compiled rewriting.  This module is that surface:
 
-1. rewriting the GTGDs into a Datalog program (``rew(Σ)``),
-2. materializing the program on the base instance, and
-3. evaluating queries over the materialization.
+**Compile** — :meth:`KnowledgeBase.compile` rewrites the GTGDs with any
+registered algorithm (see :func:`repro.rewriting.available_algorithms`).
+Compilation is served from an in-process cache keyed by a canonical
+fingerprint of Σ (:mod:`repro.kb.cache`), so recompiling the same Σ — even
+with clauses reordered or variables renamed — is free.
+
+**Persist** — :meth:`KnowledgeBase.save` / :meth:`KnowledgeBase.load` move a
+compiled knowledge base across processes as a versioned JSON artifact
+(:mod:`repro.kb.format`), so a fleet of query servers never re-runs
+saturation.
+
+**Serve** — :meth:`KnowledgeBase.session` opens a
+:class:`~repro.datalog.session.ReasoningSession` holding a live
+materialization: ``add_facts`` propagates deltas semi-naively without
+re-materializing, ``answer``/``answer_many`` evaluate queries against the
+live fixpoint, ``snapshot`` captures an immutable result.
+
+One-shot use::
+
+    from repro import KnowledgeBase, parse_program
+    program = parse_program("A(?x) -> B(?x). A(a).")
+    kb = KnowledgeBase.compile(program.tgds)
+    kb.certain_base_facts(program.instance)
+
+Session use::
+
+    kb = KnowledgeBase.load("cim.kb.json")
+    session = kb.session(initial_facts)
+    session.add_facts(delta)                  # incremental, not from scratch
+    session.answer_many([query1, query2])
+
+The legacy one-shot helpers (:func:`answer_query`,
+:func:`entailed_base_facts`) and the per-call :meth:`KnowledgeBase.answer` /
+:meth:`KnowledgeBase.certain_base_facts` remain as thin shims over the
+session layer.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
 
 from .datalog.engine import MaterializationResult, materialize
 from .datalog.program import DatalogProgram
 from .datalog.query import ConjunctiveQuery, evaluate_query
+from .datalog.session import ReasoningSession
+from .kb.cache import cached_rewrite, sigma_fingerprint
+from .kb.format import read_kb_file, write_kb_file
 from .logic.atoms import Atom
 from .logic.instance import Instance
 from .logic.terms import Term
@@ -31,7 +67,8 @@ class KnowledgeBase:
 
     The rewriting is computed once and reused across base instances, which is
     the intended deployment mode: the expensive saturation depends only on Σ,
-    while each query workload only pays for Datalog materialization.
+    while each query workload only pays for Datalog materialization — or, via
+    :meth:`session`, only for the consequences of its deltas.
     """
 
     tgds: Tuple[TGD, ...]
@@ -41,20 +78,65 @@ class KnowledgeBase:
     def program(self) -> DatalogProgram:
         return self.rewriting.program()
 
+    @property
+    def fingerprint(self) -> str:
+        """Canonical fingerprint of Σ (clause-order/variable-name invariant)."""
+        return sigma_fingerprint(self.tgds)
+
     @classmethod
     def compile(
         cls,
         tgds: Iterable[TGD],
         algorithm: str = "hypdr",
         settings: Optional[RewritingSettings] = None,
+        use_cache: bool = True,
     ) -> "KnowledgeBase":
-        """Rewrite the GTGDs with the chosen algorithm."""
+        """Rewrite the GTGDs with the chosen algorithm.
+
+        Repeated compilations of the same Σ (same algorithm and settings) are
+        served from the in-process compile cache; pass ``use_cache=False`` to
+        force a fresh saturation run (benchmarks, ablations).
+        """
         tgds = tuple(tgds)
-        result = rewrite(tgds, algorithm=algorithm, settings=settings)
+        if use_cache:
+            result, _ = cached_rewrite(tgds, algorithm=algorithm, settings=settings)
+        else:
+            result = rewrite(tgds, algorithm=algorithm, settings=settings)
         return cls(tgds=tgds, rewriting=result)
 
     # ------------------------------------------------------------------
-    # reasoning services
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: "str | Path") -> Path:
+        """Persist Σ + ``rew(Σ)`` + statistics as a versioned JSON file."""
+        return write_kb_file(path, self.tgds, self.rewriting)
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "KnowledgeBase":
+        """Restore a knowledge base saved by :meth:`save`.
+
+        Raises :class:`repro.kb.KnowledgeBaseFormatError` on version or
+        integrity mismatches.
+        """
+        tgds, rewriting = read_kb_file(path)
+        return cls(tgds=tgds, rewriting=rewriting)
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+    def session(
+        self, instance: Instance | Iterable[Atom] = ()
+    ) -> ReasoningSession:
+        """Open a long-lived reasoning session on an initial base instance.
+
+        The session keeps the materialization alive: subsequent
+        ``add_facts`` deltas are propagated semi-naively instead of
+        re-materializing from scratch.
+        """
+        return ReasoningSession(self.program, instance)
+
+    # ------------------------------------------------------------------
+    # one-shot reasoning services (shims over the session layer)
     # ------------------------------------------------------------------
     def materialize(
         self, instance: Instance | Iterable[Atom]
@@ -66,14 +148,13 @@ class KnowledgeBase:
         self, instance: Instance | Iterable[Atom]
     ) -> FrozenSet[Atom]:
         """All base facts entailed by the instance and the GTGDs."""
-        result = self.materialize(instance)
-        return frozenset(fact for fact in result.facts() if fact.is_base_fact)
+        return self.session(instance).certain_base_facts()
 
     def entails(self, instance: Instance | Iterable[Atom], fact: Atom) -> bool:
         """Decide ``I, Σ |= F`` for a base fact ``F`` via the rewriting."""
         if not fact.is_base_fact:
             raise ValueError("entailment is defined for base facts only")
-        return fact in self.materialize(instance)
+        return self.session(instance).entails(fact)
 
     def answer(
         self,
@@ -81,7 +162,15 @@ class KnowledgeBase:
         instance: Instance | Iterable[Atom],
     ) -> FrozenSet[Tuple[Term, ...]]:
         """Answer an existential-free conjunctive query under certain-answer semantics."""
-        return evaluate_query(query, self.materialize(instance))
+        return self.session(instance).answer(query)
+
+    def answer_many(
+        self,
+        queries: Sequence[ConjunctiveQuery],
+        instance: Instance | Iterable[Atom],
+    ) -> Tuple[FrozenSet[Tuple[Term, ...]], ...]:
+        """Batched query answering: one materialization, many evaluations."""
+        return self.session(instance).answer_many(queries)
 
 
 def answer_query(

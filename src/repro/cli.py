@@ -5,7 +5,14 @@ GTGDs into a Datalog program, materialize a rewriting over a file of facts,
 or check entailment of a single fact.  The dependency/fact syntax is the one
 accepted by :mod:`repro.logic.parser`.
 
-Usage::
+The service-style workflow compiles once and serves many batches::
+
+    python -m repro compile deps.gtgd -o cim.kb.json     # saturate + persist
+    python -m repro load cim.kb.json                     # inspect a saved KB
+    python -m repro serve-batch cim.kb.json data.facts queries.txt \
+        --delta day1.facts --delta day2.facts            # incremental session
+
+One-shot commands::
 
     python -m repro rewrite deps.gtgd --algorithm hypdr -o rewriting.dl
     python -m repro materialize deps.gtgd data.facts
@@ -19,14 +26,21 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from .api import KnowledgeBase
+from .datalog.query import parse_query
 from .logic.parser import parse_fact, parse_program
 from .logic.printer import format_datalog_program, format_fact
 from .logic.tgd import bwidth, head_normalize, hwidth, split_full_non_full
 from .rewriting.base import RewritingSettings
 from .rewriting.rewriter import available_algorithms
+
+#: scenarios faster than this (in both captures) are exempt from the
+#: ``perf --max-regression`` gate — sub-half-second workloads routinely vary
+#: by 2x between identical runs on shared machines, so gating them would
+#: only produce noise failures
+MIN_GATE_WALL_SECONDS = 0.5
 
 
 def _read_program(path: str):
@@ -127,6 +141,134 @@ def _command_entails(args: argparse.Namespace) -> int:
     return 0 if entailed else 1
 
 
+def _command_compile(args: argparse.Namespace) -> int:
+    """Saturate a GTGD file and persist the compiled knowledge base."""
+    program = _read_program(args.dependencies)
+    kb = KnowledgeBase.compile(
+        program.tgds, algorithm=args.algorithm, settings=_settings_from_args(args)
+    )
+    kb.save(args.output)
+    stats = kb.rewriting.statistics
+    print(
+        f"# compiled {stats.input_size} input clauses with {args.algorithm} into "
+        f"{kb.rewriting.output_size} Datalog rules in {stats.elapsed_seconds:.3f}s; "
+        f"saved to {args.output} (fingerprint {kb.fingerprint[:12]})",
+        file=sys.stderr,
+    )
+    return 0 if kb.rewriting.completed else 2
+
+
+def _command_load(args: argparse.Namespace) -> int:
+    """Inspect a saved knowledge base: summary and (optionally) its rules."""
+    from .kb import KnowledgeBaseFormatError
+
+    try:
+        kb = KnowledgeBase.load(args.knowledge_base)
+    except (KnowledgeBaseFormatError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = kb.rewriting.statistics
+    print(f"algorithm:      {kb.rewriting.algorithm}")
+    print(f"input TGDs:     {len(kb.tgds)}")
+    print(f"datalog rules:  {kb.rewriting.output_size}")
+    print(f"completed:      {kb.rewriting.completed}")
+    print(f"compile time:   {stats.elapsed_seconds:.3f}s")
+    print(f"fingerprint:    {kb.fingerprint}")
+    if args.rules:
+        print(
+            format_datalog_program(
+                sorted(kb.rewriting.datalog_rules, key=lambda rule: str(rule))
+            )
+        )
+    return 0
+
+
+def _load_or_compile_kb(args: argparse.Namespace):
+    """Accept either a saved KB JSON or a raw GTGD file for serve-batch.
+
+    Returns ``(kb, seed_facts)`` — facts embedded in a GTGD dependency file
+    are passed along so they seed the session (as materialize/entails do).
+    """
+    from .kb.format import parse_kb_text
+
+    text = Path(args.knowledge_base).read_text(encoding="utf-8")
+    if text.lstrip().startswith("{"):
+        tgds, rewriting = parse_kb_text(text)
+        return KnowledgeBase(tgds=tgds, rewriting=rewriting), ()
+    program = parse_program(text)
+    kb = KnowledgeBase.compile(
+        program.tgds,
+        algorithm=args.algorithm,
+        settings=_settings_from_args(args),
+    )
+    return kb, program.instance
+
+
+def _read_queries(path: str) -> List:
+    queries = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        stripped = line.split("%", 1)[0].split("#", 1)[0].strip()
+        if stripped:
+            queries.append(parse_query(stripped))
+    return queries
+
+
+def _command_serve_batch(args: argparse.Namespace) -> int:
+    """Open a session, apply delta files incrementally, answer a query batch."""
+    from .kb import KnowledgeBaseFormatError
+
+    try:
+        kb, seed_facts = _load_or_compile_kb(args)
+    except (KnowledgeBaseFormatError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not kb.rewriting.completed:
+        print(
+            "error: the rewriting is incomplete (timeout or clause limit hit "
+            "during compile); serving it would silently drop certain answers — "
+            "recompile without limits",
+            file=sys.stderr,
+        )
+        return 2
+    instance = parse_program(Path(args.facts).read_text(encoding="utf-8")).instance
+    instance.update(seed_facts)
+    start = time.perf_counter()
+    session = kb.session(instance)
+    setup = time.perf_counter() - start
+    print(
+        f"# session: {len(kb.program)} rules, {len(instance)} base facts -> "
+        f"{len(session)} facts in {setup:.3f}s",
+        file=sys.stderr,
+    )
+    for delta_path in args.delta or ():
+        delta = parse_program(Path(delta_path).read_text(encoding="utf-8")).instance
+        start = time.perf_counter()
+        update = session.add_facts(delta)
+        elapsed = time.perf_counter() - start
+        print(
+            f"# delta {delta_path}: +{update.added_facts} facts, "
+            f"{update.derived_count} derived in {update.rounds} rounds "
+            f"({elapsed:.3f}s)",
+            file=sys.stderr,
+        )
+    queries = _read_queries(args.queries)
+    start = time.perf_counter()
+    answer_sets = session.answer_many(queries)
+    elapsed = time.perf_counter() - start
+    for query, answers in zip(queries, answer_sets):
+        print(f"{query}")
+        for row in sorted(answers, key=str):
+            print("  " + ", ".join(str(term) for term in row))
+        if not answers:
+            print("  (no answers)")
+    print(
+        f"# answered {len(queries)} queries over {len(session)} facts "
+        f"in {elapsed:.3f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _command_stats(args: argparse.Namespace) -> int:
     program = _read_program(args.dependencies)
     normalized = head_normalize(program.tgds)
@@ -181,11 +323,51 @@ def _command_perf(args: argparse.Namespace) -> int:
         print(f"error: output directory does not exist: {output_dir}", file=sys.stderr)
         return 2
 
+    if args.max_regression is not None and previous is None:
+        print("error: --max-regression requires --baseline", file=sys.stderr)
+        return 2
+
     payload = run_perf_capture(
         smoke=args.smoke, output_path=args.output, baseline=previous
     )
     print(perf_report(payload))
     print(f"# written to {args.output}", file=sys.stderr)
+    if args.max_regression is not None:
+        comparison = payload.get("speedup_vs_baseline_file", {})
+        if "error" in comparison:
+            print(f"error: {comparison['error']}", file=sys.stderr)
+            return 2
+        # ratio is old/new wall time: 1.0 means unchanged, <1.0 slower.
+        floor = 1.0 / (1.0 + args.max_regression / 100.0)
+        scenarios = payload.get("scenarios", {})
+        regressed = {}
+        for name, ratio in comparison.items():
+            new_wall = scenarios.get(name, {}).get("wall_seconds") or 0.0
+            old_wall = new_wall * ratio
+            if max(new_wall, old_wall) < MIN_GATE_WALL_SECONDS:
+                print(
+                    f"# gate: skipping {name} (wall time below "
+                    f"{MIN_GATE_WALL_SECONDS:g}s, too noisy to compare)",
+                    file=sys.stderr,
+                )
+                continue
+            if ratio < floor:
+                regressed[name] = ratio
+        if regressed:
+            rendered = ", ".join(
+                f"{name} {round((1 / ratio - 1) * 100)}% slower"
+                for name, ratio in sorted(regressed.items())
+            )
+            print(
+                f"error: scenarios regressed more than {args.max_regression:g}% "
+                f"vs baseline: {rendered}",
+                file=sys.stderr,
+            )
+            return 3
+        print(
+            f"# no scenario regressed more than {args.max_regression:g}% vs baseline",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -227,6 +409,50 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser.add_argument("dependencies")
     stats_parser.set_defaults(handler=_command_stats)
 
+    compile_parser = subparsers.add_parser(
+        "compile", help="saturate a GTGD file and save the compiled knowledge base"
+    )
+    compile_parser.add_argument("dependencies", help="file containing the GTGDs")
+    compile_parser.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="where to write the KB JSON (repro-kb/v1 format)",
+    )
+    _add_rewriting_options(compile_parser)
+    compile_parser.set_defaults(handler=_command_compile)
+
+    load_parser = subparsers.add_parser(
+        "load", help="inspect a knowledge base saved by 'compile'"
+    )
+    load_parser.add_argument("knowledge_base", help="a saved KB JSON file")
+    load_parser.add_argument(
+        "--rules", action="store_true", help="also print the Datalog rewriting"
+    )
+    load_parser.set_defaults(handler=_command_load)
+
+    serve_parser = subparsers.add_parser(
+        "serve-batch",
+        help="open a reasoning session, apply deltas incrementally, answer a "
+        "batch of queries",
+    )
+    serve_parser.add_argument(
+        "knowledge_base",
+        help="a saved KB JSON (from 'compile') or a GTGD file (compiled on the fly)",
+    )
+    serve_parser.add_argument("facts", help="file with the initial base facts")
+    serve_parser.add_argument(
+        "queries", help="file with one conjunctive query per line"
+    )
+    serve_parser.add_argument(
+        "--delta",
+        action="append",
+        metavar="FACTS_FILE",
+        help="fact file applied incrementally to the live session (repeatable)",
+    )
+    _add_rewriting_options(serve_parser)
+    serve_parser.set_defaults(handler=_command_serve_batch)
+
     perf_parser = subparsers.add_parser(
         "perf",
         help="run the recorded benchmark scenarios and emit BENCH_rewriting.json",
@@ -245,6 +471,13 @@ def build_parser() -> argparse.ArgumentParser:
     perf_parser.add_argument(
         "--baseline",
         help="a previous BENCH_rewriting.json to compare wall times against",
+    )
+    perf_parser.add_argument(
+        "--max-regression",
+        type=float,
+        metavar="PCT",
+        help="exit non-zero if any scenario's wall time regresses more than "
+        "PCT%% versus the --baseline capture (CI gate)",
     )
     perf_parser.set_defaults(handler=_command_perf)
 

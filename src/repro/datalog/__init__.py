@@ -1,6 +1,11 @@
 """A semi-naive Datalog engine: programs, fact stores, materialization, queries."""
 
-from .engine import DatalogEngine, MaterializationResult, materialize
+from .engine import (
+    DatalogEngine,
+    DeltaUpdateResult,
+    MaterializationResult,
+    materialize,
+)
 from .index import FactStore
 from .program import DatalogProgram, DatalogValidationError
 from .query import (
@@ -8,17 +13,22 @@ from .query import (
     QueryValidationError,
     boolean_query_holds,
     evaluate_query,
+    parse_query,
 )
+from .session import ReasoningSession
 
 __all__ = [
     "ConjunctiveQuery",
     "DatalogEngine",
     "DatalogProgram",
     "DatalogValidationError",
+    "DeltaUpdateResult",
     "FactStore",
     "MaterializationResult",
     "QueryValidationError",
+    "ReasoningSession",
     "boolean_query_holds",
     "evaluate_query",
     "materialize",
+    "parse_query",
 ]

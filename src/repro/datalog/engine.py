@@ -43,6 +43,25 @@ class MaterializationResult:
         return len(self.store)
 
 
+@dataclass(frozen=True)
+class DeltaUpdateResult:
+    """The outcome of one incremental :meth:`DatalogEngine.extend` call.
+
+    ``added_facts`` counts the delta facts that were genuinely new (not
+    already in the store); ``derived_count`` counts only the facts *inferred*
+    from them by delta propagation.
+    """
+
+    added_facts: int
+    derived_count: int
+    rounds: int
+    rule_applications: int
+
+    @property
+    def total_new_facts(self) -> int:
+        return self.added_facts + self.derived_count
+
+
 class DatalogEngine:
     """Semi-naive evaluation of a Datalog program."""
 
@@ -60,7 +79,6 @@ class DatalogEngine:
     ) -> MaterializationResult:
         """Compute the fixpoint of the program on the given instance."""
         store = FactStore(instance)
-        delta: Set[Atom] = set(store)
         rounds = 0
         derived = 0
         applications = 0
@@ -75,39 +93,93 @@ class DatalogEngine:
                 fact = substitution.apply_atom(rule.head)
                 if fact not in store:
                     new_facts.add(fact)
-        while new_facts:
-            rounds += 1
-            delta = set()
-            for fact in new_facts:
-                if store.add(fact):
-                    derived += 1
-                    delta.add(fact)
-            if max_rounds is not None and rounds >= max_rounds:
-                break
-            new_facts = set()
-            relevant_rules = self._rules_touching(delta)
-            for rule in relevant_rules:
-                for substitution in self._semi_naive_matches(rule, store, delta):
-                    applications += 1
-                    fact = substitution.apply_atom(rule.head)
-                    if fact not in store and fact not in new_facts:
-                        new_facts.add(fact)
+        rounds, derived, loop_applications = self._fixpoint_loop(
+            store, new_facts, max_rounds
+        )
         return MaterializationResult(
             store=store,
             rounds=rounds,
             derived_count=derived,
+            rule_applications=applications + loop_applications,
+        )
+
+    def extend(
+        self,
+        store: FactStore,
+        facts: Instance | Iterable[Atom],
+    ) -> DeltaUpdateResult:
+        """Propagate a delta of new facts through a store already at fixpoint.
+
+        The store is mutated in place.  Instead of re-running the full naive
+        round-0 pass of :meth:`materialize`, the semi-naive loop is seeded
+        with the new facts: any derivation not available before the update
+        must use at least one of them, so this computes the same fixpoint as
+        re-materializing from scratch while doing work proportional to the
+        consequences of the delta only.
+
+        Unlike :meth:`materialize` there is deliberately no ``max_rounds``
+        knob: a truncated delta propagation would leave the store below
+        fixpoint, silently violating this method's own precondition for every
+        later call.
+        """
+        seed = {fact for fact in facts if fact not in store}
+        added = len(seed)
+        rounds, derived, applications = self._fixpoint_loop(store, seed)
+        return DeltaUpdateResult(
+            added_facts=added,
+            derived_count=derived - added,
+            rounds=rounds,
             rule_applications=applications,
         )
 
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
-    def _rules_touching(self, delta: Set[Atom]) -> Tuple[Rule, ...]:
+    def _fixpoint_loop(
+        self,
+        store: FactStore,
+        new_facts: Set[Atom],
+        max_rounds: Optional[int] = None,
+    ) -> Tuple[int, int, int]:
+        """The shared semi-naive loop; returns (rounds, added, applications).
+
+        ``new_facts`` is the seed delta — facts not yet in the store.  Every
+        round commits the pending facts, then evaluates the rules touching
+        the committed delta with one body atom restricted to it.
+        """
+        rounds = 0
+        added = 0
+        applications = 0
+        while new_facts:
+            rounds += 1
+            delta = set()
+            for fact in new_facts:
+                if store.add(fact):
+                    added += 1
+                    delta.add(fact)
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+            new_facts = set()
+            # computed once per round and threaded through the per-rule
+            # matching, instead of being rebuilt for every rule
+            delta_predicates = frozenset(fact.predicate for fact in delta)
+            for rule in self._rules_touching(delta_predicates):
+                for substitution in self._semi_naive_matches(
+                    rule, store, delta, delta_predicates
+                ):
+                    applications += 1
+                    fact = substitution.apply_atom(rule.head)
+                    if fact not in store and fact not in new_facts:
+                        new_facts.add(fact)
+        return rounds, added, applications
+
+    def _rules_touching(
+        self, delta_predicates: FrozenSet[Predicate]
+    ) -> Tuple[Rule, ...]:
         """Rules whose body mentions a predicate with new facts."""
-        predicates = {fact.predicate for fact in delta}
         seen: Set[Rule] = set()
         ordered: List[Rule] = []
-        for predicate in predicates:
+        for predicate in delta_predicates:
             for rule in self._rules_by_body.get(predicate, ()):
                 if rule not in seen:
                     seen.add(rule)
@@ -115,7 +187,11 @@ class DatalogEngine:
         return tuple(ordered)
 
     def _semi_naive_matches(
-        self, rule: Rule, store: FactStore, delta: Set[Atom]
+        self,
+        rule: Rule,
+        store: FactStore,
+        delta: Set[Atom],
+        delta_predicates: FrozenSet[Predicate],
     ) -> Iterator[Substitution]:
         """Matches of the rule body that use at least one delta fact.
 
@@ -123,7 +199,6 @@ class DatalogEngine:
         delta while the remaining atoms range over the full store; this is the
         standard semi-naive rewriting of the rule.
         """
-        delta_predicates = {fact.predicate for fact in delta}
         for pivot, pivot_atom in enumerate(rule.body):
             if pivot_atom.predicate not in delta_predicates:
                 continue

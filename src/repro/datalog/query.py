@@ -58,6 +58,24 @@ class ConjunctiveQuery:
         return f"ans({head}) <- {body}"
 
 
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse an existential-free conjunctive query from the textual format.
+
+    The text is a conjunction of atoms in the parser syntax, e.g.
+    ``"Equipment(?x), hasTerminal(?x, ?y)"`` (a trailing ``.`` is accepted).
+    Every variable is an answer variable — the class of queries the rewriting
+    approach supports — in order of first occurrence.
+    """
+    from ..logic.parser import parse_conjunction
+
+    body = parse_conjunction(text)
+    seen: Dict[Variable, None] = {}
+    for atom in body:
+        for variable in atom.variables():
+            seen.setdefault(variable, None)
+    return ConjunctiveQuery(tuple(seen), body)
+
+
 def evaluate_query(
     query: ConjunctiveQuery,
     facts: FactStore | MaterializationResult | Iterable[Atom],

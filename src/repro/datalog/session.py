@@ -1,0 +1,164 @@
+"""Long-lived reasoning sessions with incremental materialization.
+
+The paper's deployment mode is "compile Σ once, serve many instances and
+queries".  A :class:`ReasoningSession` is the serving half of that story: it
+keeps the materialized :class:`~repro.datalog.index.FactStore` alive across
+calls, so
+
+* ``add_facts(delta)`` propagates a batch of new base facts by *true
+  semi-naive delta propagation* — the fixpoint loop is seeded with the new
+  facts (:meth:`DatalogEngine.extend`) instead of re-running the whole
+  materialization, doing work proportional to the consequences of the delta;
+* ``answer(query)`` / ``answer_many(queries)`` evaluate existential-free
+  conjunctive queries against the live materialization with no per-call
+  setup; and
+* ``snapshot()`` returns an immutable :class:`MaterializationResult` over a
+  copy of the store, decoupled from later updates.
+
+Sessions are obtained from :meth:`repro.api.KnowledgeBase.session` (which
+supplies the compiled rewriting) or constructed directly from any Datalog
+program.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Sequence, Tuple
+
+from ..logic.atoms import Atom
+from ..logic.instance import Instance
+from ..logic.rules import Rule
+from ..logic.terms import Term
+from .engine import DatalogEngine, DeltaUpdateResult, MaterializationResult
+from .index import FactStore
+from .program import DatalogProgram
+from .query import ConjunctiveQuery, evaluate_query
+
+
+class ReasoningSession:
+    """A live materialization of one Datalog program, updated by deltas."""
+
+    def __init__(
+        self,
+        program: DatalogProgram | Iterable[Rule],
+        instance: Instance | Iterable[Atom] = (),
+    ) -> None:
+        if not isinstance(program, DatalogProgram):
+            program = DatalogProgram(program)
+        self._engine = DatalogEngine(program)
+        initial = self._engine.materialize(instance)
+        self._store = initial.store
+        self._rounds = initial.rounds
+        self._derived = initial.derived_count
+        self._applications = initial.rule_applications
+        self._added_facts = len(initial) - initial.derived_count
+        self._updates = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def program(self) -> DatalogProgram:
+        return self._engine.program
+
+    @property
+    def store(self) -> FactStore:
+        """The live store (mutated by :meth:`add_facts`); see :meth:`snapshot`."""
+        return self._store
+
+    @property
+    def update_count(self) -> int:
+        """Number of :meth:`add_facts` calls served so far."""
+        return self._updates
+
+    @property
+    def derived_count(self) -> int:
+        """Total facts inferred over the session's lifetime."""
+        return self._derived
+
+    @property
+    def added_facts(self) -> int:
+        """Total input facts accepted (initial instance plus all deltas)."""
+        return self._added_facts
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, fact: Atom) -> bool:
+        return fact in self._store
+
+    def facts(self) -> FrozenSet[Atom]:
+        return self._store.facts()
+
+    # ------------------------------------------------------------------
+    # incremental updates
+    # ------------------------------------------------------------------
+    def add_facts(self, facts: Instance | Iterable[Atom]) -> DeltaUpdateResult:
+        """Add base facts and propagate their consequences incrementally.
+
+        Facts already present (base or previously derived) are ignored.  The
+        returned :class:`DeltaUpdateResult` reports how many input facts were
+        new, how many further facts the delta propagation inferred, and the
+        rounds/rule applications it took.  The propagation always runs to
+        fixpoint — a truncated update would poison every later answer.
+        """
+        result = self._engine.extend(self._store, facts)
+        self._rounds += result.rounds
+        self._derived += result.derived_count
+        self._applications += result.rule_applications
+        self._added_facts += result.added_facts
+        self._updates += 1
+        return result
+
+    def add_fact(self, fact: Atom) -> DeltaUpdateResult:
+        """Convenience wrapper for a single-fact delta."""
+        return self.add_facts((fact,))
+
+    # ------------------------------------------------------------------
+    # query answering
+    # ------------------------------------------------------------------
+    def answer(self, query: ConjunctiveQuery) -> FrozenSet[Tuple[Term, ...]]:
+        """Certain answers of one existential-free conjunctive query."""
+        return evaluate_query(query, self._store)
+
+    def answer_many(
+        self, queries: Sequence[ConjunctiveQuery]
+    ) -> Tuple[FrozenSet[Tuple[Term, ...]], ...]:
+        """Batched evaluation: one answer set per query, in input order.
+
+        All queries run against the same live materialization, so a batch
+        pays the (already-amortized) fixpoint exactly once.
+        """
+        return tuple(evaluate_query(query, self._store) for query in queries)
+
+    def entails(self, fact: Atom) -> bool:
+        """Decide ``I, Σ |= F`` for a base fact over the live materialization."""
+        if not fact.is_base_fact:
+            raise ValueError("entailment is defined for base facts only")
+        return fact in self._store
+
+    def certain_base_facts(self) -> FrozenSet[Atom]:
+        """All base facts of the live materialization."""
+        return frozenset(fact for fact in self._store if fact.is_base_fact)
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MaterializationResult:
+        """An immutable view of the current materialization.
+
+        The store is copied, so later :meth:`add_facts` calls do not leak
+        into the snapshot.  The bookkeeping fields report the session's
+        cumulative totals (rounds, derived facts, rule applications).
+        """
+        return MaterializationResult(
+            store=self._store.copy(),
+            rounds=self._rounds,
+            derived_count=self._derived,
+            rule_applications=self._applications,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ReasoningSession({len(self.program)} rules, {len(self._store)} facts, "
+            f"{self._updates} updates)"
+        )

@@ -234,6 +234,106 @@ def capture_end_to_end(
     }
 
 
+def capture_incremental_updates(
+    suite_size: int = 6,
+    max_axioms: int = 60,
+    top_k: int = 3,
+    fact_count: int = 2000,
+    delta_fraction: float = 0.01,
+    repeats: int = 3,
+    timeout_seconds: float = 8.0,
+) -> Dict[str, object]:
+    """Delta-update throughput of :class:`ReasoningSession` vs full rebuilds.
+
+    For each instance, a small delta (``delta_fraction`` of the facts) is
+    propagated through a live session (:meth:`ReasoningSession.add_facts`)
+    and compared against re-materializing base+delta from scratch — the cost
+    the one-shot API pays per update.  Consistency of the two fixpoints is
+    verified once per instance before timing is trusted.
+    """
+    from ..datalog import DatalogProgram, ReasoningSession, materialize
+    from ..workloads.instances import generate_instance
+    from ..workloads.ontology_suite import generate_suite
+
+    settings = RewritingSettings(timeout_seconds=timeout_seconds)
+    wall_start = time.perf_counter()
+    suite = generate_suite(
+        count=suite_size, seed=2022, min_axioms=12, max_axioms=max_axioms
+    )
+    completed = []
+    for item in suite:
+        result = rewrite(item.tgds, algorithm="exbdr", settings=settings)
+        if result.completed:
+            completed.append((item, result))
+    completed.sort(key=lambda pair: pair[1].output_size, reverse=True)
+    rows = []
+    full_total = 0.0
+    delta_total = 0.0
+    for item, rewriting in completed[:top_k]:
+        program = DatalogProgram(rewriting.datalog_rules)
+        instance = generate_instance(
+            item.tgds,
+            fact_count=fact_count,
+            constant_count=max(50, fact_count // 10),
+            seed=int(item.identifier),
+        )
+        facts = sorted(instance, key=str)
+        delta_size = max(1, int(len(facts) * delta_fraction))
+        base, delta = facts[:-delta_size], facts[-delta_size:]
+        # the cost an update pays today: re-materialize everything
+        full_seconds = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            full = materialize(program, facts)
+            elapsed = time.perf_counter() - start
+            if full_seconds is None or elapsed < full_seconds:
+                full_seconds = elapsed
+        # the session cost: propagate only the delta's consequences
+        delta_seconds = None
+        session_facts = None
+        for _ in range(max(1, repeats)):
+            session = ReasoningSession(program, base)  # setup not timed
+            start = time.perf_counter()
+            session.add_facts(delta)
+            elapsed = time.perf_counter() - start
+            if delta_seconds is None or elapsed < delta_seconds:
+                delta_seconds = elapsed
+            session_facts = session.facts()
+        consistent = session_facts == full.facts()
+        full_total += full_seconds
+        delta_total += delta_seconds
+        rows.append(
+            {
+                "input_id": item.identifier,
+                "rule_count": rewriting.output_size,
+                "base_facts": len(base),
+                "delta_facts": delta_size,
+                "output_facts": len(full),
+                "full_seconds": round(full_seconds, 6),
+                "delta_seconds": round(delta_seconds, 6),
+                "speedup": round(full_seconds / delta_seconds, 2)
+                if delta_seconds
+                else None,
+                "consistent": consistent,
+            }
+        )
+    return {
+        "wall_seconds": round(time.perf_counter() - wall_start, 6),
+        "fact_count": fact_count,
+        "delta_fraction": delta_fraction,
+        "repeats": max(1, repeats),
+        "rows": rows,
+        "full_rematerialize_seconds": round(full_total, 6),
+        "delta_update_seconds": round(delta_total, 6),
+        "speedup_delta_vs_full": round(full_total / delta_total, 2)
+        if delta_total
+        else None,
+        # deliberately False when nothing completed: an empty measurement
+        # must not read as "verified consistent" downstream (CI asserts this)
+        "all_consistent": bool(rows) and all(row["consistent"] for row in rows),
+    }
+
+
 def capture_perf(smoke: bool = False) -> Dict[str, object]:
     """Run all three scenarios and return the BENCH_rewriting payload.
 
@@ -252,12 +352,16 @@ def capture_perf(smoke: bool = False) -> Dict[str, object]:
             "end_to_end": capture_end_to_end(
                 suite_size=2, max_axioms=24, top_k=1, fact_count=150
             ),
+            "incremental_updates": capture_incremental_updates(
+                suite_size=2, max_axioms=24, top_k=1, fact_count=1000, repeats=2
+            ),
         }
     else:
         scenarios = {
             "separation_families": capture_separation_families(),
             "fulldr_comparison": capture_fulldr_comparison(),
             "end_to_end": capture_end_to_end(),
+            "incremental_updates": capture_incremental_updates(),
         }
     return {
         "schema": "bench-rewriting/v1",

@@ -183,6 +183,16 @@ def perf_report(payload: Mapping[str, object]) -> str:
                 f"separation_families speedup vs pre-change loop: "
                 f"{separation['speedup_vs_pre_change']}x"
             )
+        incremental = scenarios.get("incremental_updates")
+        if isinstance(incremental, Mapping) and incremental.get(
+            "speedup_delta_vs_full"
+        ):
+            lines.append(
+                f"incremental_updates: delta propagation "
+                f"{incremental['speedup_delta_vs_full']}x faster than full "
+                f"re-materialization"
+                + ("" if incremental.get("all_consistent") else " (INCONSISTENT!)")
+            )
     interning = payload.get("interning", {})
     if isinstance(interning, Mapping) and "overall" in interning:
         overall = interning["overall"]

@@ -1,0 +1,90 @@
+"""Σ fingerprinting and the in-process compile cache.
+
+The fingerprint reuses the interned canonical clause forms introduced for
+subsumption (PR 1): every TGD is brought into canonical-variable form
+(:func:`repro.logic.normal_form.normalize_tgd`, cached on the interned
+clause, so re-fingerprinting a Σ that was fingerprinted before does no
+clause work) and the sorted canonical clause strings are hashed.  Two Σs
+that differ only in clause order or variable naming therefore fingerprint
+identically and share one cache entry; the cached rewriting is semantically
+equivalent for both (same certain answers on every instance).
+
+Only *completed* rewritings are cached — a run cut short by a timeout or a
+clause limit is not a function of Σ alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..logic.normal_form import normalize_tgd
+from ..logic.tgd import TGD
+from ..rewriting.base import RewritingResult, RewritingSettings
+from ..rewriting.rewriter import rewrite
+
+#: bound on the number of cached rewritings; oldest entries fall out first
+COMPILE_CACHE_LIMIT = 128
+
+_CacheKey = Tuple[str, str, RewritingSettings]
+_cache: Dict[_CacheKey, RewritingResult] = {}
+_hits = 0
+_misses = 0
+
+
+def sigma_fingerprint(tgds: Iterable[TGD]) -> str:
+    """A canonical hex fingerprint of a finite set of GTGDs.
+
+    Invariant under clause order and variable naming: clauses are normalized
+    to canonical-variable form and sorted before hashing.
+    """
+    canonical = sorted(str(normalize_tgd(tgd)) for tgd in tgds)
+    digest = hashlib.sha256("\n".join(canonical).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def cached_rewrite(
+    tgds: Sequence[TGD],
+    algorithm: str = "hypdr",
+    settings: Optional[RewritingSettings] = None,
+) -> Tuple[RewritingResult, str]:
+    """Rewrite Σ, serving repeated compilations from the in-process cache.
+
+    Returns ``(result, fingerprint)``.  The cache key is the Σ fingerprint
+    together with the algorithm name and the (hashable) settings, so the
+    same Σ compiled under different knobs is measured separately.
+    """
+    global _hits, _misses
+    effective = settings if settings is not None else RewritingSettings()
+    fingerprint = sigma_fingerprint(tgds)
+    key = (fingerprint, algorithm.lower(), effective)
+    cached = _cache.get(key)
+    if cached is not None:
+        _hits += 1
+        return cached, fingerprint
+    _misses += 1
+    result = rewrite(tgds, algorithm=algorithm, settings=settings)
+    if result.completed:
+        while len(_cache) >= COMPILE_CACHE_LIMIT:
+            _cache.pop(next(iter(_cache)))
+        _cache[key] = result
+    return result, fingerprint
+
+
+def compile_cache_stats() -> Dict[str, object]:
+    """Hit/miss counters and current size of the compile cache."""
+    total = _hits + _misses
+    return {
+        "entries": len(_cache),
+        "hits": _hits,
+        "misses": _misses,
+        "hit_rate": round(_hits / total, 4) if total else 0.0,
+    }
+
+
+def clear_compile_cache() -> None:
+    """Empty the compile cache and zero its counters (tests, benchmarks)."""
+    global _hits, _misses
+    _cache.clear()
+    _hits = 0
+    _misses = 0

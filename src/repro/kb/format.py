@@ -1,0 +1,224 @@
+"""Versioned JSON serialization of compiled knowledge bases.
+
+See the package docstring for the ``repro-kb/v1`` field reference.  The
+functions here work on the persistence payload; the user-facing entry points
+are :meth:`repro.api.KnowledgeBase.save` and
+:meth:`repro.api.KnowledgeBase.load`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..logic.atoms import Atom, Predicate
+from ..logic.rules import Rule
+from ..logic.terms import Constant, Term, Variable
+from ..logic.tgd import TGD
+from ..rewriting.base import RewritingResult, SaturationStatistics
+from .cache import sigma_fingerprint
+
+#: the file format emitted by :func:`write_kb_file` and required on load
+KB_FORMAT_VERSION = "repro-kb/v1"
+
+
+class KnowledgeBaseFormatError(ValueError):
+    """Raised when a KB file is malformed or has an unsupported version."""
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def _term_to_json(term: Term) -> Dict[str, str]:
+    if isinstance(term, Variable):
+        return {"v": term.name}
+    if isinstance(term, Constant):
+        return {"c": term.name}
+    raise KnowledgeBaseFormatError(
+        f"only variables and constants can be persisted, got {term!r}"
+    )
+
+
+def _atom_to_json(atom: Atom) -> Dict[str, object]:
+    return {
+        "p": atom.predicate.name,
+        "args": [_term_to_json(arg) for arg in atom.args],
+    }
+
+
+def _tgd_to_json(tgd: TGD) -> Dict[str, object]:
+    return {
+        "body": [_atom_to_json(atom) for atom in tgd.body],
+        "head": [_atom_to_json(atom) for atom in tgd.head],
+    }
+
+
+def _rule_to_json(rule: Rule) -> Dict[str, object]:
+    return {
+        "body": [_atom_to_json(atom) for atom in rule.body],
+        "head": _atom_to_json(rule.head),
+    }
+
+
+def _content_digest(tgds_json: object, rules_json: object) -> str:
+    """Integrity digest over the logical content (Σ and rew(Σ)) of a KB file."""
+    canonical = json.dumps(
+        {"tgds": tgds_json, "datalog_rules": rules_json},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def knowledge_base_payload(
+    tgds: Sequence[TGD], rewriting: RewritingResult
+) -> Dict[str, object]:
+    """The ``repro-kb/v1`` JSON payload for a compiled knowledge base."""
+    tgds_json = [_tgd_to_json(tgd) for tgd in tgds]
+    rules_json = [_rule_to_json(rule) for rule in rewriting.datalog_rules]
+    return {
+        "format": KB_FORMAT_VERSION,
+        "algorithm": rewriting.algorithm,
+        "sigma_fingerprint": sigma_fingerprint(tgds),
+        "content_digest": _content_digest(tgds_json, rules_json),
+        "tgds": tgds_json,
+        "datalog_rules": rules_json,
+        "statistics": rewriting.statistics.as_dict(),
+        "worked_off_size": rewriting.worked_off_size,
+        "completed": rewriting.completed,
+    }
+
+
+def write_kb_file(
+    path: "str | Path", tgds: Sequence[TGD], rewriting: RewritingResult
+) -> Path:
+    """Serialize a compiled knowledge base; returns the path written."""
+    target = Path(path)
+    payload = knowledge_base_payload(tgds, rewriting)
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+def _term_from_json(data: object) -> Term:
+    if isinstance(data, dict):
+        if "v" in data:
+            return Variable(data["v"])
+        if "c" in data:
+            return Constant(data["c"])
+    raise KnowledgeBaseFormatError(f"malformed term encoding: {data!r}")
+
+
+def _atom_from_json(data: object) -> Atom:
+    if not isinstance(data, dict) or "p" not in data or "args" not in data:
+        raise KnowledgeBaseFormatError(f"malformed atom encoding: {data!r}")
+    args = tuple(_term_from_json(arg) for arg in data["args"])
+    return Atom(Predicate(data["p"], len(args)), args)
+
+
+def _tgd_from_json(data: object) -> TGD:
+    if not isinstance(data, dict) or "body" not in data or "head" not in data:
+        raise KnowledgeBaseFormatError(f"malformed TGD encoding: {data!r}")
+    return TGD(
+        tuple(_atom_from_json(atom) for atom in data["body"]),
+        tuple(_atom_from_json(atom) for atom in data["head"]),
+    )
+
+
+def _rule_from_json(data: object) -> Rule:
+    if not isinstance(data, dict) or "body" not in data or "head" not in data:
+        raise KnowledgeBaseFormatError(f"malformed rule encoding: {data!r}")
+    return Rule(
+        tuple(_atom_from_json(atom) for atom in data["body"]),
+        _atom_from_json(data["head"]),
+    )
+
+
+def _statistics_from_json(data: object) -> SaturationStatistics:
+    if not isinstance(data, dict):
+        raise KnowledgeBaseFormatError(f"malformed statistics block: {data!r}")
+    statistics = SaturationStatistics()
+    for field_name in (
+        "input_size",
+        "derived",
+        "inferences",
+        "discarded_tautology",
+        "discarded_forward",
+        "discarded_duplicate",
+        "removed_backward",
+        "processed",
+        "retained",
+        "forward_checks",
+        "forward_candidates",
+        "backward_candidates",
+        "elapsed_seconds",
+        "timed_out",
+    ):
+        if field_name in data:
+            setattr(statistics, field_name, data[field_name])
+    return statistics
+
+
+def load_knowledge_base_payload(
+    payload: object,
+) -> Tuple[Tuple[TGD, ...], RewritingResult]:
+    """Decode a ``repro-kb/v1`` payload into ``(tgds, rewriting)``.
+
+    Both integrity fields are mandatory and re-verified: the content digest
+    covers Σ *and* the Datalog rewriting (the part queries actually use), and
+    the Σ fingerprint is recomputed from the decoded TGDs.  Any mismatch
+    means the file was edited or corrupted and is rejected.
+    """
+    if not isinstance(payload, dict):
+        raise KnowledgeBaseFormatError("KB file does not contain a JSON object")
+    version = payload.get("format")
+    if version != KB_FORMAT_VERSION:
+        raise KnowledgeBaseFormatError(
+            f"unsupported KB format {version!r}; this build reads {KB_FORMAT_VERSION!r}"
+        )
+    digest = payload.get("content_digest")
+    if digest is None:
+        raise KnowledgeBaseFormatError("KB file is missing content_digest")
+    if digest != _content_digest(
+        payload.get("tgds", []), payload.get("datalog_rules", [])
+    ):
+        raise KnowledgeBaseFormatError(
+            "content_digest does not match the stored TGDs/rules; file corrupted?"
+        )
+    tgds = tuple(_tgd_from_json(tgd) for tgd in payload.get("tgds", ()))
+    recorded = payload.get("sigma_fingerprint")
+    if recorded is None:
+        raise KnowledgeBaseFormatError("KB file is missing sigma_fingerprint")
+    if recorded != sigma_fingerprint(tgds):
+        raise KnowledgeBaseFormatError(
+            "sigma_fingerprint does not match the stored TGDs; file corrupted?"
+        )
+    rules = tuple(
+        _rule_from_json(rule) for rule in payload.get("datalog_rules", ())
+    )
+    rewriting = RewritingResult(
+        algorithm=payload.get("algorithm", "?"),
+        datalog_rules=rules,
+        statistics=_statistics_from_json(payload.get("statistics", {})),
+        worked_off_size=payload.get("worked_off_size", len(rules)),
+        completed=payload.get("completed", True),
+    )
+    return tgds, rewriting
+
+
+def parse_kb_text(text: str) -> Tuple[Tuple[TGD, ...], RewritingResult]:
+    """Decode the text of a KB file (callers that already read it from disk)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise KnowledgeBaseFormatError(f"KB file is not valid JSON: {exc}") from exc
+    return load_knowledge_base_payload(payload)
+
+
+def read_kb_file(path: "str | Path") -> Tuple[Tuple[TGD, ...], RewritingResult]:
+    """Read and decode a KB file written by :func:`write_kb_file`."""
+    return parse_kb_text(Path(path).read_text(encoding="utf-8"))

@@ -152,6 +152,22 @@ class DependencyParser:
             raise ParseError("expected only facts but found TGDs")
         return program.instance
 
+    def parse_conjunction(self, text: str) -> Tuple[Atom, ...]:
+        """Parse a conjunction of atoms (atoms may contain variables).
+
+        A trailing ``.`` is accepted; used for query bodies.
+        """
+        tokens = _tokenize(text)
+        atoms, pos = self._read_conjunction(tokens, 0)
+        if pos < len(tokens) and tokens[pos].value == ".":
+            pos += 1
+        if pos != len(tokens):
+            raise ParseError(
+                f"trailing input after conjunction: {tokens[pos].value!r}",
+                tokens[pos].line,
+            )
+        return tuple(atoms)
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -296,3 +312,8 @@ def parse_fact(text: str) -> Atom:
 def parse_facts(text: str) -> Instance:
     """Parse a fact-only program with a fresh parser."""
     return DependencyParser().parse_facts(text)
+
+
+def parse_conjunction(text: str) -> Tuple[Atom, ...]:
+    """Parse a conjunction of atoms with a fresh parser."""
+    return DependencyParser().parse_conjunction(text)

@@ -49,6 +49,16 @@ class RewritingSettings:
     timeout_seconds: Optional[float] = None
     max_clauses: Optional[int] = None
 
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None and self.timeout_seconds < 0:
+            raise ValueError(
+                f"timeout_seconds must be non-negative, got {self.timeout_seconds!r}"
+            )
+        if self.max_clauses is not None and self.max_clauses <= 0:
+            raise ValueError(
+                f"max_clauses must be positive, got {self.max_clauses!r}"
+            )
+
 
 @dataclass
 class SaturationStatistics:

@@ -34,8 +34,18 @@ from ..logic.tgd import TGD, head_normalize
 from ..unification.mgu import restricted_mgu
 from .base import InferenceRule, RewritingSettings
 from .lookahead import tgd_result_is_dead_end
+from .registry import AlgorithmCapabilities, register_algorithm
 
 
+@register_algorithm(
+    "exbdr",
+    capabilities=AlgorithmCapabilities(
+        clause_kind="tgd",
+        supports_lookahead=True,
+        blowup_class="single-exponential",
+        description="Existential-based rewriting on GTGDs (Definition 5.5)",
+    ),
+)
 class ExbDR(InferenceRule[TGD]):
     """Definition 5.5 plugged into the saturation engine."""
 

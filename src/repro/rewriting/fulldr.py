@@ -34,8 +34,18 @@ from ..logic.tgd import TGD, head_normalize, program_constants
 from ..unification.mgu import restricted_mgu
 from .base import InferenceRule, RewritingSettings
 from .lookahead import tgd_result_is_dead_end
+from .registry import AlgorithmCapabilities, register_algorithm
 
 
+@register_algorithm(
+    "fulldr",
+    capabilities=AlgorithmCapabilities(
+        clause_kind="tgd",
+        supports_lookahead=True,
+        blowup_class="double-exponential",
+        description="Bounded-substitution enumeration deriving full TGDs (Appendix E)",
+    ),
+)
 class FullDR(InferenceRule[TGD]):
     """Appendix E plugged into the saturation engine."""
 

@@ -38,8 +38,18 @@ from ..logic.substitution import Substitution
 from ..logic.tgd import TGD, head_normalize
 from ..unification.mgu import mgu, mgu_atoms
 from .base import InferenceRule, RewritingSettings
+from .registry import AlgorithmCapabilities, register_algorithm
 
 
+@register_algorithm(
+    "hypdr",
+    capabilities=AlgorithmCapabilities(
+        clause_kind="rule",
+        supports_lookahead=True,
+        blowup_class="single-exponential",
+        description="Hyperresolution on Skolemized rules (Definition 5.16)",
+    ),
+)
 class HypDR(InferenceRule[Rule]):
     """Definition 5.16 plugged into the saturation engine."""
 

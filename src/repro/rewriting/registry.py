@@ -1,0 +1,167 @@
+"""Pluggable algorithm registry for the rewriting layer.
+
+Algorithms register themselves with :func:`register_algorithm` at class
+definition time instead of being enumerated in a hard-coded dispatch table::
+
+    @register_algorithm(
+        "hypdr",
+        capabilities=AlgorithmCapabilities(
+            clause_kind="rule", supports_lookahead=False, blowup_class="single-exponential"
+        ),
+    )
+    class HypDR(InferenceRule[Rule]):
+        ...
+
+The registry stores, per algorithm name, the inference-rule class together
+with an :class:`AlgorithmCapabilities` record describing
+
+* ``clause_kind`` — whether the algorithm saturates TGDs directly (``"tgd"``,
+  like ExbDR/FullDR) or Skolemized rules (``"rule"``, like SkDR/HypDR);
+* ``supports_lookahead`` — whether the cheap lookahead optimization of
+  Section 6 applies to the algorithm's derivations;
+* ``blowup_class`` — the expected output-size blowup class from the paper's
+  separation results (e.g. ``"single-exponential"``), used by front ends to
+  pick a default algorithm for a workload.
+
+New rewriters plug in by decorating their class; dispatch code
+(:func:`repro.rewriting.rewriter.make_inference`, the CLI ``--algorithm``
+choices, the benchmark harness) picks them up without modification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Mapping, Optional, Tuple, Type, TypeVar
+
+#: valid values for :attr:`AlgorithmCapabilities.clause_kind`
+CLAUSE_KINDS = ("tgd", "rule")
+
+InferenceClass = TypeVar("InferenceClass", bound=type)
+
+
+@dataclass(frozen=True)
+class AlgorithmCapabilities:
+    """Capability metadata reported for one registered algorithm."""
+
+    #: ``"tgd"`` for algorithms saturating GTGDs directly, ``"rule"`` for
+    #: algorithms saturating Skolemized rules
+    clause_kind: str
+    #: whether the cheap lookahead optimization (Section 6) prunes derivations
+    supports_lookahead: bool
+    #: expected output-size blowup class ("polynomial", "single-exponential",
+    #: "double-exponential", ...) from the paper's separation results
+    blowup_class: str
+    #: one-line human-readable summary
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.clause_kind not in CLAUSE_KINDS:
+            raise ValueError(
+                f"clause_kind must be one of {CLAUSE_KINDS}, got {self.clause_kind!r}"
+            )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "clause_kind": self.clause_kind,
+            "supports_lookahead": self.supports_lookahead,
+            "blowup_class": self.blowup_class,
+            "description": self.description,
+        }
+
+
+@dataclass(frozen=True)
+class RegisteredAlgorithm:
+    """One registry entry: the inference-rule class plus its capabilities."""
+
+    name: str
+    cls: type
+    capabilities: AlgorithmCapabilities
+
+
+_REGISTRY: Dict[str, RegisteredAlgorithm] = {}
+
+
+def register_algorithm(
+    name: str, *, capabilities: AlgorithmCapabilities
+) -> Callable[[InferenceClass], InferenceClass]:
+    """Class decorator registering an inference rule under ``name``.
+
+    The name is case-insensitive (stored lowercased).  Registering a second
+    class under an existing name raises ``ValueError`` — replacing an
+    algorithm is done explicitly via :func:`unregister_algorithm` first, so
+    accidental collisions between plugins surface immediately.
+    """
+    key = name.lower()
+
+    def decorator(cls: InferenceClass) -> InferenceClass:
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing.cls is not cls:
+            raise ValueError(
+                f"algorithm name {key!r} is already registered to "
+                f"{existing.cls.__name__}"
+            )
+        _REGISTRY[key] = RegisteredAlgorithm(
+            name=key, cls=cls, capabilities=capabilities
+        )
+        cls.algorithm_name = key
+        cls.capabilities = capabilities
+        return cls
+
+    return decorator
+
+
+def unregister_algorithm(name: str) -> bool:
+    """Remove a registered algorithm; return ``True`` if it was present."""
+    return _REGISTRY.pop(name.lower(), None) is not None
+
+
+def registered_algorithms() -> Tuple[str, ...]:
+    """The registered algorithm names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def algorithm_entry(name: str) -> RegisteredAlgorithm:
+    """Look up one registry entry; raise ``ValueError`` for unknown names."""
+    entry = _REGISTRY.get(name.lower())
+    if entry is None:
+        raise ValueError(
+            f"unknown algorithm {name!r}; expected one of {registered_algorithms()}"
+        )
+    return entry
+
+
+def algorithm_capabilities(name: str) -> AlgorithmCapabilities:
+    """The capability record of one registered algorithm."""
+    return algorithm_entry(name).capabilities
+
+
+def capability_report() -> Dict[str, Dict[str, object]]:
+    """Capabilities of every registered algorithm, keyed by name."""
+    return {
+        name: _REGISTRY[name].capabilities.as_dict()
+        for name in registered_algorithms()
+    }
+
+
+class RegistryView(Mapping):
+    """A live, read-only ``name -> inference class`` view of the registry.
+
+    Exposed as ``repro.rewriting.rewriter.ALGORITHMS`` for backward
+    compatibility with the pre-registry dispatch dict; algorithms registered
+    later (plugins) appear automatically.
+    """
+
+    def __getitem__(self, name: str) -> type:
+        entry = _REGISTRY.get(name)
+        if entry is None:
+            raise KeyError(name)
+        return entry.cls
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(registered_algorithms())
+
+    def __len__(self) -> int:
+        return len(_REGISTRY)
+
+    def __repr__(self) -> str:
+        return f"RegistryView({registered_algorithms()})"

@@ -24,8 +24,18 @@ from ..logic.tgd import TGD, head_normalize
 from ..unification.mgu import mgu
 from .base import InferenceRule, RewritingSettings
 from .lookahead import rule_result_is_dead_end
+from .registry import AlgorithmCapabilities, register_algorithm
 
 
+@register_algorithm(
+    "skdr",
+    capabilities=AlgorithmCapabilities(
+        clause_kind="rule",
+        supports_lookahead=True,
+        blowup_class="single-exponential",
+        description="Resolution on Skolemized rules (Definition 5.10)",
+    ),
+)
 class SkDR(InferenceRule[Rule]):
     """Definition 5.10 plugged into the saturation engine."""
 

@@ -1,0 +1,141 @@
+"""Tests for the incremental ReasoningSession."""
+
+import pytest
+
+from repro.datalog import DatalogProgram, ReasoningSession, materialize
+from repro.datalog.query import parse_query
+from repro.logic.atoms import Predicate
+from repro.logic.parser import parse_fact, parse_facts, parse_program
+
+CLOSURE = """
+Edge(?x, ?y) -> Reach(?x, ?y).
+Reach(?x, ?y), Edge(?y, ?z) -> Reach(?x, ?z).
+"""
+
+
+def _closure_session(facts="Edge(a, b). Edge(b, c)."):
+    program = parse_program(CLOSURE)
+    return ReasoningSession(program.tgds, parse_facts(facts))
+
+
+class TestIncrementalCorrectness:
+    def test_delta_matches_full_rematerialization(self):
+        """add_facts reaches the same fixpoint as materializing from scratch."""
+        program = parse_program(CLOSURE)
+        base = parse_facts("Edge(a, b). Edge(b, c).")
+        delta = parse_facts("Edge(c, d). Edge(d, e).")
+        session = ReasoningSession(program.tgds, base)
+        session.add_facts(delta)
+        full = materialize(
+            DatalogProgram(program.tgds), list(base) + list(delta)
+        )
+        assert session.facts() == full.facts()
+
+    def test_many_small_deltas_match_one_big_one(self):
+        program = parse_program(CLOSURE)
+        facts = [parse_fact(f"Edge(n{i}, n{i + 1})") for i in range(8)]
+        incremental = ReasoningSession(program.tgds)
+        for fact in facts:
+            incremental.add_fact(fact)
+        batch = ReasoningSession(program.tgds, facts)
+        assert incremental.facts() == batch.facts()
+
+    def test_delta_closing_a_cycle(self):
+        session = _closure_session("Edge(a, b). Edge(b, c).")
+        session.add_facts(parse_facts("Edge(c, a)."))
+        reach = Predicate("Reach", 2)
+        for source in "abc":
+            for target in "abc":
+                assert parse_fact(f"Reach({source}, {target})") in session
+
+    def test_empty_session_then_facts(self):
+        session = _closure_session(facts="")
+        assert len(session) == 0
+        update = session.add_facts(parse_facts("Edge(a, b)."))
+        assert update.added_facts == 1
+        assert update.derived_count == 1  # Reach(a, b)
+
+
+class TestDeltaBookkeeping:
+    def test_duplicate_facts_are_ignored(self):
+        session = _closure_session()
+        update = session.add_facts(parse_facts("Edge(a, b)."))
+        assert update.added_facts == 0
+        assert update.derived_count == 0
+        assert update.rounds == 0
+
+    def test_already_derived_facts_are_ignored(self):
+        session = _closure_session()
+        update = session.add_facts(parse_facts("Reach(a, c)."))
+        assert update.added_facts == 0
+
+    def test_update_counts_accumulate(self):
+        session = _closure_session()
+        before = len(session)
+        update = session.add_facts(parse_facts("Edge(c, d)."))
+        assert update.added_facts == 1
+        # Reach(c, d), Reach(b, d), Reach(a, d)
+        assert update.derived_count == 3
+        assert update.total_new_facts == len(session) - before
+        assert session.update_count == 1
+
+    def test_derived_count_tracks_lifetime_inferences(self):
+        session = _closure_session()
+        initial = session.derived_count
+        session.add_facts(parse_facts("Edge(c, d)."))
+        assert session.derived_count == initial + 3
+
+
+class TestQueryAnswering:
+    def test_answer_reflects_latest_delta(self):
+        session = _closure_session()
+        query = parse_query("Reach(a, ?y)")
+        assert len(session.answer(query)) == 2
+        session.add_facts(parse_facts("Edge(c, d)."))
+        assert len(session.answer(query)) == 3
+
+    def test_answer_many_preserves_order(self):
+        session = _closure_session()
+        queries = [parse_query("Reach(a, ?y)"), parse_query("Edge(?x, ?y)")]
+        answers = session.answer_many(queries)
+        assert len(answers) == 2
+        assert len(answers[0]) == 2
+        assert len(answers[1]) == 2
+
+    def test_entails_and_base_facts(self):
+        session = _closure_session()
+        assert session.entails(parse_fact("Reach(a, c)"))
+        assert not session.entails(parse_fact("Reach(c, a)"))
+        assert parse_fact("Edge(a, b)") in session.certain_base_facts()
+
+
+class TestSnapshots:
+    def test_snapshot_is_immune_to_later_updates(self):
+        session = _closure_session()
+        snapshot = session.snapshot()
+        session.add_facts(parse_facts("Edge(c, d)."))
+        assert parse_fact("Reach(a, d)") not in snapshot
+        assert parse_fact("Reach(a, d)") in session
+
+    def test_snapshot_reports_cumulative_statistics(self):
+        session = _closure_session()
+        session.add_facts(parse_facts("Edge(c, d)."))
+        snapshot = session.snapshot()
+        assert snapshot.derived_count == session.derived_count
+        assert snapshot.facts() == session.facts()
+
+
+class TestParseQuery:
+    def test_variables_in_order_of_first_occurrence(self):
+        query = parse_query("Reach(?y, ?x), Edge(?x, ?z).")
+        assert [v.name for v in query.answer_variables] == ["y", "x", "z"]
+
+    def test_ground_query_has_no_answer_variables(self):
+        query = parse_query("Reach(a, b)")
+        assert query.arity == 0
+
+    def test_malformed_query_rejected(self):
+        from repro.logic.parser import ParseError
+
+        with pytest.raises(ParseError):
+            parse_query("Reach(?x, ?y) extra")

@@ -160,3 +160,39 @@ class TestReports:
         assert "Table 2" in text
         assert "00001" in text
         assert "4.5" in text
+
+
+class TestPerfCapture:
+    def test_incremental_updates_scenario(self):
+        from repro.harness.perfcapture import capture_incremental_updates
+
+        payload = capture_incremental_updates(
+            suite_size=2, max_axioms=20, top_k=1, fact_count=150, repeats=1
+        )
+        assert payload["rows"], "no completed rewriting to measure"
+        assert payload["all_consistent"], (
+            "delta propagation diverged from full re-materialization"
+        )
+        assert payload["speedup_delta_vs_full"] > 1.0
+        for row in payload["rows"]:
+            assert row["delta_facts"] >= 1
+            assert row["base_facts"] + row["delta_facts"] <= row["output_facts"]
+
+    def test_compare_captures_reports_ratios(self):
+        from repro.harness.perfcapture import compare_captures
+
+        current = {
+            "scale": "smoke",
+            "scenarios": {"end_to_end": {"wall_seconds": 1.0}},
+        }
+        previous = {
+            "scale": "smoke",
+            "scenarios": {"end_to_end": {"wall_seconds": 2.0}},
+        }
+        assert compare_captures(current, previous) == {"end_to_end": 2.0}
+
+    def test_compare_captures_rejects_scale_mismatch(self):
+        from repro.harness.perfcapture import compare_captures
+
+        result = compare_captures({"scale": "smoke"}, {"scale": "default"})
+        assert "error" in result

@@ -99,6 +99,138 @@ class TestEntailsCommand:
         assert "not entailed" in capsys.readouterr().out
 
 
+QUERIES = """
+% the introduction's question: list all known equipment
+Equipment(?x)
+Equipment(?x), hasTerminal(?x, ?y)
+"""
+
+
+@pytest.fixture
+def queries_file(tmp_path):
+    path = tmp_path / "queries.txt"
+    path.write_text(QUERIES, encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def kb_file(dependency_file, tmp_path):
+    path = tmp_path / "cim.kb.json"
+    assert main(["compile", str(dependency_file), "-o", str(path)]) == 0
+    return path
+
+
+class TestCompileCommand:
+    def test_compile_writes_versioned_kb(self, dependency_file, tmp_path, capsys):
+        import json
+
+        output = tmp_path / "kb.json"
+        exit_code = main(["compile", str(dependency_file), "-o", str(output)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "saved to" in captured.err
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert payload["format"] == "repro-kb/v1"
+        assert payload["datalog_rules"]
+
+    def test_compile_with_algorithm(self, dependency_file, tmp_path, capsys):
+        output = tmp_path / "kb.json"
+        exit_code = main(
+            ["compile", str(dependency_file), "-o", str(output), "--algorithm", "exbdr"]
+        )
+        assert exit_code == 0
+        assert "exbdr" in capsys.readouterr().err
+
+
+class TestLoadCommand:
+    def test_load_prints_summary(self, kb_file, capsys):
+        exit_code = main(["load", str(kb_file)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "algorithm:      HypDR" in captured.out
+        assert "fingerprint:" in captured.out
+
+    def test_load_with_rules(self, kb_file, capsys):
+        exit_code = main(["load", str(kb_file), "--rules"])
+        assert exit_code == 0
+        assert ":-" in capsys.readouterr().out
+
+    def test_load_rejects_malformed_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "repro-kb/v99"}', encoding="utf-8")
+        exit_code = main(["load", str(path)])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeBatchCommand:
+    def test_serve_batch_from_saved_kb(self, kb_file, facts_file, queries_file, capsys):
+        exit_code = main(
+            ["serve-batch", str(kb_file), str(facts_file), str(queries_file)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "sw1" in captured.out
+        assert "sw2" in captured.out
+        assert "answered 2 queries" in captured.err
+
+    def test_serve_batch_compiles_gtgds_on_the_fly(
+        self, dependency_file, facts_file, queries_file, capsys
+    ):
+        exit_code = main(
+            ["serve-batch", str(dependency_file), str(facts_file), str(queries_file)]
+        )
+        assert exit_code == 0
+        assert "sw1" in capsys.readouterr().out
+
+    def test_serve_batch_refuses_incomplete_rewriting(
+        self, dependency_file, facts_file, queries_file, tmp_path, capsys
+    ):
+        kb_path = tmp_path / "truncated.kb.json"
+        assert (
+            main(
+                ["compile", str(dependency_file), "-o", str(kb_path), "--timeout", "0"]
+            )
+            == 2
+        )
+        exit_code = main(
+            ["serve-batch", str(kb_path), str(facts_file), str(queries_file)]
+        )
+        assert exit_code == 2
+        assert "incomplete" in capsys.readouterr().err
+
+    def test_serve_batch_uses_facts_from_dependency_file(
+        self, facts_file, queries_file, tmp_path, capsys
+    ):
+        mixed = tmp_path / "mixed.gtgd"
+        mixed.write_text(CIM_DEPENDENCIES + "ACEquipment(seedsw).", encoding="utf-8")
+        exit_code = main(
+            ["serve-batch", str(mixed), str(facts_file), str(queries_file)]
+        )
+        assert exit_code == 0
+        assert "seedsw" in capsys.readouterr().out
+
+    def test_serve_batch_applies_deltas_incrementally(
+        self, kb_file, facts_file, queries_file, tmp_path, capsys
+    ):
+        delta = tmp_path / "delta.facts"
+        delta.write_text("ACEquipment(sw42).", encoding="utf-8")
+        exit_code = main(
+            [
+                "serve-batch",
+                str(kb_file),
+                str(facts_file),
+                str(queries_file),
+                "--delta",
+                str(delta),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "sw42" in captured.out
+        assert "delta" in captured.err
+
+
 class TestStatsCommand:
     def test_stats_output(self, dependency_file, capsys):
         exit_code = main(["stats", str(dependency_file)])

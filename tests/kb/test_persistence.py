@@ -1,0 +1,204 @@
+"""Tests for KnowledgeBase persistence, fingerprinting, and the compile cache."""
+
+import json
+
+import pytest
+
+from repro import KnowledgeBase, parse_program
+from repro.datalog.query import parse_query
+from repro.kb import (
+    KB_FORMAT_VERSION,
+    KnowledgeBaseFormatError,
+    cached_rewrite,
+    clear_compile_cache,
+    compile_cache_stats,
+    read_kb_file,
+    sigma_fingerprint,
+)
+from repro.rewriting import RewritingSettings, UnguardedTGDError
+from repro.workloads.instances import generate_instance
+from repro.workloads.ontology_suite import generate_suite
+
+CIM = """
+ACEquipment(?x) -> exists ?y. hasTerminal(?x, ?y), ACTerminal(?y).
+ACTerminal(?x) -> Terminal(?x).
+hasTerminal(?x, ?z), Terminal(?z) -> Equipment(?x).
+"""
+
+CIM_FACTS = """
+ACEquipment(sw1). ACEquipment(sw2). hasTerminal(sw1, trm1). ACTerminal(trm1).
+"""
+
+
+@pytest.fixture(autouse=True)
+def _fresh_compile_cache():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+class TestSaveLoadRoundTrip:
+    def test_round_trip_preserves_rules_and_answers(self, tmp_path):
+        program = parse_program(CIM)
+        kb = KnowledgeBase.compile(program.tgds)
+        path = kb.save(tmp_path / "cim.kb.json")
+        loaded = KnowledgeBase.load(path)
+        assert loaded.tgds == kb.tgds
+        assert set(loaded.rewriting.datalog_rules) == set(
+            kb.rewriting.datalog_rules
+        )
+        assert loaded.rewriting.algorithm == kb.rewriting.algorithm
+        assert loaded.rewriting.completed == kb.rewriting.completed
+        instance = parse_program(CIM_FACTS).instance
+        query = parse_query("Equipment(?x)")
+        assert loaded.answer(query, instance) == kb.answer(query, instance)
+
+    def test_round_trip_preserves_statistics(self, tmp_path):
+        program = parse_program(CIM)
+        kb = KnowledgeBase.compile(program.tgds, use_cache=False)
+        loaded = KnowledgeBase.load(kb.save(tmp_path / "kb.json"))
+        original = kb.rewriting.statistics.as_dict()
+        restored = loaded.rewriting.statistics.as_dict()
+        assert restored == original
+
+    def test_round_trip_on_ontology_suite(self, tmp_path):
+        """load(save(kb)) answers identically across synthetic ontologies."""
+        suite = generate_suite(count=3, seed=7, min_axioms=12, max_axioms=24)
+        settings = RewritingSettings(timeout_seconds=8.0)
+        for item in suite:
+            kb = KnowledgeBase.compile(
+                item.tgds, algorithm="exbdr", settings=settings
+            )
+            if not kb.rewriting.completed:
+                continue
+            path = kb.save(tmp_path / f"{item.identifier}.kb.json")
+            loaded = KnowledgeBase.load(path)
+            assert set(loaded.rewriting.datalog_rules) == set(
+                kb.rewriting.datalog_rules
+            ), item.identifier
+            instance = generate_instance(
+                item.tgds, fact_count=120, constant_count=30, seed=1
+            )
+            assert loaded.certain_base_facts(instance) == kb.certain_base_facts(
+                instance
+            ), item.identifier
+
+    def test_saved_file_is_versioned_json(self, tmp_path):
+        program = parse_program(CIM)
+        kb = KnowledgeBase.compile(program.tgds)
+        path = kb.save(tmp_path / "kb.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["format"] == KB_FORMAT_VERSION
+        assert payload["sigma_fingerprint"] == kb.fingerprint
+
+
+class TestFormatErrors:
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "kb.json"
+        path.write_text(json.dumps({"format": "repro-kb/v99"}), encoding="utf-8")
+        with pytest.raises(KnowledgeBaseFormatError, match="unsupported KB format"):
+            KnowledgeBase.load(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "kb.json"
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(KnowledgeBaseFormatError, match="not valid JSON"):
+            read_kb_file(path)
+
+    def test_tampered_tgds_rejected(self, tmp_path):
+        program = parse_program(CIM)
+        kb = KnowledgeBase.compile(program.tgds)
+        path = kb.save(tmp_path / "kb.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        del payload["tgds"][0]
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(KnowledgeBaseFormatError, match="digest"):
+            KnowledgeBase.load(path)
+
+    def test_tampered_rules_rejected(self, tmp_path):
+        program = parse_program(CIM)
+        kb = KnowledgeBase.compile(program.tgds)
+        path = kb.save(tmp_path / "kb.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        del payload["datalog_rules"][0]
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(KnowledgeBaseFormatError, match="digest"):
+            KnowledgeBase.load(path)
+
+    def test_missing_integrity_fields_rejected(self, tmp_path):
+        program = parse_program(CIM)
+        kb = KnowledgeBase.compile(program.tgds)
+        path = kb.save(tmp_path / "kb.json")
+        for field_name in ("content_digest", "sigma_fingerprint"):
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            del payload[field_name]
+            stripped = tmp_path / f"no_{field_name}.json"
+            stripped.write_text(json.dumps(payload), encoding="utf-8")
+            with pytest.raises(KnowledgeBaseFormatError, match=field_name):
+                KnowledgeBase.load(stripped)
+
+
+class TestFingerprint:
+    def test_invariant_under_clause_order(self):
+        lines = [line for line in CIM.strip().splitlines() if line.strip()]
+        forward = parse_program("\n".join(lines)).tgds
+        backward = parse_program("\n".join(reversed(lines))).tgds
+        assert sigma_fingerprint(forward) == sigma_fingerprint(backward)
+
+    def test_invariant_under_variable_renaming(self):
+        renamed = CIM.replace("?x", "?u").replace("?y", "?v").replace("?z", "?w")
+        assert sigma_fingerprint(parse_program(CIM).tgds) == sigma_fingerprint(
+            parse_program(renamed).tgds
+        )
+
+    def test_different_sigma_different_fingerprint(self):
+        other = parse_program("A(?x) -> B(?x).").tgds
+        assert sigma_fingerprint(parse_program(CIM).tgds) != sigma_fingerprint(other)
+
+
+class TestCompileCache:
+    def test_repeated_compiles_hit_the_cache(self):
+        tgds = parse_program(CIM).tgds
+        first = KnowledgeBase.compile(tgds)
+        second = KnowledgeBase.compile(tgds)
+        assert second.rewriting is first.rewriting
+        stats = compile_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_cache_is_shared_across_clause_reordering(self):
+        lines = [line for line in CIM.strip().splitlines() if line.strip()]
+        KnowledgeBase.compile(parse_program("\n".join(lines)).tgds)
+        KnowledgeBase.compile(parse_program("\n".join(reversed(lines))).tgds)
+        assert compile_cache_stats()["hits"] == 1
+
+    def test_algorithm_and_settings_partition_the_cache(self):
+        tgds = parse_program(CIM).tgds
+        KnowledgeBase.compile(tgds, algorithm="hypdr")
+        KnowledgeBase.compile(tgds, algorithm="exbdr")
+        KnowledgeBase.compile(
+            tgds, algorithm="hypdr", settings=RewritingSettings(use_lookahead=False)
+        )
+        assert compile_cache_stats() == {
+            "entries": 3,
+            "hits": 0,
+            "misses": 3,
+            "hit_rate": 0.0,
+        }
+
+    def test_use_cache_false_bypasses_the_cache(self):
+        tgds = parse_program(CIM).tgds
+        first = KnowledgeBase.compile(tgds, use_cache=False)
+        second = KnowledgeBase.compile(tgds, use_cache=False)
+        assert second.rewriting is not first.rewriting
+        assert compile_cache_stats()["entries"] == 0
+
+    def test_cached_rewrite_returns_fingerprint(self):
+        tgds = parse_program(CIM).tgds
+        result, fingerprint = cached_rewrite(tgds)
+        assert result.completed
+        assert fingerprint == sigma_fingerprint(tgds)
+
+    def test_unguarded_sigma_rejected_through_compile(self):
+        tgds = parse_program("A(?x), B(?y) -> C(?x, ?y).").tgds
+        with pytest.raises(UnguardedTGDError):
+            KnowledgeBase.compile(tgds)

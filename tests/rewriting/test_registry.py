@@ -1,0 +1,136 @@
+"""Tests for the pluggable algorithm registry."""
+
+import pytest
+
+from repro.rewriting import (
+    ALGORITHMS,
+    AlgorithmCapabilities,
+    RewritingSettings,
+    algorithm_capabilities,
+    available_algorithms,
+    capability_report,
+    make_inference,
+    register_algorithm,
+    registered_algorithms,
+    rewrite,
+    unregister_algorithm,
+)
+from repro.rewriting.hypdr import HypDR
+from repro.workloads.families import running_example
+
+
+class TestBuiltinRegistration:
+    def test_builtins_are_registered(self):
+        assert registered_algorithms() == ("exbdr", "fulldr", "hypdr", "skdr")
+
+    def test_capabilities_are_reported(self):
+        caps = algorithm_capabilities("hypdr")
+        assert caps.clause_kind == "rule"
+        assert caps.supports_lookahead is True
+        assert caps.blowup_class == "single-exponential"
+
+    def test_capability_report_covers_every_algorithm(self):
+        report = capability_report()
+        assert set(report) == set(registered_algorithms())
+        for record in report.values():
+            assert {"clause_kind", "supports_lookahead", "blowup_class"} <= set(
+                record
+            )
+
+    def test_available_algorithms_detailed(self):
+        detailed = available_algorithms(detailed=True)
+        assert detailed["exbdr"]["clause_kind"] == "tgd"
+        assert set(detailed) == set(available_algorithms())
+
+    def test_classes_carry_their_registration(self):
+        assert HypDR.algorithm_name == "hypdr"
+        assert HypDR.capabilities.clause_kind == "rule"
+
+    def test_algorithms_view_is_live_mapping(self):
+        assert "hypdr" in ALGORITHMS
+        assert ALGORITHMS["hypdr"] is HypDR
+        assert len(ALGORITHMS) == len(registered_algorithms())
+        with pytest.raises(KeyError):
+            ALGORITHMS["magic"]
+
+
+class TestErrorPaths:
+    def test_unknown_algorithm_from_make_inference(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            make_inference("magic")
+
+    def test_unknown_algorithm_from_rewrite(self):
+        tgds, _ = running_example()
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            rewrite(tgds, algorithm="magic")
+
+    def test_unknown_algorithm_from_capabilities_lookup(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            algorithm_capabilities("magic")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm(
+                "hypdr",
+                capabilities=AlgorithmCapabilities(
+                    clause_kind="rule",
+                    supports_lookahead=False,
+                    blowup_class="polynomial",
+                ),
+            )(type("Impostor", (), {}))
+
+    def test_invalid_clause_kind_rejected(self):
+        with pytest.raises(ValueError, match="clause_kind"):
+            AlgorithmCapabilities(
+                clause_kind="magic", supports_lookahead=False, blowup_class="poly"
+            )
+
+
+class TestPluggability:
+    def test_new_algorithm_plugs_into_dispatch(self):
+        """A decorated subclass is dispatchable without touching rewriter code."""
+
+        @register_algorithm(
+            "hypdr-alias",
+            capabilities=AlgorithmCapabilities(
+                clause_kind="rule",
+                supports_lookahead=True,
+                blowup_class="single-exponential",
+                description="HypDR under a plugin name",
+            ),
+        )
+        class HypDRAlias(HypDR):
+            name = "HypDRAlias"
+
+        try:
+            assert "hypdr-alias" in registered_algorithms()
+            assert isinstance(make_inference("hypdr-alias"), HypDRAlias)
+            tgds, _ = running_example()
+            result = rewrite(tgds, algorithm="hypdr-alias")
+            assert result.algorithm == "HypDRAlias"
+            expected = rewrite(tgds, algorithm="hypdr")
+            assert set(result.datalog_rules) == set(expected.datalog_rules)
+        finally:
+            assert unregister_algorithm("hypdr-alias")
+        assert "hypdr-alias" not in registered_algorithms()
+
+    def test_reregistering_same_class_is_idempotent(self):
+        capabilities = algorithm_capabilities("hypdr")
+        register_algorithm("hypdr", capabilities=capabilities)(HypDR)
+        assert ALGORITHMS["hypdr"] is HypDR
+
+
+class TestSettingsValidation:
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout_seconds"):
+            RewritingSettings(timeout_seconds=-1.0)
+
+    def test_non_positive_max_clauses_rejected(self):
+        for bad in (0, -5):
+            with pytest.raises(ValueError, match="max_clauses"):
+                RewritingSettings(max_clauses=bad)
+
+    def test_zero_timeout_and_positive_limits_accepted(self):
+        settings = RewritingSettings(timeout_seconds=0.0, max_clauses=1)
+        assert settings.timeout_seconds == 0.0
+        assert settings.max_clauses == 1
