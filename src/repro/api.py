@@ -47,7 +47,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
 
-from .datalog.engine import MaterializationResult, materialize
+from .datalog.engine import (
+    DatalogEngine,
+    MaterializationResult,
+    compiled_engine,
+)
 from .datalog.program import DatalogProgram
 from .datalog.query import ConjunctiveQuery, evaluate_query
 from .datalog.session import ReasoningSession
@@ -73,10 +77,26 @@ class KnowledgeBase:
 
     tgds: Tuple[TGD, ...]
     rewriting: RewritingResult
+    _program: Optional[DatalogProgram] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def program(self) -> DatalogProgram:
-        return self.rewriting.program()
+        """The Datalog rewriting as a program (built once per knowledge base)."""
+        if self._program is None:
+            self._program = self.rewriting.program()
+        return self._program
+
+    @property
+    def engine(self) -> DatalogEngine:
+        """The shared plan-compiled engine for this knowledge base's program.
+
+        Served from the engine cache keyed by the program's rules, so every
+        session, one-shot materialization, and sibling knowledge base over
+        the same rewriting reuses one set of compiled hash-join plans.
+        """
+        return compiled_engine(self.program)
 
     @property
     def fingerprint(self) -> str:
@@ -131,9 +151,10 @@ class KnowledgeBase:
 
         The session keeps the materialization alive: subsequent
         ``add_facts`` deltas are propagated semi-naively instead of
-        re-materializing from scratch.
+        re-materializing from scratch.  All sessions of this knowledge base
+        share one engine, so rule plans are compiled once and reused.
         """
-        return ReasoningSession(self.program, instance)
+        return ReasoningSession(self.program, instance, engine=self.engine)
 
     # ------------------------------------------------------------------
     # one-shot reasoning services (shims over the session layer)
@@ -142,7 +163,7 @@ class KnowledgeBase:
         self, instance: Instance | Iterable[Atom]
     ) -> MaterializationResult:
         """Compute the fixpoint of the rewriting on a base instance."""
-        return materialize(self.program, instance)
+        return self.engine.materialize(instance)
 
     def certain_base_facts(
         self, instance: Instance | Iterable[Atom]

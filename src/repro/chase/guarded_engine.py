@@ -173,7 +173,10 @@ class GuardedChaseReasoner:
                     child_type = head_facts | frozenset(inherited)
                     child_closure = self._closure(child_type)
                     for fact in child_closure:
-                        if any(null in fresh_nulls for null in fact.nulls()):
+                        # null_set() is cached on the interned atom, so this
+                        # per-fact freshness test is one set intersection
+                        # instead of re-walking the argument terms
+                        if not fresh_nulls.isdisjoint(fact.null_set()):
                             continue
                         if fact not in current:
                             current.add(fact)

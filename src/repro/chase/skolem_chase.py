@@ -77,18 +77,23 @@ class SkolemChase:
         rounds = 0
         saturated = True
         changed = True
+        max_term_depth = self.max_term_depth
+        max_facts = self.max_facts
         while changed:
             changed = False
             rounds += 1
             for rule in self._rules:
                 for substitution in self._matches(rule.body, by_predicate):
                     head_fact = substitution.apply_atom(rule.head)
-                    if head_fact.depth > self.max_term_depth:
+                    # Atom.depth is cached on the interned atom, so re-derived
+                    # facts answer the depth-bound check without re-walking
+                    # their Skolem terms
+                    if head_fact.depth > max_term_depth:
                         saturated = False
                         continue
                     if add_fact(head_fact):
                         changed = True
-                        if len(facts) > self.max_facts:
+                        if len(facts) > max_facts:
                             return SkolemChaseResult(
                                 frozenset(facts), saturated=False, rounds=rounds
                             )

@@ -332,6 +332,13 @@ def _command_perf(args: argparse.Namespace) -> int:
     )
     print(perf_report(payload))
     print(f"# written to {args.output}", file=sys.stderr)
+    if args.step_summary:
+        from .harness.reports import step_summary_markdown
+
+        # append (GitHub writes other steps' summaries to the same file)
+        with open(args.step_summary, "a", encoding="utf-8") as handle:
+            handle.write(step_summary_markdown(payload) + "\n")
+        print(f"# step summary appended to {args.step_summary}", file=sys.stderr)
     if args.max_regression is not None:
         comparison = payload.get("speedup_vs_baseline_file", {})
         if "error" in comparison:
@@ -471,6 +478,12 @@ def build_parser() -> argparse.ArgumentParser:
     perf_parser.add_argument(
         "--baseline",
         help="a previous BENCH_rewriting.json to compare wall times against",
+    )
+    perf_parser.add_argument(
+        "--step-summary",
+        metavar="PATH",
+        help="append a markdown summary table (wall times, speedups, join-plan "
+        "stats) to this file — CI passes $GITHUB_STEP_SUMMARY",
     )
     perf_parser.add_argument(
         "--max-regression",

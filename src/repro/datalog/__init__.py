@@ -4,9 +4,12 @@ from .engine import (
     DatalogEngine,
     DeltaUpdateResult,
     MaterializationResult,
+    compiled_engine,
     materialize,
+    naive_reference_fixpoint,
 )
 from .index import FactStore
+from .plan import BindingBatch, JoinPlanStats, PlanVariant, RulePlan
 from .program import DatalogProgram, DatalogValidationError
 from .query import (
     ConjunctiveQuery,
@@ -18,17 +21,23 @@ from .query import (
 from .session import ReasoningSession
 
 __all__ = [
+    "BindingBatch",
     "ConjunctiveQuery",
     "DatalogEngine",
     "DatalogProgram",
     "DatalogValidationError",
     "DeltaUpdateResult",
     "FactStore",
+    "JoinPlanStats",
     "MaterializationResult",
+    "PlanVariant",
     "QueryValidationError",
     "ReasoningSession",
+    "RulePlan",
     "boolean_query_holds",
+    "compiled_engine",
     "evaluate_query",
     "materialize",
+    "naive_reference_fixpoint",
     "parse_query",
 ]

@@ -1,26 +1,31 @@
-"""Semi-naive bottom-up Datalog evaluation.
+"""Semi-naive bottom-up Datalog evaluation over compiled hash-join plans.
 
 Given a Datalog program and a base instance, :class:`DatalogEngine` computes
 the *materialization*: the least set of facts containing the base instance
 and closed under the rules.  Evaluation is semi-naive — in every round, each
 rule is evaluated only over joins that use at least one fact derived in the
-previous round — which keeps re-derivations to a minimum and is the standard
-technique used by production Datalog systems (the paper uses RDFox for the
-end-to-end experiment in Section 7.3).
+previous round — and *set-at-a-time*: each rule/pivot pair is compiled once
+into a pipeline of hash joins over columnar binding batches
+(:mod:`repro.datalog.plan`) instead of enumerating substitutions one tuple
+at a time.  This is the standard technique used by production Datalog
+systems (the paper uses RDFox for the end-to-end experiment in Section 7.3).
+
+:func:`naive_reference_fixpoint` retains the obviously-correct
+tuple-at-a-time evaluator as an executable specification; the property tests
+check the plan-based engine against it on random programs and instances.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..logic.atoms import Atom, Predicate
 from ..logic.instance import Instance
 from ..logic.rules import Rule
-from ..logic.substitution import Substitution
-from ..logic.terms import Variable
-from ..unification.matching import match_atom
+from ..unification.matching import match_conjunction_into_set
 from .index import FactStore
+from .plan import JoinPlanStats, RulePlan
 from .program import DatalogProgram
 
 
@@ -32,6 +37,8 @@ class MaterializationResult:
     rounds: int
     derived_count: int
     rule_applications: int
+    #: per-call join-plan execution counters (see plan.JoinPlanStats)
+    join_stats: Optional[Dict[str, object]] = None
 
     def facts(self) -> FrozenSet[Atom]:
         return self.store.facts()
@@ -56,6 +63,8 @@ class DeltaUpdateResult:
     derived_count: int
     rounds: int
     rule_applications: int
+    #: per-call join-plan execution counters (see plan.JoinPlanStats)
+    join_stats: Optional[Dict[str, object]] = None
 
     @property
     def total_new_facts(self) -> int:
@@ -63,11 +72,20 @@ class DeltaUpdateResult:
 
 
 class DatalogEngine:
-    """Semi-naive evaluation of a Datalog program."""
+    """Semi-naive evaluation of a Datalog program via compiled join plans.
+
+    Plans (one :class:`~repro.datalog.plan.RulePlan` per rule, with lazily
+    compiled per-pivot variants) are built once per engine and reused across
+    every :meth:`materialize` round and every :meth:`extend` delta
+    propagation — sessions and knowledge bases share one engine per program
+    via :func:`compiled_engine`.
+    """
 
     def __init__(self, program: DatalogProgram) -> None:
         self.program = program
         self._rules_by_body = program.rules_by_body_predicate()
+        self.join_stats = JoinPlanStats()
+        self._plans: Dict[Rule, RulePlan] = {rule: RulePlan(rule) for rule in program}
 
     # ------------------------------------------------------------------
     # materialization
@@ -79,28 +97,32 @@ class DatalogEngine:
     ) -> MaterializationResult:
         """Compute the fixpoint of the program on the given instance."""
         store = FactStore(instance)
-        rounds = 0
-        derived = 0
-        applications = 0
+        stats = JoinPlanStats()
 
-        # Round 0: rules with empty bodies (facts as rules) and a full naive
-        # pass so that rules whose body mentions only EDB facts fire at least
-        # once even if the EDB predicates never appear in any delta.
+        # Round 0: a full naive pass so that rules whose body mentions only
+        # EDB facts fire at least once even if the EDB predicates never
+        # appear in any delta.
+        applications = 0
         new_facts: Set[Atom] = set()
         for rule in self.program:
-            for substitution in self._match_body(rule.body, store, None, None):
-                applications += 1
-                fact = substitution.apply_atom(rule.head)
+            plan = self._plans[rule]
+            batch = plan.variant(None).execute(store, None, stats)
+            if not batch.size:
+                continue
+            applications += batch.size
+            for fact in plan.project_head(batch):
                 if fact not in store:
                     new_facts.add(fact)
         rounds, derived, loop_applications = self._fixpoint_loop(
-            store, new_facts, max_rounds
+            store, new_facts, stats, max_rounds
         )
+        self.join_stats.merge(stats)
         return MaterializationResult(
             store=store,
             rounds=rounds,
             derived_count=derived,
             rule_applications=applications + loop_applications,
+            join_stats=stats.snapshot(),
         )
 
     def extend(
@@ -115,7 +137,9 @@ class DatalogEngine:
         with the new facts: any derivation not available before the update
         must use at least one of them, so this computes the same fixpoint as
         re-materializing from scratch while doing work proportional to the
-        consequences of the delta only.
+        consequences of the delta only.  The compiled plans are the same
+        objects used by full materialization — the delta rides the identical
+        fast path.
 
         Unlike :meth:`materialize` there is deliberately no ``max_rounds``
         knob: a truncated delta propagation would leave the store below
@@ -124,12 +148,15 @@ class DatalogEngine:
         """
         seed = {fact for fact in facts if fact not in store}
         added = len(seed)
-        rounds, derived, applications = self._fixpoint_loop(store, seed)
+        stats = JoinPlanStats()
+        rounds, derived, applications = self._fixpoint_loop(store, seed, stats)
+        self.join_stats.merge(stats)
         return DeltaUpdateResult(
             added_facts=added,
             derived_count=derived - added,
             rounds=rounds,
             rule_applications=applications,
+            join_stats=stats.snapshot(),
         )
 
     # ------------------------------------------------------------------
@@ -139,43 +166,50 @@ class DatalogEngine:
         self,
         store: FactStore,
         new_facts: Set[Atom],
+        stats: JoinPlanStats,
         max_rounds: Optional[int] = None,
     ) -> Tuple[int, int, int]:
         """The shared semi-naive loop; returns (rounds, added, applications).
 
         ``new_facts`` is the seed delta — facts not yet in the store.  Every
-        round commits the pending facts, then evaluates the rules touching
-        the committed delta with one body atom restricted to it.
+        round commits the pending facts, then evaluates each rule/pivot plan
+        variant with the pivot atom restricted to the committed delta.
         """
         rounds = 0
         added = 0
         applications = 0
+        plans = self._plans
         while new_facts:
             rounds += 1
-            delta = set()
+            delta_by_predicate: Dict[Predicate, List[Atom]] = {}
             for fact in new_facts:
                 if store.add(fact):
                     added += 1
-                    delta.add(fact)
+                    bucket = delta_by_predicate.get(fact.predicate)
+                    if bucket is None:
+                        delta_by_predicate[fact.predicate] = [fact]
+                    else:
+                        bucket.append(fact)
             if max_rounds is not None and rounds >= max_rounds:
                 break
             new_facts = set()
-            # computed once per round and threaded through the per-rule
-            # matching, instead of being rebuilt for every rule
-            delta_predicates = frozenset(fact.predicate for fact in delta)
-            for rule in self._rules_touching(delta_predicates):
-                for substitution in self._semi_naive_matches(
-                    rule, store, delta, delta_predicates
-                ):
-                    applications += 1
-                    fact = substitution.apply_atom(rule.head)
-                    if fact not in store and fact not in new_facts:
-                        new_facts.add(fact)
+            for rule in self._rules_touching(delta_by_predicate.keys()):
+                plan = plans[rule]
+                for pivot, atom in enumerate(rule.body):
+                    if atom.predicate not in delta_by_predicate:
+                        continue
+                    batch = plan.variant(pivot).execute(
+                        store, delta_by_predicate, stats
+                    )
+                    if not batch.size:
+                        continue
+                    applications += batch.size
+                    for fact in plan.project_head(batch):
+                        if fact not in store and fact not in new_facts:
+                            new_facts.add(fact)
         return rounds, added, applications
 
-    def _rules_touching(
-        self, delta_predicates: FrozenSet[Predicate]
-    ) -> Tuple[Rule, ...]:
+    def _rules_touching(self, delta_predicates: Iterable[Predicate]) -> Tuple[Rule, ...]:
         """Rules whose body mentions a predicate with new facts."""
         seen: Set[Rule] = set()
         ordered: List[Rule] = []
@@ -186,79 +220,50 @@ class DatalogEngine:
                     ordered.append(rule)
         return tuple(ordered)
 
-    def _semi_naive_matches(
-        self,
-        rule: Rule,
-        store: FactStore,
-        delta: Set[Atom],
-        delta_predicates: FrozenSet[Predicate],
-    ) -> Iterator[Substitution]:
-        """Matches of the rule body that use at least one delta fact.
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def compiled_plan_count(self) -> int:
+        """Distinct (rule, pivot) variants compiled so far (cached for life)."""
+        return sum(plan.compiled_variant_count for plan in self._plans.values())
 
-        For each body position ``i`` in turn, atom ``i`` is restricted to the
-        delta while the remaining atoms range over the full store; this is the
-        standard semi-naive rewriting of the rule.
+    def plan_shapes(self) -> Tuple[str, ...]:
+        """Compact pipeline summaries of every rule plan (sorted, deduped).
+
+        Only the no-pivot variant is summarized; pivot variants share the
+        same heuristic and differ only in which atom leads.
         """
-        for pivot, pivot_atom in enumerate(rule.body):
-            if pivot_atom.predicate not in delta_predicates:
-                continue
-            yield from self._match_body(rule.body, store, pivot, delta)
+        return tuple(sorted({plan.shape() for plan in self._plans.values()}))
 
-    def _match_body(
-        self,
-        body: Sequence[Atom],
-        store: FactStore,
-        pivot: Optional[int],
-        delta: Optional[Set[Atom]],
-    ) -> Iterator[Substitution]:
-        """Enumerate substitutions matching the body into the store.
 
-        If ``pivot`` is not ``None``, the pivot atom only ranges over ``delta``.
-        Atoms are matched in a greedy order that prefers bound/selective atoms.
-        """
+# ----------------------------------------------------------------------
+# shared compiled engines
+# ----------------------------------------------------------------------
+_ENGINE_CACHE: Dict[Tuple[Rule, ...], DatalogEngine] = {}
+ENGINE_CACHE_LIMIT = 64
 
-        order = self._plan_order(body, pivot)
 
-        def recurse(position: int, substitution: Substitution) -> Iterator[Substitution]:
-            if position == len(order):
-                yield substitution
-                return
-            index = order[position]
-            pattern = body[index]
-            if pivot is not None and index == pivot and delta is not None:
-                candidates: Iterable[Atom] = [
-                    fact for fact in delta if fact.predicate == pattern.predicate
-                ]
-            else:
-                candidates = store.candidates(pattern, substitution)
-            for fact in candidates:
-                extended = match_atom(pattern, fact, substitution)
-                if extended is not None:
-                    yield from recurse(position + 1, extended)
+def compiled_engine(program: DatalogProgram) -> DatalogEngine:
+    """A shared engine for the program, with plans compiled exactly once.
 
-        yield from recurse(0, Substitution())
+    Keyed by the program's (interned) rule tuple, so every session, one-shot
+    materialization, and knowledge base serving the same rewriting reuses
+    one set of compiled plans.  Engines are stateless with respect to fact
+    stores; only the lifetime join statistics accumulate.
+    """
+    key = program.rules
+    engine = _ENGINE_CACHE.get(key)
+    if engine is None:
+        while len(_ENGINE_CACHE) >= ENGINE_CACHE_LIMIT:
+            _ENGINE_CACHE.pop(next(iter(_ENGINE_CACHE)))
+        engine = DatalogEngine(program)
+        _ENGINE_CACHE[key] = engine
+    return engine
 
-    @staticmethod
-    def _plan_order(body: Sequence[Atom], pivot: Optional[int]) -> Tuple[int, ...]:
-        """A simple join order: pivot first (if any), then atoms sharing variables."""
-        remaining = list(range(len(body)))
-        order: List[int] = []
-        bound: Set[Variable] = set()
-        if pivot is not None:
-            order.append(pivot)
-            remaining.remove(pivot)
-            bound.update(body[pivot].variables())
-        while remaining:
-            # prefer the atom sharing the most variables with what is bound
-            def score(index: int) -> Tuple[int, int]:
-                atom_vars = set(body[index].variables())
-                return (len(atom_vars & bound), -len(atom_vars - bound))
 
-            best = max(remaining, key=score)
-            order.append(best)
-            remaining.remove(best)
-            bound.update(body[best].variables())
-        return tuple(order)
+def clear_engine_cache() -> None:
+    """Empty the shared-engine cache (tests, benchmarks)."""
+    _ENGINE_CACHE.clear()
 
 
 def materialize(
@@ -266,7 +271,39 @@ def materialize(
     instance: Instance | Iterable[Atom],
     max_rounds: Optional[int] = None,
 ) -> MaterializationResult:
-    """Convenience wrapper: materialize a program (or iterable of rules)."""
+    """Convenience wrapper: materialize a program (or iterable of rules).
+
+    Served through the shared engine cache, so repeated one-shot
+    materializations of the same program skip plan compilation.
+    """
     if not isinstance(program, DatalogProgram):
         program = DatalogProgram(program)
-    return DatalogEngine(program).materialize(instance, max_rounds=max_rounds)
+    return compiled_engine(program).materialize(instance, max_rounds=max_rounds)
+
+
+def naive_reference_fixpoint(
+    program: DatalogProgram | Iterable[Rule],
+    instance: Instance | Iterable[Atom],
+) -> FrozenSet[Atom]:
+    """Tuple-at-a-time naive evaluation, retained as the executable spec.
+
+    Repeatedly applies every rule over the full fact set until nothing new
+    is derivable.  Quadratically re-derives known facts and allocates one
+    substitution per match — never use it on real workloads; it exists so
+    the differential tests can check the plan-based engine against an
+    implementation whose correctness is obvious.
+    """
+    if not isinstance(program, DatalogProgram):
+        program = DatalogProgram(program)
+    known: Set[Atom] = set(instance)
+    changed = True
+    while changed:
+        changed = False
+        snapshot = tuple(known)
+        for rule in program:
+            for match in match_conjunction_into_set(rule.body, snapshot):
+                fact = match.apply_atom(rule.head)
+                if fact not in known:
+                    known.add(fact)
+                    changed = True
+    return frozenset(known)

@@ -1,9 +1,16 @@
 """Fact storage with join indexes for bottom-up Datalog evaluation.
 
-The store keeps, per predicate, the set of facts plus an index from
-``(argument position, ground term)`` to the facts having that term at that
-position.  Body atoms with partially bound arguments can then retrieve a
-small candidate set instead of scanning the whole relation.
+The store keeps, per predicate, the set of facts plus two kinds of indexes:
+
+* a *position index* from ``(argument position, ground term)`` to the facts
+  having that term at that position — used by :meth:`candidates` for
+  tuple-at-a-time matching of partially bound atoms; and
+* *multi-column key indexes* (:meth:`key_index`) from a tuple of argument
+  positions to a hash map ``key -> [facts]`` — the probe side of the
+  compiled hash-join plans in :mod:`repro.datalog.plan`.  Key indexes are
+  built lazily on first use and maintained incrementally by :meth:`add`, so
+  a plan compiled once probes a live index across every semi-naive round
+  and delta update.
 """
 
 from __future__ import annotations
@@ -16,16 +23,31 @@ from ..logic.substitution import Substitution
 from ..logic.terms import Term, Variable
 
 
+def _key_of(args: Tuple[Term, ...], positions: Tuple[int, ...]) -> object:
+    """The probe key of a fact for the given positions.
+
+    Single-column keys are the bare term (no tuple allocation); wider keys
+    are tuples of terms.  Terms are interned, so hashing is a cached lookup.
+    """
+    if len(positions) == 1:
+        return args[positions[0]]
+    return tuple(args[position] for position in positions)
+
+
 class FactStore:
     """An indexed set of ground facts."""
 
-    __slots__ = ("_by_predicate", "_position_index", "_size")
+    __slots__ = ("_by_predicate", "_position_index", "_key_indexes", "_size")
 
     def __init__(self, facts: Iterable[Atom] = ()) -> None:
         self._by_predicate: Dict[Predicate, Set[Atom]] = defaultdict(set)
         self._position_index: Dict[Tuple[Predicate, int, Term], Set[Atom]] = (
             defaultdict(set)
         )
+        # predicate -> positions tuple -> key -> facts; see key_index()
+        self._key_indexes: Dict[
+            Predicate, Dict[Tuple[int, ...], Dict[object, List[Atom]]]
+        ] = {}
         self._size = 0
         self.add_all(facts)
 
@@ -40,8 +62,18 @@ class FactStore:
         if fact in relation:
             return False
         relation.add(fact)
-        for position, term in enumerate(fact.args):
+        args = fact.args
+        for position, term in enumerate(args):
             self._position_index[(fact.predicate, position, term)].add(fact)
+        key_indexes = self._key_indexes.get(fact.predicate)
+        if key_indexes:
+            for positions, index in key_indexes.items():
+                key = _key_of(args, positions)
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = [fact]
+                else:
+                    bucket.append(fact)
         self._size += 1
         return True
 
@@ -75,8 +107,43 @@ class FactStore:
     def relation(self, predicate: Predicate) -> FrozenSet[Atom]:
         return frozenset(self._by_predicate.get(predicate, ()))
 
+    def relation_facts(self, predicate: Predicate) -> Iterable[Atom]:
+        """The live relation of a predicate, without a defensive copy.
+
+        Callers must not mutate the store while iterating; the plan executor
+        only reads between mutations, which is exactly the semi-naive
+        commit-then-evaluate discipline.
+        """
+        return self._by_predicate.get(predicate, ())
+
     def count(self, predicate: Predicate) -> int:
         return len(self._by_predicate.get(predicate, ()))
+
+    def key_index(
+        self, predicate: Predicate, positions: Tuple[int, ...]
+    ) -> Dict[object, List[Atom]]:
+        """The hash index of a relation over the given argument positions.
+
+        Built on first request by a plan step and kept incrementally
+        up-to-date by :meth:`add`; the mapping is ``key -> [facts]`` where the
+        key is the bare term for single-column indexes and a tuple of terms
+        otherwise (see :func:`_key_of`).
+        """
+        per_predicate = self._key_indexes.get(predicate)
+        if per_predicate is None:
+            per_predicate = self._key_indexes[predicate] = {}
+        index = per_predicate.get(positions)
+        if index is None:
+            index = {}
+            for fact in self._by_predicate.get(predicate, ()):
+                key = _key_of(fact.args, positions)
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = [fact]
+                else:
+                    bucket.append(fact)
+            per_predicate[positions] = index
+        return index
 
     def candidates(
         self, atom: Atom, substitution: Optional[Substitution] = None

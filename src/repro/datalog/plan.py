@@ -1,0 +1,513 @@
+"""Compiled set-at-a-time query plans for semi-naive Datalog evaluation.
+
+This module replaces tuple-at-a-time rule application (enumerate one
+substitution, extend it one atom at a time, allocate a dict per extension)
+with *compiled hash-join pipelines* evaluated over batched binding sets — the
+classic set-oriented evaluation used by production Datalog engines such as
+the RDFox system the paper relies on for its end-to-end experiment.
+
+Plan representation
+-------------------
+
+A :class:`RulePlan` is compiled once per rule and reused across every
+semi-naive round and across :meth:`ReasoningSession.add_facts` delta
+propagations.  For each *pivot* (the body position restricted to the delta in
+the semi-naive rewriting; ``None`` for the initial naive round and for query
+evaluation) the plan holds one :class:`PlanVariant` — an ordered pipeline of
+:class:`JoinStep`\\ s:
+
+* **Atom order** is chosen at compile time by a cheap selectivity heuristic:
+  the pivot (whose facts come from the small delta) runs first, then atoms
+  are greedily picked to maximize ``(#bound join variables, #constant
+  arguments, -#new variables)``, so every later step probes the narrowest
+  available hash key.
+* **Step 0** is a *scan*: the pivot atom reads the per-round delta, a
+  non-pivot leading atom reads the store (narrowed through the multi-column
+  key index when the atom carries constants).
+* **Every later step is a hash join**: ``key_positions`` are the argument
+  positions whose value is known when the step runs (constants plus
+  already-bound variables); the store serves a hash index over exactly those
+  columns (:meth:`FactStore.key_index`) and the step probes it once per
+  binding row.  ``checks`` verify repeated *new* variables inside the atom;
+  bound variables and constants need no re-checking because they are part of
+  the probe key.
+
+Binding sets flow through the pipeline as *columnar batches*
+(:class:`BindingBatch`): a dict mapping each bound variable to a column of
+values — not a per-tuple substitution dict — so extending ``n`` rows by a
+join allocates a handful of lists instead of ``n`` dictionaries.
+
+Reading the ``join_plan`` stats in BENCH_rewriting.json
+-------------------------------------------------------
+
+The perf harness (``python -m repro perf``) attaches a ``join_plan`` block to
+the ``end_to_end`` and ``incremental_updates`` scenarios:
+
+* ``batches`` — executed pipeline steps (one columnar batch per step);
+* ``probes`` / ``probe_hits`` — hash-index lookups performed and the facts
+  they returned; ``hit_rate`` is the average number of facts returned per
+  probe (values below 1 mean many probes miss entirely — the join filters
+  hard; large values mean wide fan-out);
+* ``rows_emitted`` — complete body matches produced by final steps, i.e.
+  rule applications evaluated set-at-a-time;
+* ``empty_delta_short_circuits`` / ``empty_relation_short_circuits`` —
+  variants skipped without touching the store because the pivot's delta or
+  some body relation was empty;
+* ``plans_compiled`` — distinct ``(rule, pivot)`` variants compiled over the
+  engine's lifetime; this stays flat across rounds/updates because plans are
+  cached and reused;
+* ``plan_shapes`` — per-rule pipeline summaries such as
+  ``"Reach(?x,?z) <- scan Reach | Edge[k1]"`` (``[kN]`` = hash join over an
+  ``N``-column key), deduplicated with counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..logic.atoms import Atom, Predicate
+from ..logic.rules import Rule
+from ..logic.terms import Term, Variable
+from .index import FactStore
+
+
+class JoinPlanStats:
+    """Aggregated counters for plan execution (see the module docstring)."""
+
+    __slots__ = (
+        "batches",
+        "probes",
+        "probe_hits",
+        "rows_emitted",
+        "empty_delta_short_circuits",
+        "empty_relation_short_circuits",
+    )
+
+    def __init__(self) -> None:
+        self.batches = 0
+        self.probes = 0
+        self.probe_hits = 0
+        self.rows_emitted = 0
+        self.empty_delta_short_circuits = 0
+        self.empty_relation_short_circuits = 0
+
+    def merge(self, other: "JoinPlanStats") -> None:
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def snapshot(self) -> Dict[str, object]:
+        return self.with_hit_rate(
+            {name: getattr(self, name) for name in self.__slots__}
+        )
+
+    @staticmethod
+    def merge_snapshot(
+        total: Dict[str, int], snapshot: Optional[Dict[str, object]]
+    ) -> Dict[str, int]:
+        """Sum the integer counters of a per-call snapshot into ``total``.
+
+        Derived values such as ``hit_rate`` are skipped; recompute them over
+        the summed counters with :meth:`with_hit_rate`.
+        """
+        if snapshot:
+            for key, value in snapshot.items():
+                if isinstance(value, int):
+                    total[key] = total.get(key, 0) + value
+        return total
+
+    @staticmethod
+    def with_hit_rate(counters: Dict[str, object]) -> Dict[str, object]:
+        """Return ``counters`` with ``hit_rate`` (avg facts per probe) set."""
+        probes = counters.get("probes", 0)
+        counters["hit_rate"] = (
+            round(counters.get("probe_hits", 0) / probes, 4) if probes else 0.0
+        )
+        return counters
+
+
+class BindingBatch:
+    """A columnar batch of binding rows: one column (list) per bound variable.
+
+    All columns have length :attr:`size`.  Row ``r`` of the batch is the
+    binding ``{var: columns[var][r]}`` — but rows are never materialized as
+    dicts; steps operate directly on the columns.
+    """
+
+    __slots__ = ("columns", "size")
+
+    def __init__(self, columns: Dict[Variable, List[Term]], size: int) -> None:
+        self.columns = columns
+        self.size = size
+
+    @classmethod
+    def empty(cls) -> "BindingBatch":
+        return cls({}, 0)
+
+    @classmethod
+    def unit(cls) -> "BindingBatch":
+        """A single all-empty binding row (the seed of every pipeline)."""
+        return cls({}, 1)
+
+
+class JoinStep:
+    """One pipeline step: scan (first step) or hash-join (later steps).
+
+    ``key_positions``/``key_sources`` describe the probe key: for each keyed
+    argument position, the value is either a constant known at compile time
+    (``("const", term)``) or read from the named batch column
+    (``("var", variable)``).  ``checks`` are ``(position, first_position)``
+    pairs enforcing equality of repeated new variables within the atom.
+    ``outputs`` are ``(variable, position)`` pairs extending the batch schema.
+    """
+
+    __slots__ = ("atom", "key_positions", "key_sources", "checks", "outputs")
+
+    def __init__(
+        self,
+        atom: Atom,
+        key_positions: Tuple[int, ...],
+        key_sources: Tuple[Tuple[str, object], ...],
+        checks: Tuple[Tuple[int, int], ...],
+        outputs: Tuple[Tuple[Variable, int], ...],
+    ) -> None:
+        self.atom = atom
+        self.key_positions = key_positions
+        self.key_sources = key_sources
+        self.checks = checks
+        self.outputs = outputs
+
+    def describe(self) -> str:
+        if self.key_positions:
+            return f"{self.atom.predicate.name}[k{len(self.key_positions)}]"
+        return f"{self.atom.predicate.name}[scan]"
+
+
+def _compile_step(atom: Atom, bound: Set[Variable]) -> JoinStep:
+    """Compile one body atom given the variables bound by earlier steps."""
+    key_positions: List[int] = []
+    key_sources: List[Tuple[str, object]] = []
+    checks: List[Tuple[int, int]] = []
+    outputs: List[Tuple[Variable, int]] = []
+    first_new: Dict[Variable, int] = {}
+    for position, arg in enumerate(atom.args):
+        if isinstance(arg, Variable):
+            if arg in bound:
+                # every occurrence of a bound variable joins via the key;
+                # repeats just widen the key, which only helps selectivity
+                key_positions.append(position)
+                key_sources.append(("var", arg))
+            elif arg in first_new:
+                checks.append((position, first_new[arg]))
+            else:
+                first_new[arg] = position
+                outputs.append((arg, position))
+        else:
+            key_positions.append(position)
+            key_sources.append(("const", arg))
+    return JoinStep(
+        atom,
+        tuple(key_positions),
+        tuple(key_sources),
+        tuple(checks),
+        tuple(outputs),
+    )
+
+
+def _order_body(body: Sequence[Atom], pivot: Optional[int]) -> Tuple[int, ...]:
+    """Greedy selectivity ordering of the body atoms (compile-time, no stats).
+
+    The pivot (delta-restricted atom) always runs first.  Each following slot
+    takes the atom with the most already-bound join variables, breaking ties
+    by more constant arguments, then by fewer new variables, then by body
+    position (for determinism).
+    """
+    remaining = list(range(len(body)))
+    order: List[int] = []
+    bound: Set[Variable] = set()
+
+    def const_count(index: int) -> int:
+        return sum(1 for arg in body[index].args if not isinstance(arg, Variable))
+
+    if pivot is not None:
+        order.append(pivot)
+        remaining.remove(pivot)
+        bound.update(body[pivot].variable_set())
+    while remaining:
+        def score(index: int) -> Tuple[int, int, int, int]:
+            atom_vars = body[index].variable_set()
+            return (
+                len(atom_vars & bound),
+                const_count(index),
+                -len(atom_vars - bound),
+                -index,
+            )
+
+        best = max(remaining, key=score)
+        order.append(best)
+        remaining.remove(best)
+        bound.update(body[best].variable_set())
+    return tuple(order)
+
+
+class PlanVariant:
+    """An ordered pipeline of join steps for one ``(body, pivot)`` pair."""
+
+    __slots__ = ("body", "pivot", "order", "steps")
+
+    def __init__(self, body: Tuple[Atom, ...], pivot: Optional[int]) -> None:
+        self.body = body
+        self.pivot = pivot
+        self.order = _order_body(body, pivot)
+        steps: List[JoinStep] = []
+        bound: Set[Variable] = set()
+        for index in self.order:
+            steps.append(_compile_step(body[index], bound))
+            bound.update(body[index].variable_set())
+        self.steps = tuple(steps)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        store: FactStore,
+        delta_by_predicate: Optional[Dict[Predicate, List[Atom]]] = None,
+        stats: Optional[JoinPlanStats] = None,
+    ) -> BindingBatch:
+        """Run the pipeline; returns the batch of complete body matches."""
+        # empty-delta / empty-relation short-circuit: any step with no
+        # candidate facts makes the whole variant vacuous
+        for position, step in zip(self.order, self.steps):
+            if self.pivot is not None and position == self.pivot:
+                bucket = (
+                    delta_by_predicate.get(step.atom.predicate)
+                    if delta_by_predicate
+                    else None
+                )
+                if not bucket:
+                    if stats is not None:
+                        stats.empty_delta_short_circuits += 1
+                    return BindingBatch.empty()
+            elif not store.count(step.atom.predicate):
+                if stats is not None:
+                    stats.empty_relation_short_circuits += 1
+                return BindingBatch.empty()
+        batch = BindingBatch.unit()
+        for position, step in zip(self.order, self.steps):
+            if self.pivot is not None and position == self.pivot:
+                assert delta_by_predicate is not None
+                delta_facts = delta_by_predicate.get(step.atom.predicate, ())
+                batch = self._join(step, store, batch, stats, delta_facts)
+            else:
+                batch = self._join(step, store, batch, stats, None)
+            if not batch.size:
+                return batch
+        if stats is not None:
+            stats.rows_emitted += batch.size
+        return batch
+
+    @staticmethod
+    def _join(
+        step: JoinStep,
+        store: FactStore,
+        batch: BindingBatch,
+        stats: Optional[JoinPlanStats],
+        delta_facts: Optional[Iterable[Atom]],
+    ) -> BindingBatch:
+        """Extend the batch with one atom: delta scan or indexed hash join."""
+        if stats is not None:
+            stats.batches += 1
+        columns = batch.columns
+        checks = step.checks
+        outputs = step.outputs
+        if delta_facts is not None:
+            # pivot scan: the delta is small and unindexed; filter it row by
+            # row (constants and repeated variables) and cross it with the
+            # batch — the pivot runs first, so the batch is the unit row
+            matched: List[Atom] = []
+            sources = tuple(zip(step.key_positions, step.key_sources))
+            for fact in delta_facts:
+                args = fact.args
+                if any(args[pos] != value for pos, (_, value) in sources):
+                    continue
+                if any(args[pos] != args[first] for pos, first in checks):
+                    continue
+                matched.append(fact)
+            if stats is not None:
+                stats.probes += max(1, batch.size)
+                stats.probe_hits += len(matched)
+            if not matched:
+                return BindingBatch.empty()
+            keep = [row for row in range(batch.size) for _ in matched]
+            new_columns = {
+                var: [fact.args[pos] for _ in range(batch.size) for fact in matched]
+                for var, pos in outputs
+            }
+            result = {
+                var: [column[row] for row in keep] for var, column in columns.items()
+            }
+            result.update(new_columns)
+            return BindingBatch(result, len(keep))
+        if not step.key_positions:
+            # no bound variables or constants: cross product with the relation
+            facts = [
+                fact
+                for fact in store.relation_facts(step.atom.predicate)
+                if not any(fact.args[pos] != fact.args[first] for pos, first in checks)
+            ]
+            if stats is not None:
+                stats.probes += batch.size
+                stats.probe_hits += len(facts) * batch.size
+            if not facts:
+                return BindingBatch.empty()
+            keep = [row for row in range(batch.size) for _ in facts]
+            result = {
+                var: [column[row] for row in keep] for var, column in columns.items()
+            }
+            for var, pos in outputs:
+                column = [fact.args[pos] for fact in facts]
+                result[var] = column * batch.size if batch.size > 1 else column
+            return BindingBatch(result, len(keep))
+        index = store.key_index(step.atom.predicate, step.key_positions)
+        size = batch.size
+        single = len(step.key_sources) == 1
+        probe_columns: List[Sequence[Term]] = []
+        for kind, value in step.key_sources:
+            if kind == "const":
+                probe_columns.append((value,) * size)
+            else:
+                probe_columns.append(columns[value])
+        keep: List[int] = []
+        new_values: List[List[Term]] = [[] for _ in outputs]
+        output_positions = tuple(pos for _, pos in outputs)
+        hits = 0
+        if single:
+            keys: Iterable[object] = probe_columns[0]
+        else:
+            keys = zip(*probe_columns)
+        for row, key in enumerate(keys):
+            bucket = index.get(key)
+            if not bucket:
+                continue
+            for fact in bucket:
+                args = fact.args
+                if checks and any(args[pos] != args[first] for pos, first in checks):
+                    continue
+                keep.append(row)
+                for slot, pos in enumerate(output_positions):
+                    new_values[slot].append(args[pos])
+                hits += 1
+        if stats is not None:
+            stats.probes += size
+            stats.probe_hits += hits
+        if not keep:
+            return BindingBatch.empty()
+        result = {var: [column[row] for row in keep] for var, column in columns.items()}
+        for (var, _), values in zip(outputs, new_values):
+            result[var] = values
+        return BindingBatch(result, len(keep))
+
+    def describe(self) -> str:
+        if not self.steps:
+            return "(empty body)"
+        first, rest = self.steps[0], self.steps[1:]
+        parts = [f"scan {first.atom.predicate.name}"]
+        parts.extend(step.describe() for step in rest)
+        return " | ".join(parts)
+
+
+class RulePlan:
+    """All compiled variants of one rule, plus its head projection.
+
+    Variants are compiled lazily per pivot position and cached for the
+    engine's lifetime, so a rule evaluated over thousands of rounds compiles
+    each of its pivots exactly once.
+    """
+
+    __slots__ = ("rule", "_variants", "_head_sources")
+
+    def __init__(self, rule: Rule) -> None:
+        self.rule = rule
+        self._variants: Dict[Optional[int], PlanVariant] = {}
+        self._head_sources: Tuple[Tuple[str, object], ...] = tuple(
+            ("var", arg) if isinstance(arg, Variable) else ("const", arg)
+            for arg in rule.head.args
+        )
+
+    @property
+    def compiled_variant_count(self) -> int:
+        return len(self._variants)
+
+    def variant(self, pivot: Optional[int]) -> PlanVariant:
+        variant = self._variants.get(pivot)
+        if variant is None:
+            variant = PlanVariant(self.rule.body, pivot)
+            self._variants[pivot] = variant
+        return variant
+
+    def project_head(self, batch: BindingBatch) -> Iterator[Atom]:
+        """Instantiate the head atom for every row of a match batch.
+
+        Rows binding the head identically yield duplicate facts; the engine
+        deduplicates on insertion exactly as the tuple-at-a-time loop did.
+        """
+        if not batch.size:
+            return
+        head = self.rule.head
+        predicate = head.predicate
+        if not self._head_sources:
+            yield head
+            return
+        arg_columns = [
+            batch.columns[value] if kind == "var" else (value,) * batch.size
+            for kind, value in self._head_sources
+        ]
+        for args in zip(*arg_columns):
+            yield Atom(predicate, args)
+
+    def shape(self) -> str:
+        """Compact human-readable pipeline summary for the bench JSON."""
+        variant = self._variants.get(None) or next(iter(self._variants.values()), None)
+        if variant is None:
+            variant = self.variant(None)
+        return f"{self.rule.head.predicate.name}/{self.rule.head.predicate.arity} <- {variant.describe()}"
+
+
+# ----------------------------------------------------------------------
+# query-plan reuse (top-level conjunctive query answering)
+# ----------------------------------------------------------------------
+def body_supports_plan(body: Tuple[Atom, ...]) -> bool:
+    """Whether the hash-join pipeline computes this body exactly.
+
+    Plans bind whole argument terms: every argument must be a variable or a
+    ground term.  A non-ground function term such as ``f(?x)`` needs proper
+    unification into the stored terms, which the probe-by-equality key index
+    cannot express — those (rare, query-only) bodies take the
+    tuple-at-a-time matching fallback instead.  Datalog *rule* bodies are
+    validated function-free, so the engine itself never hits this.
+    """
+    for atom in body:
+        for arg in atom.args:
+            if not isinstance(arg, Variable) and not arg.is_ground:
+                return False
+    return True
+
+
+_BODY_PLAN_CACHE: Dict[Tuple[Atom, ...], PlanVariant] = {}
+_BODY_PLAN_CACHE_LIMIT = 512
+
+
+def compiled_body_plan(body: Tuple[Atom, ...]) -> PlanVariant:
+    """A (cached) no-pivot pipeline for a conjunctive query body.
+
+    Query answering reuses exactly the rule-body join machinery; atoms are
+    interned, so the body tuple is a cheap cache key and repeated queries
+    skip compilation.
+    """
+    plan = _BODY_PLAN_CACHE.get(body)
+    if plan is None:
+        while len(_BODY_PLAN_CACHE) >= _BODY_PLAN_CACHE_LIMIT:
+            _BODY_PLAN_CACHE.pop(next(iter(_BODY_PLAN_CACHE)))
+        plan = PlanVariant(tuple(body), None)
+        _BODY_PLAN_CACHE[body] = plan
+    return plan

@@ -9,14 +9,17 @@ a materialized fact store and projecting onto the answer variables.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Sequence, Tuple
 
 from ..logic.atoms import Atom
-from ..logic.substitution import Substitution
 from ..logic.terms import Term, Variable
-from ..unification.matching import match_atom
 from .engine import MaterializationResult
 from .index import FactStore
+from .plan import JoinPlanStats, body_supports_plan, compiled_body_plan
+
+#: lifetime counters for top-level query evaluation (shares the join
+#: machinery of the rule plans; see repro.datalog.plan)
+QUERY_JOIN_STATS = JoinPlanStats()
 
 
 class QueryValidationError(ValueError):
@@ -80,12 +83,28 @@ def evaluate_query(
     query: ConjunctiveQuery,
     facts: FactStore | MaterializationResult | Iterable[Atom],
 ) -> FrozenSet[Tuple[Term, ...]]:
-    """Evaluate the query over a set of facts; return the set of answer tuples."""
+    """Evaluate the query over a set of facts; return the set of answer tuples.
+
+    The body runs through the same compiled hash-join pipeline the engine
+    uses for rule bodies (:func:`repro.datalog.plan.compiled_body_plan`);
+    answers are projected straight out of the columnar match batch.  Bodies
+    containing non-ground function terms (which need unification, not
+    key-equality probing) fall back to tuple-at-a-time matching.
+    """
     store = _as_store(facts)
-    answers: Set[Tuple[Term, ...]] = set()
-    for substitution in _match_all(query.body, store):
-        answers.add(tuple(substitution[var] for var in query.answer_variables))
-    return frozenset(answers)
+    if not body_supports_plan(query.body):
+        answers = set()
+        for match in _match_all_fallback(query.body, store):
+            answers.add(tuple(match[var] for var in query.answer_variables))
+        return frozenset(answers)
+    batch = compiled_body_plan(query.body).execute(store, None, QUERY_JOIN_STATS)
+    if not batch.size:
+        return frozenset()
+    if not query.answer_variables:
+        # every body atom is ground and present: one empty answer tuple
+        return frozenset({()})
+    answer_columns = [batch.columns[var] for var in query.answer_variables]
+    return frozenset(zip(*answer_columns))
 
 
 def boolean_query_holds(
@@ -93,9 +112,20 @@ def boolean_query_holds(
 ) -> bool:
     """Evaluate a Boolean (variable-free) conjunctive query."""
     store = _as_store(facts)
-    for _ in _match_all(tuple(body), store):
-        return True
-    return False
+    body = tuple(body)
+    if not body_supports_plan(body):
+        for _ in _match_all_fallback(body, store):
+            return True
+        return False
+    batch = compiled_body_plan(body).execute(store, None, QUERY_JOIN_STATS)
+    return batch.size > 0
+
+
+def _match_all_fallback(body: Tuple[Atom, ...], store: FactStore):
+    """Tuple-at-a-time matching for bodies the plan compiler cannot express."""
+    from ..unification.matching import match_conjunction_into_set
+
+    return match_conjunction_into_set(body, tuple(store))
 
 
 def _as_store(facts: FactStore | MaterializationResult | Iterable[Atom]) -> FactStore:
@@ -104,17 +134,3 @@ def _as_store(facts: FactStore | MaterializationResult | Iterable[Atom]) -> Fact
     if isinstance(facts, MaterializationResult):
         return facts.store
     return FactStore(facts)
-
-
-def _match_all(body: Tuple[Atom, ...], store: FactStore) -> Iterator[Substitution]:
-    def recurse(index: int, substitution: Substitution) -> Iterator[Substitution]:
-        if index == len(body):
-            yield substitution
-            return
-        pattern = body[index]
-        for fact in store.candidates(pattern, substitution):
-            extended = match_atom(pattern, fact, substitution)
-            if extended is not None:
-                yield from recurse(index + 1, extended)
-
-    yield from recurse(0, Substitution())

@@ -28,9 +28,15 @@ from ..logic.atoms import Atom
 from ..logic.instance import Instance
 from ..logic.rules import Rule
 from ..logic.terms import Term
-from .engine import DatalogEngine, DeltaUpdateResult, MaterializationResult
+from .engine import (
+    DatalogEngine,
+    DeltaUpdateResult,
+    MaterializationResult,
+    compiled_engine,
+)
 from .index import FactStore
 from .program import DatalogProgram
+from .plan import JoinPlanStats
 from .query import ConjunctiveQuery, evaluate_query
 
 
@@ -41,10 +47,16 @@ class ReasoningSession:
         self,
         program: DatalogProgram | Iterable[Rule],
         instance: Instance | Iterable[Atom] = (),
+        engine: DatalogEngine | None = None,
     ) -> None:
-        if not isinstance(program, DatalogProgram):
-            program = DatalogProgram(program)
-        self._engine = DatalogEngine(program)
+        if engine is not None:
+            self._engine = engine
+        else:
+            if not isinstance(program, DatalogProgram):
+                program = DatalogProgram(program)
+            # the shared engine cache means every session over the same
+            # program reuses one set of compiled join plans
+            self._engine = compiled_engine(program)
         initial = self._engine.materialize(instance)
         self._store = initial.store
         self._rounds = initial.rounds
@@ -52,6 +64,7 @@ class ReasoningSession:
         self._applications = initial.rule_applications
         self._added_facts = len(initial) - initial.derived_count
         self._updates = 0
+        self._join_stats = JoinPlanStats.merge_snapshot({}, initial.join_stats)
 
     # ------------------------------------------------------------------
     # introspection
@@ -80,6 +93,17 @@ class ReasoningSession:
         """Total input facts accepted (initial instance plus all deltas)."""
         return self._added_facts
 
+    @property
+    def join_stats(self) -> dict:
+        """Cumulative join-plan counters over the session's lifetime.
+
+        Sums the per-call snapshots of the initial materialization and every
+        delta propagation (``batches``, ``probes``, ``probe_hits``,
+        ``rows_emitted``, and the short-circuit counts), with ``hit_rate``
+        recomputed over the totals.
+        """
+        return JoinPlanStats.with_hit_rate(dict(self._join_stats))
+
     def __len__(self) -> int:
         return len(self._store)
 
@@ -107,6 +131,7 @@ class ReasoningSession:
         self._applications += result.rule_applications
         self._added_facts += result.added_facts
         self._updates += 1
+        JoinPlanStats.merge_snapshot(self._join_stats, result.join_stats)
         return result
 
     def add_fact(self, fact: Atom) -> DeltaUpdateResult:

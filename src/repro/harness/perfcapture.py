@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..logic.interning import clear_intern_caches, clear_intern_tables, intern_stats
 from ..rewriting.base import RewritingSettings, SaturationStatistics
@@ -42,6 +42,14 @@ from ..workloads.families import (
 #: on the machine that produced the first BENCH_rewriting.json.  Kept here so
 #: the emitted JSON can report the speedup of the hot-path overhaul.
 PRE_CHANGE_SEPARATION_WALL_SECONDS = 0.1878
+
+#: Materialization leg of the end-to-end workload (default scale, best of
+#: three in-process captures) measured on the tuple-at-a-time engine that
+#: preceded the compiled hash-join plans, on the machine that produced the
+#: BENCH_rewriting.json recording the change.  Kept here so the emitted JSON
+#: documents the set-at-a-time engine's speedup independently of the
+#: (noisy, saturation-dominated) scenario wall time.
+PRE_CHANGE_END_TO_END_MATERIALIZE_SECONDS = 0.1039
 
 SEPARATION_NS: Tuple[int, ...] = (2, 3, 4, 5)
 RAW_SETTINGS = RewritingSettings(use_subsumption=False, use_lookahead=False)
@@ -171,6 +179,28 @@ def capture_fulldr_comparison(timeout_seconds: float = 8.0) -> Dict[str, object]
     }
 
 
+#: plan-shape lists in the bench JSON are capped at this many entries so the
+#: committed capture stays reviewable; the count of elided shapes is recorded
+MAX_PLAN_SHAPES = 24
+
+
+def _finish_join_plan(
+    total: Dict[str, int],
+    shapes: Sequence[str],
+    plans_compiled: int,
+) -> Dict[str, object]:
+    """Assemble the ``join_plan`` stats block (see repro.datalog.plan docs)."""
+    from ..datalog.plan import JoinPlanStats
+
+    block: Dict[str, object] = JoinPlanStats.with_hit_rate(dict(total))
+    block["plans_compiled"] = plans_compiled
+    shapes = list(shapes)
+    block["plan_shapes"] = shapes[:MAX_PLAN_SHAPES]
+    if len(shapes) > MAX_PLAN_SHAPES:
+        block["plan_shapes_elided"] = len(shapes) - MAX_PLAN_SHAPES
+    return block
+
+
 def capture_end_to_end(
     suite_size: int = 6,
     max_axioms: int = 60,
@@ -179,7 +209,8 @@ def capture_end_to_end(
     timeout_seconds: float = 8.0,
 ) -> Dict[str, object]:
     """The ``bench_table2_end_to_end.py`` workload: rewrite once, materialize."""
-    from ..datalog import materialize
+    from ..datalog.engine import compiled_engine
+    from ..datalog.plan import JoinPlanStats
     from ..workloads.instances import generate_instance
     from ..workloads.ontology_suite import generate_suite
 
@@ -201,6 +232,9 @@ def capture_end_to_end(
     completed.sort(key=lambda pair: pair[1].output_size, reverse=True)
     rows = []
     materialize_wall = 0.0
+    join_totals: Dict[str, int] = {}
+    plan_shapes: List[str] = []
+    plans_compiled = 0
     for item, rewriting in completed[:top_k]:
         instance = generate_instance(
             item.tgds,
@@ -208,10 +242,16 @@ def capture_end_to_end(
             constant_count=max(50, fact_count // 10),
             seed=int(item.identifier),
         )
+        engine = compiled_engine(rewriting.program())
         start = time.perf_counter()
-        materialized = materialize(rewriting.program(), instance)
+        materialized = engine.materialize(instance)
         elapsed = time.perf_counter() - start
         materialize_wall += elapsed
+        JoinPlanStats.merge_snapshot(join_totals, materialized.join_stats)
+        plans_compiled += engine.compiled_plan_count()
+        for shape in engine.plan_shapes():
+            if shape not in plan_shapes:
+                plan_shapes.append(shape)
         rows.append(
             {
                 "input_id": item.identifier,
@@ -222,7 +262,7 @@ def capture_end_to_end(
                 "wall_seconds": round(elapsed, 6),
             }
         )
-    return {
+    payload = {
         "wall_seconds": round(time.perf_counter() - wall_start, 6),
         "rewrite_wall_seconds": round(rewrite_wall, 6),
         "materialize_wall_seconds": round(materialize_wall, 6),
@@ -231,7 +271,24 @@ def capture_end_to_end(
         "fact_count": fact_count,
         "rows": rows,
         "clauses": _finish_totals(totals),
+        "join_plan": _finish_join_plan(join_totals, plan_shapes, plans_compiled),
     }
+    # the embedded pre-change time was measured at default scale; a shrunken
+    # (smoke) run materializes a different workload entirely
+    defaults = (suite_size, top_k, fact_count) == (6, 3, 600)
+    if defaults and materialize_wall:
+        payload["pre_change_materialize_wall_seconds"] = (
+            PRE_CHANGE_END_TO_END_MATERIALIZE_SECONDS
+        )
+        payload["materialize_speedup_vs_pre_change"] = round(
+            PRE_CHANGE_END_TO_END_MATERIALIZE_SECONDS / materialize_wall, 2
+        )
+        payload["pre_change_note"] = (
+            "pre-change materialization wall time was measured on the machine "
+            "that produced the committed BENCH_rewriting.json; on other "
+            "hardware compare captures with --baseline instead"
+        )
+    return payload
 
 
 def capture_incremental_updates(
@@ -252,6 +309,8 @@ def capture_incremental_updates(
     verified once per instance before timing is trusted.
     """
     from ..datalog import DatalogProgram, ReasoningSession, materialize
+    from ..datalog.engine import compiled_engine
+    from ..datalog.plan import JoinPlanStats
     from ..workloads.instances import generate_instance
     from ..workloads.ontology_suite import generate_suite
 
@@ -269,6 +328,9 @@ def capture_incremental_updates(
     rows = []
     full_total = 0.0
     delta_total = 0.0
+    join_totals: Dict[str, int] = {}
+    plan_shapes: List[str] = []
+    plans_compiled = 0
     for item, rewriting in completed[:top_k]:
         program = DatalogProgram(rewriting.datalog_rules)
         instance = generate_instance(
@@ -294,11 +356,18 @@ def capture_incremental_updates(
         for _ in range(max(1, repeats)):
             session = ReasoningSession(program, base)  # setup not timed
             start = time.perf_counter()
-            session.add_facts(delta)
+            update = session.add_facts(delta)
             elapsed = time.perf_counter() - start
             if delta_seconds is None or elapsed < delta_seconds:
                 delta_seconds = elapsed
             session_facts = session.facts()
+        # delta-side join work of one propagation (the last repeat)
+        JoinPlanStats.merge_snapshot(join_totals, update.join_stats)
+        engine = compiled_engine(program)
+        plans_compiled += engine.compiled_plan_count()
+        for shape in engine.plan_shapes():
+            if shape not in plan_shapes:
+                plan_shapes.append(shape)
         consistent = session_facts == full.facts()
         full_total += full_seconds
         delta_total += delta_seconds
@@ -323,6 +392,7 @@ def capture_incremental_updates(
         "delta_fraction": delta_fraction,
         "repeats": max(1, repeats),
         "rows": rows,
+        "join_plan": _finish_join_plan(join_totals, plan_shapes, plans_compiled),
         "full_rematerialize_seconds": round(full_total, 6),
         "delta_update_seconds": round(delta_total, 6),
         "speedup_delta_vs_full": round(full_total / delta_total, 2)

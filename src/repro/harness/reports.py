@@ -183,6 +183,14 @@ def perf_report(payload: Mapping[str, object]) -> str:
                 f"separation_families speedup vs pre-change loop: "
                 f"{separation['speedup_vs_pre_change']}x"
             )
+        end_to_end = scenarios.get("end_to_end")
+        if isinstance(end_to_end, Mapping) and end_to_end.get(
+            "materialize_speedup_vs_pre_change"
+        ):
+            lines.append(
+                f"end_to_end materialization speedup vs tuple-at-a-time engine: "
+                f"{end_to_end['materialize_speedup_vs_pre_change']}x"
+            )
         incremental = scenarios.get("incremental_updates")
         if isinstance(incremental, Mapping) and incremental.get(
             "speedup_delta_vs_full"
@@ -193,6 +201,19 @@ def perf_report(payload: Mapping[str, object]) -> str:
                 f"re-materialization"
                 + ("" if incremental.get("all_consistent") else " (INCONSISTENT!)")
             )
+        for name in ("end_to_end", "incremental_updates"):
+            scenario = scenarios.get(name)
+            if not isinstance(scenario, Mapping):
+                continue
+            join_plan = scenario.get("join_plan")
+            if isinstance(join_plan, Mapping) and join_plan.get("batches"):
+                lines.append(
+                    f"{name} join plans: {join_plan.get('batches', 0)} batches, "
+                    f"{join_plan.get('probes', 0)} probes, "
+                    f"{join_plan.get('probe_hits', 0)} hits "
+                    f"(avg {join_plan.get('hit_rate', 0.0)} facts/probe, "
+                    f"{join_plan.get('plans_compiled', 0)} plans compiled)"
+                )
     interning = payload.get("interning", {})
     if isinstance(interning, Mapping) and "overall" in interning:
         overall = interning["overall"]
@@ -210,6 +231,73 @@ def perf_report(payload: Mapping[str, object]) -> str:
                 f"{name} {ratio}x" for name, ratio in baseline.items()
             )
             lines.append(f"speedup vs baseline file: {rendered or '(no data)'}")
+    return "\n".join(lines)
+
+
+def step_summary_markdown(payload: Mapping[str, object]) -> str:
+    """Render a BENCH capture as GitHub-flavoured markdown for CI summaries.
+
+    Written to ``$GITHUB_STEP_SUMMARY`` by the perf-smoke workflow so PR
+    reviewers see per-scenario wall times, the speedup versus the merge-base
+    capture, and the join-plan statistics without downloading the artifact.
+    """
+    lines: List[str] = [
+        "## Perf capture "
+        f"({payload.get('scale', '?')} scale, "
+        f"{payload.get('wall_seconds', 0.0):.2f}s total)",
+        "",
+        "| Scenario | Wall (s) | Speedup vs baseline |",
+        "| --- | ---: | ---: |",
+    ]
+    scenarios = payload.get("scenarios", {})
+    baseline = payload.get("speedup_vs_baseline_file")
+    ratios = baseline if isinstance(baseline, Mapping) else {}
+    if isinstance(scenarios, Mapping):
+        for name, scenario in scenarios.items():
+            if not isinstance(scenario, Mapping):
+                continue
+            ratio = ratios.get(name)
+            rendered_ratio = f"{ratio}x" if isinstance(ratio, (int, float)) else "–"
+            lines.append(
+                f"| {name} | {scenario.get('wall_seconds', '')} | {rendered_ratio} |"
+            )
+        incremental = scenarios.get("incremental_updates")
+        if isinstance(incremental, Mapping) and incremental.get(
+            "speedup_delta_vs_full"
+        ):
+            lines.append("")
+            lines.append(
+                f"Delta propagation is **{incremental['speedup_delta_vs_full']}x** "
+                "faster than full re-materialization"
+                + ("." if incremental.get("all_consistent") else " (INCONSISTENT!).")
+            )
+        join_rows = []
+        for name in ("end_to_end", "incremental_updates"):
+            scenario = scenarios.get(name)
+            if not isinstance(scenario, Mapping):
+                continue
+            join_plan = scenario.get("join_plan")
+            if isinstance(join_plan, Mapping) and join_plan.get("batches"):
+                join_rows.append(
+                    f"| {name} | {join_plan.get('batches', 0)} "
+                    f"| {join_plan.get('probes', 0)} "
+                    f"| {join_plan.get('probe_hits', 0)} "
+                    f"| {join_plan.get('hit_rate', 0.0)} "
+                    f"| {join_plan.get('plans_compiled', 0)} |"
+                )
+        if join_rows:
+            lines.append("")
+            lines.append("### Join-plan stats")
+            lines.append("")
+            lines.append(
+                "| Scenario | Batches | Probes | Hits | Facts/probe | Plans |"
+            )
+            lines.append("| --- | ---: | ---: | ---: | ---: | ---: |")
+            lines.extend(join_rows)
+    if isinstance(baseline, Mapping) and "error" in baseline:
+        lines.append("")
+        lines.append(f"**Baseline comparison failed:** {baseline['error']}")
+    lines.append("")
     return "\n".join(lines)
 
 

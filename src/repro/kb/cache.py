@@ -72,19 +72,32 @@ def cached_rewrite(
 
 
 def compile_cache_stats() -> Dict[str, object]:
-    """Hit/miss counters and current size of the compile cache."""
+    """Hit/miss counters and current size of the compile caches.
+
+    ``engine_cache_entries`` counts the shared plan-compiled Datalog engines
+    (:func:`repro.datalog.engine.compiled_engine`) — the downstream half of
+    "compile once, serve many": the rewriting cache avoids re-saturating Σ,
+    the engine cache avoids re-compiling its join plans.
+    """
+    from ..datalog.engine import _ENGINE_CACHE
+
     total = _hits + _misses
     return {
         "entries": len(_cache),
         "hits": _hits,
         "misses": _misses,
         "hit_rate": round(_hits / total, 4) if total else 0.0,
+        "engine_cache_entries": len(_ENGINE_CACHE),
     }
 
 
 def clear_compile_cache() -> None:
-    """Empty the compile cache and zero its counters (tests, benchmarks)."""
+    """Empty the compile caches (rewritings and compiled engines) and zero
+    the counters (tests, benchmarks)."""
+    from ..datalog.engine import clear_engine_cache
+
     global _hits, _misses
     _cache.clear()
+    clear_engine_cache()
     _hits = 0
     _misses = 0

@@ -95,6 +95,9 @@ class Atom:
         "_ground",
         "_function_free",
         "_sort_key",
+        "_term_set",
+        "_null_set",
+        "_depth",
     )
 
     _interned: Dict[Tuple[Predicate, Tuple[Term, ...]], "Atom"] = {}
@@ -128,6 +131,12 @@ class Atom:
         #: lazily computed by repro.logic.normal_form._atom_sort_key; interning
         #: makes the cache global across every occurrence of the atom
         self._sort_key = None
+        # lazily computed per interned atom (see term_set/null_set/depth):
+        # the chase engines test Σ-guardedness and null-freshness in tight
+        # loops, so these sets must not be rebuilt per check
+        self._term_set = None
+        self._null_set = None
+        self._depth = None
         cls._interned[key] = self
         return self
 
@@ -164,10 +173,17 @@ class Atom:
 
     @property
     def depth(self) -> int:
-        """Maximum nesting depth over the arguments (0 for function-free atoms)."""
-        if not self.args:
-            return 0
-        return max(arg.depth for arg in self.args)
+        """Maximum nesting depth over the arguments (0 for function-free atoms).
+
+        Cached on the interned atom: the depth-bounded Skolem chase checks it
+        for every derived fact.
+        """
+        cached = self._depth
+        if cached is None:
+            cached = self._depth = (
+                max(arg.depth for arg in self.args) if self.args else 0
+            )
+        return cached
 
     # ------------------------------------------------------------------
     # symbol access
@@ -189,6 +205,25 @@ class Atom:
 
     def variable_set(self) -> FrozenSet[Variable]:
         return self._varset
+
+    def term_set(self) -> FrozenSet[Term]:
+        """The top-level argument terms as a (cached) frozenset.
+
+        This is the ``t`` of Σ-guardedness checks (``G ⊆ t ∪ consts(Σ)``);
+        interning makes the set shared by every occurrence of the atom, so
+        the chase engines' per-loop guardedness tests stop rebuilding it.
+        """
+        cached = self._term_set
+        if cached is None:
+            cached = self._term_set = frozenset(self.args)
+        return cached
+
+    def null_set(self) -> FrozenSet[Null]:
+        """The labeled nulls of the atom as a (cached) frozenset."""
+        cached = self._null_set
+        if cached is None:
+            cached = self._null_set = frozenset(self.nulls())
+        return cached
 
     def terms(self) -> Iterator[Term]:
         """Yield the top-level argument terms."""

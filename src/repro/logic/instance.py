@@ -102,9 +102,13 @@ class Instance:
 def terms_guarded_by_fact(
     terms: AbstractSet[Term], fact: Atom, sigma_constants: AbstractSet[Constant]
 ) -> bool:
-    """``True`` if the set of ground terms is Σ-guarded by the given fact."""
-    allowed = set(fact.args) | set(sigma_constants)
-    return set(terms) <= allowed
+    """``True`` if the set of ground terms is Σ-guarded by the given fact.
+
+    ``G ⊆ t ∪ consts(Σ)`` is checked as ``G - consts(Σ) ⊆ t`` so that no
+    union set has to be materialized; the fact's argument set is the
+    interned-atom cache (:meth:`Atom.term_set`).
+    """
+    return terms - sigma_constants <= fact.term_set()
 
 
 def terms_guarded_by_set(
@@ -113,25 +117,23 @@ def terms_guarded_by_set(
     sigma_constants: AbstractSet[Constant],
 ) -> bool:
     """``True`` if the set of ground terms is Σ-guarded by some fact of the set."""
-    return any(
-        terms_guarded_by_fact(terms, fact, sigma_constants) for fact in facts
-    )
+    needed = terms - sigma_constants
+    return any(needed <= fact.term_set() for fact in facts)
 
 
 def fact_guarded_by_fact(
     fact: Atom, guard: Atom, sigma_constants: AbstractSet[Constant]
 ) -> bool:
     """``True`` if ``fact`` is Σ-guarded by ``guard``."""
-    return terms_guarded_by_fact(set(fact.args), guard, sigma_constants)
+    return fact.term_set() - sigma_constants <= guard.term_set()
 
 
 def fact_guarded_by_set(
     fact: Atom, facts: Iterable[Atom], sigma_constants: AbstractSet[Constant]
 ) -> bool:
     """``True`` if ``fact`` is Σ-guarded by some fact of the set."""
-    return any(
-        fact_guarded_by_fact(fact, guard, sigma_constants) for guard in facts
-    )
+    needed = fact.term_set() - sigma_constants
+    return any(needed <= guard.term_set() for guard in facts)
 
 
 def guarded_subset(
@@ -142,11 +144,15 @@ def guarded_subset(
     """Facts among ``candidates`` that are Σ-guarded by the set ``guards``.
 
     Used both by chase steps with non-full GTGDs (which copy the guarded part
-    of the parent vertex into the fresh child) and by propagation steps.
+    of the parent vertex into the fresh child) and by propagation steps.  The
+    guard term sets come from the interned-atom cache, so the loop does one
+    set difference per candidate and subset checks per pair — no per-pair set
+    construction.
     """
-    guard_list = tuple(guards)
-    return tuple(
-        fact
-        for fact in candidates
-        if fact_guarded_by_set(fact, guard_list, sigma_constants)
-    )
+    guard_sets = tuple(guard.term_set() for guard in guards)
+    kept = []
+    for fact in candidates:
+        needed = fact.term_set() - sigma_constants
+        if any(needed <= guard_set for guard_set in guard_sets):
+            kept.append(fact)
+    return tuple(kept)

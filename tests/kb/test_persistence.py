@@ -183,6 +183,7 @@ class TestCompileCache:
             "hits": 0,
             "misses": 3,
             "hit_rate": 0.0,
+            "engine_cache_entries": 0,
         }
 
     def test_use_cache_false_bypasses_the_cache(self):
