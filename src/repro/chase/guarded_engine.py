@@ -19,14 +19,14 @@ rewriting algorithms are validated in the test suite; it is exponential in
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
-from ..logic.atoms import Atom, Predicate
+from ..logic.atoms import Atom
 from ..logic.instance import Instance, guarded_subset
 from ..logic.substitution import Substitution
 from ..logic.terms import Constant, Null, Term, Variable
 from ..logic.tgd import TGD, head_normalize, program_constants, split_full_non_full
-from ..unification.matching import match_atom
+from ..unification.solver import solve_match
 
 TypeKey = FrozenSet[Atom]
 
@@ -197,18 +197,9 @@ class GuardedChaseReasoner:
     def _body_matches(
         body: Tuple[Atom, ...], facts: Set[Atom]
     ) -> Iterable[Substitution]:
-        by_predicate: Dict[Predicate, List[Atom]] = {}
-        for fact in facts:
-            by_predicate.setdefault(fact.predicate, []).append(fact)
+        """All body matches into the current fact set, via the shared solver.
 
-        def recurse(index: int, substitution: Substitution):
-            if index == len(body):
-                yield substitution
-                return
-            pattern = body[index]
-            for fact in by_predicate.get(pattern.predicate, ()):
-                extended = match_atom(pattern, fact, substitution)
-                if extended is not None:
-                    yield from recurse(index + 1, extended)
-
-        yield from recurse(0, Substitution())
+        The solver snapshots the fact set on entry, so facts added while a
+        fixpoint round pulls matches are seen by the next round.
+        """
+        return solve_match(body, facts)

@@ -20,7 +20,7 @@ from ..logic.rules import Rule
 from ..logic.skolem import SkolemFactory, skolemize
 from ..logic.substitution import Substitution
 from ..logic.tgd import TGD, head_normalize
-from ..unification.matching import match_atom
+from ..unification.solver import solve_match
 
 
 @dataclass
@@ -106,19 +106,13 @@ class SkolemChase:
     def _matches(
         body: Tuple[Atom, ...], by_predicate: Dict[Predicate, List[Atom]]
     ) -> Iterable[Substitution]:
-        """Enumerate substitutions matching all body atoms into the fact store."""
+        """Enumerate substitutions matching all body atoms into the fact store.
 
-        def recurse(index: int, substitution: Substitution):
-            if index == len(body):
-                yield substitution
-                return
-            pattern = body[index]
-            for fact in tuple(by_predicate.get(pattern.predicate, ())):
-                extended = match_atom(pattern, fact, substitution)
-                if extended is not None:
-                    yield from recurse(index + 1, extended)
-
-        yield from recurse(0, Substitution())
+        Routed through the shared constraint-propagating solver; the solver
+        snapshots the predicate buckets on entry, so facts added while a
+        round is in flight are picked up by the next round's matches.
+        """
+        return solve_match(body, by_predicate)
 
 
 def skolem_chase_base_facts(

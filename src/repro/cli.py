@@ -42,6 +42,36 @@ from .rewriting.rewriter import available_algorithms
 #: only produce noise failures
 MIN_GATE_WALL_SECONDS = 0.5
 
+#: mirror of :data:`repro.harness.perfcapture.SCENARIO_NAMES`, inlined so
+#: building the parser does not import the harness (every CLI invocation
+#: pays parser-build time); a harness test asserts the two stay in sync
+PERF_SCENARIO_NAMES = (
+    "separation_families",
+    "fulldr_comparison",
+    "end_to_end",
+    "incremental_updates",
+)
+
+
+def _newly_timed_out_scenarios(payload) -> "List[str]":
+    """Scenarios whose status flipped completed -> timed_out vs the baseline.
+
+    Status-changed scenarios carry no wall-time ratio (different work), so
+    the ``--max-regression`` gate must catch this flip explicitly — a
+    scenario that used to finish and now times out is the worst regression
+    the gate exists for, not a reason to skip comparison.
+    """
+    changes = payload.get("scenario_status_vs_baseline")
+    if not isinstance(changes, dict):
+        return []
+    return sorted(
+        name
+        for name, change in changes.items()
+        if isinstance(change, dict)
+        and change.get("baseline") == "completed"
+        and change.get("current") == "timed_out"
+    )
+
 
 def _read_program(path: str):
     text = Path(path).read_text(encoding="utf-8")
@@ -328,7 +358,10 @@ def _command_perf(args: argparse.Namespace) -> int:
         return 2
 
     payload = run_perf_capture(
-        smoke=args.smoke, output_path=args.output, baseline=previous
+        smoke=args.smoke,
+        output_path=args.output,
+        baseline=previous,
+        scenarios=args.scenario,
     )
     print(perf_report(payload))
     print(f"# written to {args.output}", file=sys.stderr)
@@ -344,6 +377,14 @@ def _command_perf(args: argparse.Namespace) -> int:
         if "error" in comparison:
             print(f"error: {comparison['error']}", file=sys.stderr)
             return 2
+        newly_timed_out = _newly_timed_out_scenarios(payload)
+        if newly_timed_out:
+            print(
+                "error: scenario(s) newly timed out vs baseline: "
+                f"{', '.join(newly_timed_out)}",
+                file=sys.stderr,
+            )
+            return 3
         # ratio is old/new wall time: 1.0 means unchanged, <1.0 slower.
         floor = 1.0 / (1.0 + args.max_regression / 100.0)
         scenarios = payload.get("scenarios", {})
@@ -474,6 +515,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="tiny workloads only (seconds, for CI smoke runs)",
+    )
+    perf_parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=PERF_SCENARIO_NAMES,
+        metavar="NAME",
+        help="capture only this scenario (repeatable; default: all of "
+        f"{', '.join(PERF_SCENARIO_NAMES)})",
     )
     perf_parser.add_argument(
         "--baseline",

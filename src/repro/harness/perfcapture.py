@@ -24,6 +24,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..logic.interning import clear_intern_caches, clear_intern_tables, intern_stats
 from ..rewriting.base import RewritingSettings, SaturationStatistics
+from ..unification.solver import match_solver_stats, reset_match_solver_stats
 from ..rewriting.exbdr import ExbDR
 from ..rewriting.hypdr import HypDR
 from ..rewriting.rewriter import rewrite
@@ -53,6 +54,21 @@ PRE_CHANGE_END_TO_END_MATERIALIZE_SECONDS = 0.1039
 
 SEPARATION_NS: Tuple[int, ...] = (2, 3, 4, 5)
 RAW_SETTINGS = RewritingSettings(use_subsumption=False, use_lookahead=False)
+
+#: the recorded scenarios, in capture order; ``perf --scenario NAME`` (and the
+#: ``scenarios=`` parameter of :func:`capture_perf`) accepts these names
+SCENARIO_NAMES: Tuple[str, ...] = (
+    "separation_families",
+    "fulldr_comparison",
+    "end_to_end",
+    "incremental_updates",
+)
+
+#: every scenario payload carries a ``status`` flag so a baseline comparison
+#: can tell a genuinely slower run from one that newly finishes (or newly
+#: times out) and therefore measures different work
+STATUS_COMPLETED = "completed"
+STATUS_TIMED_OUT = "timed_out"
 
 
 def _accumulate(total: Dict[str, float], stats: SaturationStatistics) -> None:
@@ -96,7 +112,7 @@ def capture_separation_families(
     best_wall: Optional[float] = None
     per_n: Dict[str, Dict[str, object]] = {}
     totals = _new_totals()
-    for attempt in range(max(1, repeats)):
+    for _attempt in range(max(1, repeats)):
         # every repeat starts from empty intern tables, so best-of-N measures
         # the cold saturation loop — the same conditions under which the
         # pre-change wall time was recorded — not warm-cache reruns
@@ -128,6 +144,9 @@ def capture_separation_families(
     comparable = tuple(ns) == SEPARATION_NS and best_wall
     payload: Dict[str, object] = {
         "wall_seconds": round(best_wall or 0.0, 6),
+        # the raw saturation loop runs without a time budget, so this
+        # scenario always completes
+        "status": STATUS_COMPLETED,
         "repeats": max(1, repeats),
         "ns": list(ns),
         "per_n": per_n,
@@ -147,7 +166,13 @@ def capture_separation_families(
 
 
 def capture_fulldr_comparison(timeout_seconds: float = 8.0) -> Dict[str, object]:
-    """The ``bench_fulldr.py`` workload: FullDR versus the practical algorithms."""
+    """The ``bench_fulldr.py`` workload: FullDR versus the practical algorithms.
+
+    Also records the constraint-propagating match solver's counters for the
+    scenario (see :mod:`repro.unification.solver` for how to read the
+    ``match_solver`` block) — FullDR's bounded-substitution enumeration is
+    the solver's heaviest client.
+    """
     inputs = {
         "example-4.3": running_example()[0],
         "example-E.3": fulldr_example_e3(),
@@ -155,6 +180,8 @@ def capture_fulldr_comparison(timeout_seconds: float = 8.0) -> Dict[str, object]
     settings = RewritingSettings(timeout_seconds=timeout_seconds)
     rows: Dict[str, Dict[str, object]] = {}
     totals = _new_totals()
+    all_completed = True
+    reset_match_solver_stats()
     wall_start = time.perf_counter()
     for input_id, tgds in inputs.items():
         per_algorithm: Dict[str, object] = {}
@@ -163,6 +190,7 @@ def capture_fulldr_comparison(timeout_seconds: float = 8.0) -> Dict[str, object]
             result = rewrite(tgds, algorithm=algorithm, settings=settings)
             elapsed = time.perf_counter() - start
             _accumulate(totals, result.statistics)
+            all_completed = all_completed and result.completed
             per_algorithm[algorithm] = {
                 "wall_seconds": round(elapsed, 6),
                 "derived": result.statistics.derived,
@@ -173,9 +201,11 @@ def capture_fulldr_comparison(timeout_seconds: float = 8.0) -> Dict[str, object]
         rows[input_id] = per_algorithm
     return {
         "wall_seconds": round(time.perf_counter() - wall_start, 6),
+        "status": STATUS_COMPLETED if all_completed else STATUS_TIMED_OUT,
         "timeout_seconds": timeout_seconds,
         "inputs": rows,
         "clauses": _finish_totals(totals),
+        "match_solver": match_solver_stats(),
     }
 
 
@@ -221,12 +251,14 @@ def capture_end_to_end(
     )
     totals = _new_totals()
     completed = []
+    all_completed = True
     rewrite_wall = 0.0
     for item in suite:
         start = time.perf_counter()
         result = rewrite(item.tgds, algorithm="exbdr", settings=settings)
         rewrite_wall += time.perf_counter() - start
         _accumulate(totals, result.statistics)
+        all_completed = all_completed and result.completed
         if result.completed:
             completed.append((item, result))
     completed.sort(key=lambda pair: pair[1].output_size, reverse=True)
@@ -264,6 +296,7 @@ def capture_end_to_end(
         )
     payload = {
         "wall_seconds": round(time.perf_counter() - wall_start, 6),
+        "status": STATUS_COMPLETED if all_completed else STATUS_TIMED_OUT,
         "rewrite_wall_seconds": round(rewrite_wall, 6),
         "materialize_wall_seconds": round(materialize_wall, 6),
         "suite_size": suite_size,
@@ -320,8 +353,10 @@ def capture_incremental_updates(
         count=suite_size, seed=2022, min_axioms=12, max_axioms=max_axioms
     )
     completed = []
+    all_completed = True
     for item in suite:
         result = rewrite(item.tgds, algorithm="exbdr", settings=settings)
+        all_completed = all_completed and result.completed
         if result.completed:
             completed.append((item, result))
     completed.sort(key=lambda pair: pair[1].output_size, reverse=True)
@@ -388,6 +423,7 @@ def capture_incremental_updates(
         )
     return {
         "wall_seconds": round(time.perf_counter() - wall_start, 6),
+        "status": STATUS_COMPLETED if all_completed else STATUS_TIMED_OUT,
         "fact_count": fact_count,
         "delta_fraction": delta_fraction,
         "repeats": max(1, repeats),
@@ -404,43 +440,67 @@ def capture_incremental_updates(
     }
 
 
-def capture_perf(smoke: bool = False) -> Dict[str, object]:
-    """Run all three scenarios and return the BENCH_rewriting payload.
+def capture_perf(
+    smoke: bool = False, scenarios: Optional[Sequence[str]] = None
+) -> Dict[str, object]:
+    """Run the recorded scenarios and return the BENCH_rewriting payload.
 
     ``smoke=True`` shrinks every knob so the capture finishes in a few
     seconds; CI uses it to keep the pipeline exercised without paying for a
-    full measurement run.
+    full measurement run.  ``scenarios`` restricts the capture to a subset of
+    :data:`SCENARIO_NAMES` (``perf --scenario NAME``) so a single scenario
+    can be iterated on without rerunning the whole capture; the filter is
+    recorded in the payload as ``scenario_filter``.
     """
-    # start from empty intern tables so repeated in-process captures measure
-    # the same (cold) workload and report comparable hit rates
-    clear_intern_caches()
-    wall_start = time.perf_counter()
+    if scenarios is not None:
+        unknown = sorted(set(scenarios) - set(SCENARIO_NAMES))
+        if unknown:
+            raise ValueError(
+                f"unknown perf scenario(s) {unknown}; "
+                f"expected a subset of {list(SCENARIO_NAMES)}"
+            )
     if smoke:
-        scenarios = {
-            "separation_families": capture_separation_families(ns=(2, 3), repeats=1),
-            "fulldr_comparison": capture_fulldr_comparison(timeout_seconds=2.0),
-            "end_to_end": capture_end_to_end(
+        runners = {
+            "separation_families": lambda: capture_separation_families(
+                ns=(2, 3), repeats=1
+            ),
+            "fulldr_comparison": lambda: capture_fulldr_comparison(
+                timeout_seconds=2.0
+            ),
+            "end_to_end": lambda: capture_end_to_end(
                 suite_size=2, max_axioms=24, top_k=1, fact_count=150
             ),
-            "incremental_updates": capture_incremental_updates(
+            "incremental_updates": lambda: capture_incremental_updates(
                 suite_size=2, max_axioms=24, top_k=1, fact_count=1000, repeats=2
             ),
         }
     else:
-        scenarios = {
-            "separation_families": capture_separation_families(),
-            "fulldr_comparison": capture_fulldr_comparison(),
-            "end_to_end": capture_end_to_end(),
-            "incremental_updates": capture_incremental_updates(),
+        runners = {
+            "separation_families": capture_separation_families,
+            "fulldr_comparison": capture_fulldr_comparison,
+            "end_to_end": capture_end_to_end,
+            "incremental_updates": capture_incremental_updates,
         }
-    return {
+    # start from empty intern tables so repeated in-process captures measure
+    # the same (cold) workload and report comparable hit rates
+    clear_intern_caches()
+    wall_start = time.perf_counter()
+    captured = {
+        name: runners[name]()
+        for name in SCENARIO_NAMES
+        if scenarios is None or name in scenarios
+    }
+    payload: Dict[str, object] = {
         "schema": "bench-rewriting/v1",
         "created_unix": round(time.time(), 1),
         "scale": "smoke" if smoke else "default",
         "wall_seconds": round(time.perf_counter() - wall_start, 6),
-        "scenarios": scenarios,
+        "scenarios": captured,
         "interning": intern_stats(),
     }
+    if scenarios is not None:
+        payload["scenario_filter"] = sorted(captured)
+    return payload
 
 
 def write_bench_json(
@@ -477,8 +537,73 @@ def compare_captures(
         old = previous_scenarios.get(name)
         if not isinstance(old, Mapping) or not isinstance(scenario, Mapping):
             continue
+        old_status = _scenario_status(old)
+        new_status = _scenario_status(scenario)
+        if old_status and new_status and old_status != new_status:
+            # a scenario that newly completes (or newly times out) measures
+            # different work; its wall times are not comparable — the change
+            # is reported via compare_scenario_statuses instead
+            continue
         new_wall = scenario.get("wall_seconds")
         old_wall = old.get("wall_seconds")
         if new_wall and old_wall:
             ratios[name] = round(old_wall / new_wall, 2)
     return ratios
+
+
+def _scenario_status(scenario: Mapping[str, object]) -> Optional[str]:
+    """The scenario's ``status`` flag, inferred for pre-flag captures.
+
+    Captures taken before the flag existed (the old committed
+    BENCH_rewriting.json, any CI merge-base capture of pre-flag code) still
+    record per-algorithm ``completed`` booleans under ``inputs``; deriving a
+    status from them keeps the different-work exclusion (and the CLI's
+    newly-timed-out gate) live against such baselines instead of silently
+    comparing a timed-out run's wall time with a completed one's.
+    """
+    status = scenario.get("status")
+    if isinstance(status, str):
+        return status
+    inputs = scenario.get("inputs")
+    if not isinstance(inputs, Mapping):
+        return None
+    completed_flags = [
+        row.get("completed")
+        for per_algorithm in inputs.values()
+        if isinstance(per_algorithm, Mapping)
+        for row in per_algorithm.values()
+        if isinstance(row, Mapping) and "completed" in row
+    ]
+    if not completed_flags:
+        return None
+    return STATUS_COMPLETED if all(completed_flags) else STATUS_TIMED_OUT
+
+
+def compare_scenario_statuses(
+    current: Mapping[str, object], previous: Mapping[str, object]
+) -> Dict[str, Dict[str, object]]:
+    """Per-scenario status transitions between two captures.
+
+    Returns ``{name: {"baseline": ..., "current": ...}}`` for every scenario
+    whose ``status`` flag differs between the captures — e.g. a FullDR
+    comparison that used to time out on example E.3 and now completes.  Such
+    scenarios are excluded from the wall-time ratios of
+    :func:`compare_captures`, so without this block the change would be
+    invisible (or worse, read as a regression).
+    """
+    changes: Dict[str, Dict[str, object]] = {}
+    current_scenarios = current.get("scenarios", {})
+    previous_scenarios = previous.get("scenarios", {})
+    if not isinstance(current_scenarios, Mapping) or not isinstance(
+        previous_scenarios, Mapping
+    ):
+        return changes
+    for name, scenario in current_scenarios.items():
+        old = previous_scenarios.get(name)
+        if not isinstance(old, Mapping) or not isinstance(scenario, Mapping):
+            continue
+        old_status = _scenario_status(old)
+        new_status = _scenario_status(scenario)
+        if old_status and new_status and old_status != new_status:
+            changes[name] = {"baseline": old_status, "current": new_status}
+    return changes

@@ -214,6 +214,25 @@ def perf_report(payload: Mapping[str, object]) -> str:
                     f"(avg {join_plan.get('hit_rate', 0.0)} facts/probe, "
                     f"{join_plan.get('plans_compiled', 0)} plans compiled)"
                 )
+        fulldr = scenarios.get("fulldr_comparison")
+        if isinstance(fulldr, Mapping):
+            solver = fulldr.get("match_solver")
+            if isinstance(solver, Mapping) and solver.get("solves"):
+                lines.append(
+                    f"fulldr_comparison match solver: {solver.get('solves', 0)} "
+                    f"solves, {solver.get('nodes_expanded', 0)} nodes expanded, "
+                    f"{solver.get('domains_pruned', 0)} domain values pruned, "
+                    f"{solver.get('empty_domain_exits', 0)} empty-domain exits, "
+                    f"{solver.get('solutions', 0)} substitutions"
+                )
+    status_changes = payload.get("scenario_status_vs_baseline")
+    if isinstance(status_changes, Mapping):
+        for name, change in sorted(status_changes.items()):
+            lines.append(
+                f"{name}: status changed vs baseline "
+                f"({change.get('baseline')} -> {change.get('current')}); "
+                "wall times not compared"
+            )
     interning = payload.get("interning", {})
     if isinstance(interning, Mapping) and "overall" in interning:
         overall = interning["overall"]
@@ -252,12 +271,22 @@ def step_summary_markdown(payload: Mapping[str, object]) -> str:
     scenarios = payload.get("scenarios", {})
     baseline = payload.get("speedup_vs_baseline_file")
     ratios = baseline if isinstance(baseline, Mapping) else {}
+    status_changes = payload.get("scenario_status_vs_baseline")
+    status_changes = status_changes if isinstance(status_changes, Mapping) else {}
     if isinstance(scenarios, Mapping):
         for name, scenario in scenarios.items():
             if not isinstance(scenario, Mapping):
                 continue
             ratio = ratios.get(name)
-            rendered_ratio = f"{ratio}x" if isinstance(ratio, (int, float)) else "–"
+            change = status_changes.get(name)
+            if isinstance(change, Mapping):
+                rendered_ratio = (
+                    f"{change.get('baseline')} → {change.get('current')}"
+                )
+            elif isinstance(ratio, (int, float)):
+                rendered_ratio = f"{ratio}x"
+            else:
+                rendered_ratio = "–"
             lines.append(
                 f"| {name} | {scenario.get('wall_seconds', '')} | {rendered_ratio} |"
             )

@@ -15,25 +15,29 @@ variants:
 
 As Example E.3 illustrates, enumerating every bounded substitution rather
 than a most general unifier makes FullDR far more expensive than the other
-algorithms; the implementation is faithful but only practical on small
-inputs, which is exactly the finding reported in the paper (FullDR timed out
-on 173 ontologies and is therefore not discussed in the main body).
+algorithms; the paper reports exactly that finding (FullDR timed out on 173
+ontologies and is therefore not discussed in the main body).  The
+enumeration here is routed through the shared constraint-propagating solver
+(:mod:`repro.unification.solver`): the unification equalities of a premise
+pair collapse the variable classes first, and only the satisfying bounded
+substitutions are materialized — the *set* of derived TGDs is unchanged, but
+the cartesian search over every body variable is gone, which is what lets
+the FullDR comparison scenario finish Example E.3 within its timeout.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..indexing.unification_index import TGDUnificationIndex
 from ..logic.atoms import Atom
 from ..logic.rules import Rule, datalog_tgd_to_rule
 from ..logic.substitution import Substitution
-from ..logic.terms import Constant, Term, Variable
+from ..logic.terms import Constant, Variable
 from ..logic.tgd import TGD, head_normalize, program_constants
-from ..unification.mgu import restricted_mgu
+from ..unification.solver import solve_bounded, solve_bounded_pairings
 from .base import InferenceRule, RewritingSettings
-from .lookahead import tgd_result_is_dead_end
 from .registry import AlgorithmCapabilities, register_algorithm
 
 
@@ -56,9 +60,9 @@ class FullDR(InferenceRule[TGD]):
         self._index = TGDUnificationIndex()
         self._variable_pool: Tuple[Variable, ...] = ()
         self._sigma_constants: Tuple[Constant, ...] = ()
-        #: cap on enumerated substitutions per premise pair (the blow-up that
-        #: Example E.3 describes); raising it makes the algorithm more
-        #: faithful and slower
+        #: cap on the *satisfying* substitutions enumerated per premise pair
+        #: (the blow-up that Example E.3 describes); raising it makes the
+        #: algorithm more faithful and slower
         self.max_substitutions_per_pair = 500_000
 
     # ------------------------------------------------------------------
@@ -123,35 +127,6 @@ class FullDR(InferenceRule[TGD]):
         return tuple(ordered)
 
     # ------------------------------------------------------------------
-    # substitution enumeration
-    # ------------------------------------------------------------------
-    def _bounded_substitutions(
-        self,
-        variables: Tuple[Variable, ...],
-        extra_range: Tuple[Term, ...],
-        premise_constants: Tuple[Constant, ...],
-    ) -> Iterable[Substitution]:
-        """Every substitution from ``variables`` into the bounded range."""
-        range_terms: Tuple[Term, ...] = (
-            self._variable_pool + extra_range + premise_constants
-        )
-        if not variables:
-            yield Substitution()
-            return
-        total = len(range_terms) ** len(variables)
-        if total > self.max_substitutions_per_pair:
-            # Enumerate a deterministic prefix of the substitution space; the
-            # cap is generous enough for the inputs on which FullDR is
-            # actually run (it times out long before this matters).
-            total = self.max_substitutions_per_pair
-        count = 0
-        for images in itertools.product(range_terms, repeat=len(variables)):
-            yield Substitution(dict(zip(variables, images)))
-            count += 1
-            if count >= total:
-                return
-
-    # ------------------------------------------------------------------
     # (COMPOSE)
     # ------------------------------------------------------------------
     def _compose(self, left: TGD, right: TGD) -> List[TGD]:
@@ -166,14 +141,19 @@ class FullDR(InferenceRule[TGD]):
             sorted(left.variables() | right.variables(), key=lambda v: v.name)
         )
         premise_constants = tuple(set(left.constants()) | set(right.constants()))
+        range_terms = self._variable_pool + premise_constants
         for body_atom in right.body:
             if body_atom.predicate != head_atom.predicate:
                 continue
-            for theta in self._bounded_substitutions(
-                variables, (), premise_constants
+            # the solver propagates θ(head_atom) = θ(body_atom) through its
+            # variable classes and enumerates only the satisfying bounded
+            # substitutions — never the cartesian product over the variables
+            solutions = solve_bounded(
+                variables, range_terms, equalities=((head_atom, body_atom),)
+            )
+            for theta in itertools.islice(
+                solutions, self.max_substitutions_per_pair
             ):
-                if theta.apply_atom(head_atom) != theta.apply_atom(body_atom):
-                    continue
                 remaining = tuple(a for a in right.body if a is not body_atom)
                 new_body = _dedupe(
                     theta.apply_atoms(left.body) + theta.apply_atoms(remaining)
@@ -196,9 +176,6 @@ class FullDR(InferenceRule[TGD]):
         existential = non_full.existential_variables
         results: List[TGD] = []
         seen: Set[TGD] = set()
-        body_by_predicate: Dict = {}
-        for atom in full.body:
-            body_by_predicate.setdefault(atom.predicate, []).append(atom)
         variables = tuple(
             sorted(
                 (non_full.universal_variables | full.universal_variables),
@@ -209,39 +186,37 @@ class FullDR(InferenceRule[TGD]):
             set(non_full.constants()) | set(full.constants())
         )
         existential_range = tuple(sorted(existential, key=lambda v: v.name))
-        # choose, for every subset of the full TGD's body atoms, a counterpart
-        # head atom of the non-full TGD; the bounded substitution must unify
-        # every chosen pair
-        head_atoms = non_full.head
+        range_terms = self._variable_pool + existential_range + premise_constants
         full_body = tuple(full.body)
-        for selection in _nonempty_assignments(full_body, head_atoms):
-            for theta in self._bounded_substitutions(
-                variables, existential_range, premise_constants
+        # the solver enumerates every nonempty matching of body atoms to
+        # same-predicate head atoms, propagating the induced equalities as
+        # each pairing is chosen (the existential variables sit outside the
+        # solve domain, so an equality against one pins the partner class)
+        pairings = solve_bounded_pairings(
+            full_body, non_full.head, variables, range_terms
+        )
+        for selection, theta in itertools.islice(
+            pairings, self.max_substitutions_per_pair
+        ):
+            if self._universal_into_existential(theta, non_full, existential):
+                continue
+            selected = {id(body_atom) for body_atom, _ in selection}
+            remaining = tuple(
+                atom for atom in full_body if id(atom) not in selected
+            )
+            remaining_image = theta.apply_atoms(remaining)
+            head_image = theta.apply_atom(full.head[0])
+            if _mentions(remaining_image, existential) or _mentions(
+                (head_image,), existential
             ):
-                if any(
-                    theta.apply_atom(body_atom) != theta.apply_atom(head_atom)
-                    for body_atom, head_atom in selection
-                ):
-                    continue
-                if self._universal_into_existential(theta, non_full, existential):
-                    continue
-                selected = {id(body_atom) for body_atom, _ in selection}
-                remaining = tuple(
-                    atom for atom in full_body if id(atom) not in selected
-                )
-                remaining_image = theta.apply_atoms(remaining)
-                head_image = theta.apply_atom(full.head[0])
-                if _mentions(remaining_image, existential) or _mentions(
-                    (head_image,), existential
-                ):
-                    continue
-                new_body = _dedupe(
-                    theta.apply_atoms(non_full.body) + remaining_image
-                )
-                derived = TGD(new_body, (head_image,))
-                if derived not in seen:
-                    seen.add(derived)
-                    results.append(derived)
+                continue
+            new_body = _dedupe(
+                theta.apply_atoms(non_full.body) + remaining_image
+            )
+            derived = TGD(new_body, (head_image,))
+            if derived not in seen:
+                seen.add(derived)
+                results.append(derived)
         return results
 
     @staticmethod
@@ -257,29 +232,6 @@ class FullDR(InferenceRule[TGD]):
 
 def _mentions(atoms: Tuple[Atom, ...], variables: frozenset) -> bool:
     return any(var in variables for atom in atoms for var in atom.variables())
-
-
-def _nonempty_assignments(
-    body_atoms: Tuple[Atom, ...], head_atoms: Tuple[Atom, ...]
-) -> Iterable[Tuple[Tuple[Atom, Atom], ...]]:
-    """Every nonempty matching of some body atoms to same-predicate head atoms."""
-    per_atom_options: List[List[Optional[Atom]]] = []
-    for body_atom in body_atoms:
-        options: List[Optional[Atom]] = [None]
-        options.extend(
-            head_atom
-            for head_atom in head_atoms
-            if head_atom.predicate == body_atom.predicate
-        )
-        per_atom_options.append(options)
-    for combination in itertools.product(*per_atom_options):
-        selection = tuple(
-            (body_atom, head_atom)
-            for body_atom, head_atom in zip(body_atoms, combination)
-            if head_atom is not None
-        )
-        if selection:
-            yield selection
 
 
 def _dedupe(atoms: Tuple[Atom, ...]) -> Tuple[Atom, ...]:

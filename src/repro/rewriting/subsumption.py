@@ -16,15 +16,15 @@ Two subsumption checks are provided:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Sequence, Union
+from typing import Union
 
-from ..logic.atoms import Atom
 from ..logic.normal_form import normalize_rule, normalize_tgd
 from ..logic.rules import Rule
 from ..logic.substitution import Substitution
-from ..logic.terms import Term, Variable
+from ..logic.terms import Variable
 from ..logic.tgd import TGD
 from ..unification.matching import match_atom
+from ..unification.solver import first_match, solve_cover, solve_match
 
 Clause = Union[TGD, Rule]
 
@@ -40,55 +40,17 @@ def is_syntactic_tautology(clause: Clause) -> bool:
 # ----------------------------------------------------------------------
 # exact subsumption
 # ----------------------------------------------------------------------
-def _enumerate_body_matches(
-    body: Sequence[Atom], targets: Sequence[Atom], base: Substitution
-) -> Iterator[Substitution]:
-    """Substitutions μ with μ(body) ⊆ targets (each body atom maps to some target)."""
-
-    def recurse(index: int, substitution: Substitution) -> Iterator[Substitution]:
-        if index == len(body):
-            yield substitution
-            return
-        for target in targets:
-            extended = match_atom(body[index], target, substitution)
-            if extended is not None:
-                yield from recurse(index + 1, extended)
-
-    yield from recurse(0, base)
-
-
-def _head_covers(
-    head: Sequence[Atom], targets: Sequence[Atom], substitution: Substitution
-) -> Iterator[Substitution]:
-    """Extensions μ of the substitution with μ(head) ⊇ targets.
-
-    Every target atom must be the μ-image of some head atom; head atoms not
-    yet fully bound may be instantiated in the process.
-    """
-
-    def recurse(index: int, current: Substitution) -> Iterator[Substitution]:
-        if index == len(targets):
-            yield current
-            return
-        target = targets[index]
-        for pattern in head:
-            extended = match_atom(pattern, target, current)
-            if extended is not None:
-                yield from recurse(index + 1, extended)
-
-    yield from recurse(0, substitution)
+# Both backtracking enumerations (``μ(body1) ⊆ body2`` and ``μ(head1) ⊇
+# head2``) are routed through the shared constraint-propagating solver:
+# :func:`repro.unification.solver.solve_match` for the body subset check and
+# :func:`repro.unification.solver.solve_cover` for the head covering check.
 
 
 def exact_rule_subsumes(subsumer: Rule, subsumed: Rule) -> bool:
     """Rule subsumption: some μ with μ(body1) ⊆ body2 and μ(head1) = head2."""
     head_match = match_atom(subsumer.head, subsumed.head)
-    candidates: Iterator[Substitution]
     if head_match is not None:
-        candidates = _enumerate_body_matches(
-            subsumer.body, subsumed.body, head_match
-        )
-        for _ in candidates:
-            return True
+        return first_match(subsumer.body, subsumed.body, head_match) is not None
     return False
 
 
@@ -120,10 +82,8 @@ def exact_tgd_subsumes(subsumer: TGD, subsumed: TGD) -> bool:
             images.append(image)
         return len(set(images)) == len(images)
 
-    for body_match in _enumerate_body_matches(
-        subsumer.body, subsumed.body, Substitution()
-    ):
-        for full_match in _head_covers(subsumer.head, subsumed.head, body_match):
+    for body_match in solve_match(subsumer.body, subsumed.body):
+        for full_match in solve_cover(subsumer.head, subsumed.head, body_match):
             if valid(full_match):
                 return True
     return False

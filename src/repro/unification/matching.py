@@ -78,9 +78,27 @@ def match_conjunction_into_set(
     """Enumerate substitutions mapping every pattern atom to *some* target atom.
 
     This is the subset-matching problem underlying both subsumption
-    (``μ(β1) ⊆ β2``) and rule application over a set of facts.  The
-    enumeration proceeds by backtracking over the pattern atoms; targets are
-    pre-bucketed by predicate to prune the search.
+    (``μ(β1) ⊆ β2``) and rule application over a set of facts.  Routed
+    through the shared constraint-propagating solver
+    (:func:`repro.unification.solver.solve_match`): per-variable domains are
+    intersected up front, the most-constrained pattern is branched on first,
+    and every binding forward-checks the remaining patterns.
+    """
+    from .solver import solve_match
+
+    return solve_match(patterns, targets, base)
+
+
+def naive_match_conjunction_into_set(
+    patterns: Sequence[Atom],
+    targets: Sequence[Atom],
+    base: Optional[Substitution] = None,
+) -> Iterator[Substitution]:
+    """Left-to-right backtracking reference for subset matching.
+
+    The pre-solver enumeration, retained as the executable spec: the
+    property tests check that the constraint-propagating solver produces
+    exactly this substitution set.  Never use it on a hot path.
     """
     by_predicate: Dict = {}
     for target in targets:
@@ -105,9 +123,7 @@ def exists_match_into_set(
     base: Optional[Substitution] = None,
 ) -> Optional[Substitution]:
     """Return some substitution mapping all patterns into the target set, or ``None``."""
-    for substitution in match_conjunction_into_set(patterns, targets, base):
-        return substitution
-    return None
+    return next(match_conjunction_into_set(patterns, targets, base), None)
 
 
 def is_instance_of(general: Atom, specific: Atom) -> bool:

@@ -196,3 +196,131 @@ class TestPerfCapture:
 
         result = compare_captures({"scale": "smoke"}, {"scale": "default"})
         assert "error" in result
+
+    def test_compare_captures_skips_status_changed_scenarios(self):
+        # a scenario that used to time out and now completes measures
+        # different work: no ratio must be reported for it (it would read
+        # as a wall-time regression), only the status transition
+        from repro.harness.perfcapture import (
+            compare_captures,
+            compare_scenario_statuses,
+        )
+
+        current = {
+            "scale": "default",
+            "scenarios": {
+                "fulldr_comparison": {
+                    "wall_seconds": 4.0,
+                    "status": "completed",
+                },
+                "end_to_end": {"wall_seconds": 1.0, "status": "completed"},
+            },
+        }
+        previous = {
+            "scale": "default",
+            "scenarios": {
+                "fulldr_comparison": {
+                    "wall_seconds": 2.0,
+                    "status": "timed_out",
+                },
+                "end_to_end": {"wall_seconds": 2.0, "status": "completed"},
+            },
+        }
+        assert compare_captures(current, previous) == {"end_to_end": 2.0}
+        assert compare_scenario_statuses(current, previous) == {
+            "fulldr_comparison": {
+                "baseline": "timed_out",
+                "current": "completed",
+            }
+        }
+
+    def test_compare_scenario_statuses_ignores_captures_without_flags(self):
+        from repro.harness.perfcapture import compare_scenario_statuses
+
+        current = {
+            "scenarios": {"end_to_end": {"wall_seconds": 1.0, "status": "completed"}}
+        }
+        previous = {"scenarios": {"end_to_end": {"wall_seconds": 2.0}}}
+        assert compare_scenario_statuses(current, previous) == {}
+
+    def test_status_inferred_from_pre_flag_completed_booleans(self):
+        # baselines captured before the status flag existed (the old
+        # committed BENCH, CI merge-base captures of pre-flag code) still
+        # carry per-algorithm completed booleans; the exclusion and the
+        # status report must work against them
+        from repro.harness.perfcapture import (
+            compare_captures,
+            compare_scenario_statuses,
+        )
+
+        previous = {
+            "scale": "default",
+            "scenarios": {
+                "fulldr_comparison": {
+                    "wall_seconds": 9.0,
+                    "inputs": {
+                        "example-E.3": {
+                            "fulldr": {"wall_seconds": 8.0, "completed": False},
+                            "hypdr": {"wall_seconds": 0.1, "completed": True},
+                        }
+                    },
+                }
+            },
+        }
+        current = {
+            "scale": "default",
+            "scenarios": {
+                "fulldr_comparison": {"wall_seconds": 1.2, "status": "completed"}
+            },
+        }
+        assert compare_captures(current, previous) == {}
+        assert compare_scenario_statuses(current, previous) == {
+            "fulldr_comparison": {
+                "baseline": "timed_out",
+                "current": "completed",
+            }
+        }
+
+    def test_capture_perf_scenario_filter(self):
+        from repro.harness.perfcapture import capture_perf
+
+        payload = capture_perf(smoke=True, scenarios=["fulldr_comparison"])
+        assert list(payload["scenarios"]) == ["fulldr_comparison"]
+        assert payload["scenario_filter"] == ["fulldr_comparison"]
+        scenario = payload["scenarios"]["fulldr_comparison"]
+        assert scenario["status"] in ("completed", "timed_out")
+        assert scenario["match_solver"]["solves"] > 0
+
+    def test_capture_perf_rejects_unknown_scenario(self):
+        from repro.harness.perfcapture import capture_perf
+
+        with pytest.raises(ValueError, match="unknown perf scenario"):
+            capture_perf(smoke=True, scenarios=["no_such_scenario"])
+
+    def test_cli_scenario_choices_match_harness(self):
+        # the CLI inlines the names so building the parser stays free of
+        # harness imports; the two tuples must not drift apart
+        from repro.cli import PERF_SCENARIO_NAMES
+        from repro.harness.perfcapture import SCENARIO_NAMES
+
+        assert PERF_SCENARIO_NAMES == SCENARIO_NAMES
+
+    def test_gate_fails_on_newly_timed_out_scenario(self):
+        from repro.cli import _newly_timed_out_scenarios
+
+        payload = {
+            "scenario_status_vs_baseline": {
+                "fulldr_comparison": {
+                    "baseline": "completed",
+                    "current": "timed_out",
+                },
+                "end_to_end": {
+                    "baseline": "timed_out",
+                    "current": "completed",
+                },
+            }
+        }
+        # completed -> timed_out must trip the gate; the inverse flip is an
+        # improvement and must not
+        assert _newly_timed_out_scenarios(payload) == ["fulldr_comparison"]
+        assert _newly_timed_out_scenarios({}) == []
