@@ -1,0 +1,123 @@
+"""Dependency-free timing probe for the chase engines.
+
+Quick A/B loop for optimizing the delta-driven chase: runs the semi-naive
+plan-based Skolem chase against the retained naive reference, and the
+dirty-type worklist guarded engine against the retained recursive reference,
+on the same ontology-suite workloads the ``skolem_chase`` / ``guarded_oracle``
+perf scenarios record.  No pytest, no JSON — just wall times and the
+``chase_plan`` counters, so a tight edit-measure loop stays a one-liner:
+
+    PYTHONPATH=src python benchmarks/bench_chase_probe.py
+    PYTHONPATH=src python benchmarks/bench_chase_probe.py --skip-guarded
+    PYTHONPATH=src python benchmarks/bench_chase_probe.py --fact-count 300 --depth 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+
+def probe_skolem(suite_size: int, max_axioms: int, fact_count: int, depth: int) -> None:
+    from repro.chase.skolem_chase import SkolemChase
+    from repro.workloads.instances import generate_instance
+    from repro.workloads.ontology_suite import generate_suite
+
+    print(f"== skolem chase (depth {depth}, {fact_count} facts) ==")
+    suite = generate_suite(
+        count=suite_size, seed=2022, min_axioms=10, max_axioms=max_axioms
+    )
+    semi_total = naive_total = 0.0
+    for item in suite:
+        instance = generate_instance(
+            item.tgds,
+            fact_count=fact_count,
+            constant_count=max(20, fact_count // 4),
+            seed=int(item.identifier),
+        )
+        chase = SkolemChase(item.tgds, max_term_depth=depth)
+        start = time.perf_counter()
+        semi = chase.run(instance)
+        semi_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        naive = chase.run_naive_reference(instance)
+        naive_seconds = time.perf_counter() - start
+        agree = "ok" if semi.facts == naive.facts else "MISMATCH"
+        semi_total += semi_seconds
+        naive_total += naive_seconds
+        print(
+            f"  {item.identifier}: {len(semi.facts)} facts  "
+            f"semi {semi_seconds:.3f}s  naive {naive_seconds:.3f}s  "
+            f"({naive_seconds / semi_seconds:.1f}x)  [{agree}]"
+        )
+        print(f"    chase_plan: {semi.plan_stats}")
+    if semi_total:
+        print(
+            f"  total: semi {semi_total:.3f}s  naive {naive_total:.3f}s  "
+            f"speedup {naive_total / semi_total:.2f}x"
+        )
+
+
+def probe_guarded(suite_size: int, max_axioms: int, fact_count: int) -> None:
+    from repro.chase.guarded_engine import (
+        GuardedChaseReasoner,
+        ReferenceGuardedReasoner,
+    )
+    from repro.workloads.instances import generate_instance
+    from repro.workloads.ontology_suite import generate_suite
+
+    print(f"== guarded oracle ({fact_count} facts) ==")
+    suite = generate_suite(
+        count=suite_size, seed=2022, min_axioms=10, max_axioms=max_axioms
+    )
+    worklist_total = naive_total = 0.0
+    for item in suite:
+        instance = generate_instance(
+            item.tgds,
+            fact_count=fact_count,
+            constant_count=max(20, fact_count // 4),
+            seed=int(item.identifier),
+        )
+        reasoner = GuardedChaseReasoner(item.tgds, max_types=500_000)
+        start = time.perf_counter()
+        facts = reasoner.entailed_base_facts(instance)
+        worklist_seconds = time.perf_counter() - start
+        reference = ReferenceGuardedReasoner(item.tgds, max_types=500_000)
+        start = time.perf_counter()
+        expected = reference.entailed_base_facts(instance)
+        naive_seconds = time.perf_counter() - start
+        agree = "ok" if facts == expected else "MISMATCH"
+        worklist_total += worklist_seconds
+        naive_total += naive_seconds
+        print(
+            f"  {item.identifier}: {len(facts)} base facts  "
+            f"worklist {worklist_seconds:.3f}s  naive {naive_seconds:.3f}s  "
+            f"({naive_seconds / worklist_seconds:.1f}x)  [{agree}]"
+        )
+        print(f"    chase_plan: {reasoner.stats.snapshot()}")
+    if worklist_total:
+        print(
+            f"  total: worklist {worklist_total:.3f}s  naive {naive_total:.3f}s  "
+            f"speedup {naive_total / worklist_total:.2f}x"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite-size", type=int, default=3)
+    parser.add_argument("--max-axioms", type=int, default=22)
+    parser.add_argument("--fact-count", type=int, default=150)
+    parser.add_argument("--depth", type=int, default=2)
+    parser.add_argument("--skip-skolem", action="store_true")
+    parser.add_argument("--skip-guarded", action="store_true")
+    args = parser.parse_args()
+    if not args.skip_skolem:
+        probe_skolem(args.suite_size, args.max_axioms, args.fact_count, args.depth)
+    if not args.skip_guarded:
+        probe_guarded(
+            args.suite_size, args.max_axioms, min(args.fact_count, 110)
+        )
+
+
+if __name__ == "__main__":
+    main()

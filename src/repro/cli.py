@@ -50,6 +50,8 @@ PERF_SCENARIO_NAMES = (
     "fulldr_comparison",
     "end_to_end",
     "incremental_updates",
+    "skolem_chase",
+    "guarded_oracle",
 )
 
 

@@ -6,9 +6,12 @@ separation families), ``bench_fulldr.py`` (FullDR versus the practical
 algorithms), and ``bench_table2_end_to_end.py`` (rewrite once, materialize
 the fixpoint) — under one roof and emits ``BENCH_rewriting.json``: wall
 times, clauses generated/retained, the subsumption hit rate, and the
-interning hit rate.  Every future PR reruns the capture and compares against
-the recorded trajectory; see the "Recording performance" section of
-ROADMAP.md.
+interning hit rate.  The ``skolem_chase`` and ``guarded_oracle`` scenarios
+additionally track the chase oracles, each measuring its delta-driven engine
+against the retained pre-change loop in the same process (recorded as
+``speedup_vs_pre_change`` with a ``chase_plan`` stats block).  Every future
+PR reruns the capture and compares against the recorded trajectory; see the
+"Recording performance" section of ROADMAP.md.
 
 The module also embeds the *pre-change* wall time of the separation-families
 workload, measured on the unoptimized seed saturation loop, so the JSON
@@ -62,6 +65,8 @@ SCENARIO_NAMES: Tuple[str, ...] = (
     "fulldr_comparison",
     "end_to_end",
     "incremental_updates",
+    "skolem_chase",
+    "guarded_oracle",
 )
 
 #: every scenario payload carries a ``status`` flag so a baseline comparison
@@ -440,6 +445,255 @@ def capture_incremental_updates(
     }
 
 
+def _chase_suite_inputs(suite_size: int, max_axioms: int, fact_count: int):
+    """The shared workload of the chase scenarios: suite items + instances."""
+    from ..workloads.instances import generate_instance
+    from ..workloads.ontology_suite import generate_suite
+
+    suite = generate_suite(
+        count=suite_size, seed=2022, min_axioms=10, max_axioms=max_axioms
+    )
+    return [
+        (
+            item,
+            generate_instance(
+                item.tgds,
+                fact_count=fact_count,
+                constant_count=max(20, fact_count // 4),
+                seed=int(item.identifier),
+            ),
+        )
+        for item in suite
+    ]
+
+
+def _best_of(repeats: int, run, *args):
+    """``(best_seconds, result_of_best_run)`` over ``repeats`` timed calls.
+
+    Both the delta engine and its naive reference are timed through this
+    helper with the *same* repeat count — best-of-N against a single run
+    would systematically flatter whichever side repeats on a noisy machine.
+    """
+    best_seconds = None
+    best_result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = run(*args)
+        elapsed = time.perf_counter() - start
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+            best_result = result
+    return best_seconds, best_result
+
+
+def _merge_chase_block(
+    totals: Dict[str, int], snapshot: Optional[Dict[str, object]]
+) -> Dict[str, int]:
+    """Fold one run's chase counters into the scenario totals.
+
+    Counters are additive across independent chase runs, except
+    ``max_delta``: summing per-run maxima would fabricate a round size no
+    run ever committed, so it aggregates by max.
+    """
+    from ..datalog.plan import JoinPlanStats
+
+    snapshot = snapshot or {}
+    prior_max = totals.pop("max_delta", 0)
+    JoinPlanStats.merge_snapshot(totals, snapshot)
+    totals["max_delta"] = max(prior_max, snapshot.get("max_delta", 0) or 0)
+    return totals
+
+
+def capture_skolem_chase(
+    suite_size: int = 3,
+    max_axioms: int = 22,
+    fact_count: int = 150,
+    max_term_depth: int = 2,
+    repeats: int = 2,
+) -> Dict[str, object]:
+    """Depth-bounded Skolem-chase throughput: semi-naive plans vs naive loop.
+
+    Saturates ontology-suite GTGD sets over generated base instances with the
+    semi-naive plan-based engine (:meth:`SkolemChase.run`) and the retained
+    naive loop (:meth:`SkolemChase.run_naive_reference`), each timed best of
+    ``repeats`` — so ``speedup_vs_pre_change`` is a live same-machine,
+    same-process measurement, not an embedded constant (and a conservative
+    one: the retained loop reuses candidate domains across rounds, so it is
+    somewhat faster than the true pre-change code; see the
+    ``pre_change_note`` in the payload).  Fact-set equality of the two runs
+    is recorded per row (``consistent``) and as the scenario-level
+    ``all_consistent`` flag, which CI's sanity check and the harness tests
+    enforce — the capture itself never raises, so a broken run still yields
+    an inspectable payload.  The merged per-run counters of the semi-naive
+    engine are recorded as the ``chase_plan`` block (counters are summed
+    across inputs except ``max_delta``, which is the maximum over them; see
+    :mod:`repro.chase.plans` for how to read it).
+    """
+    from ..chase.skolem_chase import SkolemChase
+    from ..datalog.plan import JoinPlanStats
+
+    wall_start = time.perf_counter()
+    rows = []
+    semi_total = 0.0
+    naive_total = 0.0
+    chase_totals: Dict[str, int] = {}
+    all_consistent = True
+    for item, instance in _chase_suite_inputs(suite_size, max_axioms, fact_count):
+        chase = SkolemChase(item.tgds, max_term_depth=max_term_depth)
+        semi_seconds, result = _best_of(repeats, chase.run, instance)
+        naive_seconds, reference = _best_of(
+            repeats, chase.run_naive_reference, instance
+        )
+        consistent = (
+            result.facts == reference.facts
+            and result.saturated == reference.saturated
+        )
+        all_consistent = all_consistent and consistent
+        _merge_chase_block(chase_totals, result.plan_stats)
+        semi_total += semi_seconds
+        naive_total += naive_seconds
+        rows.append(
+            {
+                "input_id": item.identifier,
+                "tgds": len(item.tgds),
+                "input_facts": len(instance),
+                "output_facts": len(result.facts),
+                "saturated": result.saturated,
+                "rounds": result.rounds,
+                "semi_naive_seconds": round(semi_seconds, 6),
+                "naive_seconds": round(naive_seconds, 6),
+                "speedup": round(naive_seconds / semi_seconds, 2)
+                if semi_seconds
+                else None,
+                "consistent": consistent,
+            }
+        )
+    return {
+        "wall_seconds": round(time.perf_counter() - wall_start, 6),
+        # the chase runs without a time budget (the depth bound is what
+        # truncates it), so this scenario always completes
+        "status": STATUS_COMPLETED,
+        "suite_size": suite_size,
+        "fact_count": fact_count,
+        "max_term_depth": max_term_depth,
+        "repeats": max(1, repeats),
+        "rows": rows,
+        "chase_plan": JoinPlanStats.with_hit_rate(dict(chase_totals)),
+        "semi_naive_seconds": round(semi_total, 6),
+        "pre_change_naive_seconds": round(naive_total, 6),
+        "speedup_vs_pre_change": round(naive_total / semi_total, 2)
+        if semi_total
+        else None,
+        "pre_change_note": (
+            "measured against the retained naive loop "
+            "(SkolemChase.run_naive_reference) in this very capture, both "
+            "sides best-of-repeats, so the ratio is same-machine by "
+            "construction; the reference keeps the pre-change per-round "
+            "structure but reuses candidate domains across rounds, making it "
+            "faster than the true pre-change loop — the recorded speedup is "
+            "a conservative lower bound"
+        ),
+        # deliberately False when nothing was measured: an empty run must not
+        # read as "verified consistent" downstream
+        "all_consistent": bool(rows) and all_consistent,
+    }
+
+
+def _run_worklist_oracle(tgds, instance):
+    """One fresh worklist-engine saturation; returns (facts, stats snapshot)."""
+    from ..chase.guarded_engine import GuardedChaseReasoner
+
+    reasoner = GuardedChaseReasoner(tgds, max_types=500_000)
+    facts = reasoner.entailed_base_facts(instance)
+    return facts, reasoner.stats.snapshot()
+
+
+def _run_reference_oracle(tgds, instance):
+    """One fresh recursive-reference saturation; returns its base facts."""
+    from ..chase.guarded_engine import ReferenceGuardedReasoner
+
+    return ReferenceGuardedReasoner(tgds, max_types=500_000).entailed_base_facts(
+        instance
+    )
+
+
+def capture_guarded_oracle(
+    suite_size: int = 4,
+    max_axioms: int = 24,
+    fact_count: int = 110,
+    repeats: int = 1,
+) -> Dict[str, object]:
+    """Guarded-oracle throughput: dirty-type worklist vs recursive re-walks.
+
+    Saturates ontology-suite GTGD sets with the worklist
+    :class:`GuardedChaseReasoner` and the retained pre-change
+    :class:`ReferenceGuardedReasoner` (each timed best of ``repeats``, on a
+    fresh reasoner per repeat), recording whether their entailed-base-fact
+    sets agree (``all_consistent``, enforced by CI and the harness tests);
+    ``speedup_vs_pre_change`` is a live same-machine measurement like the
+    ``skolem_chase`` scenario's.  The worklist engine's counters (types
+    closed vs reused, per-type delta rounds and sizes, trigger firings,
+    cross-type imports — see
+    :class:`repro.chase.guarded_engine.GuardedEngineStats`) form the
+    ``chase_plan`` block (summed across inputs, except ``max_delta`` which
+    aggregates by maximum).
+    """
+    wall_start = time.perf_counter()
+    rows = []
+    worklist_total = 0.0
+    naive_total = 0.0
+    chase_totals: Dict[str, int] = {}
+    all_consistent = True
+    for item, instance in _chase_suite_inputs(suite_size, max_axioms, fact_count):
+        worklist_seconds, (facts, stats_snapshot) = _best_of(
+            repeats, _run_worklist_oracle, item.tgds, instance
+        )
+        naive_seconds, expected = _best_of(
+            repeats, _run_reference_oracle, item.tgds, instance
+        )
+        consistent = facts == expected
+        all_consistent = all_consistent and consistent
+        _merge_chase_block(chase_totals, stats_snapshot)
+        worklist_total += worklist_seconds
+        naive_total += naive_seconds
+        rows.append(
+            {
+                "input_id": item.identifier,
+                "tgds": len(item.tgds),
+                "input_facts": len(instance),
+                "entailed_base_facts": len(facts),
+                "worklist_seconds": round(worklist_seconds, 6),
+                "naive_seconds": round(naive_seconds, 6),
+                "speedup": round(naive_seconds / worklist_seconds, 2)
+                if worklist_seconds
+                else None,
+                "consistent": consistent,
+            }
+        )
+    return {
+        "wall_seconds": round(time.perf_counter() - wall_start, 6),
+        # the oracle always terminates (type space is finite); no time budget
+        "status": STATUS_COMPLETED,
+        "suite_size": suite_size,
+        "fact_count": fact_count,
+        "repeats": max(1, repeats),
+        "rows": rows,
+        "chase_plan": dict(chase_totals),
+        "worklist_seconds": round(worklist_total, 6),
+        "pre_change_naive_seconds": round(naive_total, 6),
+        "speedup_vs_pre_change": round(naive_total / worklist_total, 2)
+        if worklist_total
+        else None,
+        "pre_change_note": (
+            "the pre-change recursive engine is retained in-tree "
+            "(ReferenceGuardedReasoner) and re-measured in this very capture "
+            "with the same repeat count, so the speedup is same-machine by "
+            "construction"
+        ),
+        "all_consistent": bool(rows) and all_consistent,
+    }
+
+
 def capture_perf(
     smoke: bool = False, scenarios: Optional[Sequence[str]] = None
 ) -> Dict[str, object]:
@@ -473,6 +727,12 @@ def capture_perf(
             "incremental_updates": lambda: capture_incremental_updates(
                 suite_size=2, max_axioms=24, top_k=1, fact_count=1000, repeats=2
             ),
+            "skolem_chase": lambda: capture_skolem_chase(
+                suite_size=2, max_axioms=14, fact_count=60, repeats=1
+            ),
+            "guarded_oracle": lambda: capture_guarded_oracle(
+                suite_size=2, max_axioms=14, fact_count=40
+            ),
         }
     else:
         runners = {
@@ -480,6 +740,8 @@ def capture_perf(
             "fulldr_comparison": capture_fulldr_comparison,
             "end_to_end": capture_end_to_end,
             "incremental_updates": capture_incremental_updates,
+            "skolem_chase": capture_skolem_chase,
+            "guarded_oracle": capture_guarded_oracle,
         }
     # start from empty intern tables so repeated in-process captures measure
     # the same (cold) workload and report comparable hit rates

@@ -225,6 +225,39 @@ def perf_report(payload: Mapping[str, object]) -> str:
                     f"{solver.get('empty_domain_exits', 0)} empty-domain exits, "
                     f"{solver.get('solutions', 0)} substitutions"
                 )
+        skolem = scenarios.get("skolem_chase")
+        # render whenever there is a speedup to report OR a divergence to
+        # flag — an inconsistent run must never lose its warning just
+        # because the ratio came out falsy
+        if isinstance(skolem, Mapping) and (
+            skolem.get("speedup_vs_pre_change")
+            or skolem.get("all_consistent") is False
+        ):
+            chase_plan = skolem.get("chase_plan", {})
+            lines.append(
+                f"skolem_chase: semi-naive plans "
+                f"{skolem.get('speedup_vs_pre_change') or '?'}x faster than the naive loop "
+                f"({chase_plan.get('rounds', 0)} delta rounds, "
+                f"max delta {chase_plan.get('max_delta', 0)}, "
+                f"{chase_plan.get('probes', 0)} probes / "
+                f"{chase_plan.get('probe_hits', 0)} hits)"
+                + ("" if skolem.get("all_consistent") else " (INCONSISTENT!)")
+            )
+        guarded = scenarios.get("guarded_oracle")
+        if isinstance(guarded, Mapping) and (
+            guarded.get("speedup_vs_pre_change")
+            or guarded.get("all_consistent") is False
+        ):
+            chase_plan = guarded.get("chase_plan", {})
+            lines.append(
+                f"guarded_oracle: dirty-type worklist "
+                f"{guarded.get('speedup_vs_pre_change') or '?'}x faster than tree re-walks "
+                f"({chase_plan.get('types_closed', 0)} types closed, "
+                f"{chase_plan.get('types_reused', 0)} reused, "
+                f"{chase_plan.get('rounds', 0)} delta rounds, "
+                f"{chase_plan.get('imports', 0)} imports)"
+                + ("" if guarded.get("all_consistent") else " (INCONSISTENT!)")
+            )
     status_changes = payload.get("scenario_status_vs_baseline")
     if isinstance(status_changes, Mapping):
         for name, change in sorted(status_changes.items()):
@@ -323,6 +356,47 @@ def step_summary_markdown(payload: Mapping[str, object]) -> str:
             )
             lines.append("| --- | ---: | ---: | ---: | ---: | ---: |")
             lines.extend(join_rows)
+        chase_rows = []
+        for name in ("skolem_chase", "guarded_oracle"):
+            scenario = scenarios.get(name)
+            if not isinstance(scenario, Mapping):
+                continue
+            chase_plan = scenario.get("chase_plan")
+            if not isinstance(chase_plan, Mapping):
+                continue
+            # an empty block is skipped — unless the run diverged, which
+            # must stay visible in the summary regardless
+            if not chase_plan.get("rounds") and scenario.get("all_consistent"):
+                continue
+            speedup = scenario.get("speedup_vs_pre_change")
+            if name == "skolem_chase":
+                detail = (
+                    f"{chase_plan.get('probes', 0)} probes / "
+                    f"{chase_plan.get('probe_hits', 0)} hits"
+                )
+            else:
+                detail = (
+                    f"{chase_plan.get('types_closed', 0)} types closed / "
+                    f"{chase_plan.get('types_reused', 0)} reused"
+                )
+            chase_rows.append(
+                f"| {name} | {chase_plan.get('rounds', 0)} "
+                f"| {chase_plan.get('max_delta', 0)} "
+                f"| {detail} "
+                f"| {f'{speedup}x' if speedup else '–'}"
+                + ("" if scenario.get("all_consistent") else " (INCONSISTENT!)")
+                + " |"
+            )
+        if chase_rows:
+            lines.append("")
+            lines.append("### Chase-plan stats")
+            lines.append("")
+            lines.append(
+                "| Scenario | Delta rounds | Max delta | Detail "
+                "| Speedup vs pre-change |"
+            )
+            lines.append("| --- | ---: | ---: | --- | ---: |")
+            lines.extend(chase_rows)
     if isinstance(baseline, Mapping) and "error" in baseline:
         lines.append("")
         lines.append(f"**Baseline comparison failed:** {baseline['error']}")

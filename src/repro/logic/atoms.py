@@ -98,6 +98,7 @@ class Atom:
         "_term_set",
         "_null_set",
         "_depth",
+        "_str",
     )
 
     _interned: Dict[Tuple[Predicate, Tuple[Term, ...]], "Atom"] = {}
@@ -137,6 +138,10 @@ class Atom:
         self._term_set = None
         self._null_set = None
         self._depth = None
+        # cached __str__: the guarded chase canonicalizes types by sorting
+        # their facts on the rendered string, so each distinct fact must be
+        # rendered at most once per process, not once per visit
+        self._str = None
         cls._interned[key] = self
         return self
 
@@ -247,10 +252,15 @@ class Atom:
         return f"Atom({self.predicate.name!r}, {self.args!r})"
 
     def __str__(self) -> str:
-        if not self.args:
-            return self.predicate.name
-        inner = ", ".join(str(arg) for arg in self.args)
-        return f"{self.predicate.name}({inner})"
+        cached = self._str
+        if cached is None:
+            if not self.args:
+                cached = self.predicate.name
+            else:
+                inner = ", ".join(str(arg) for arg in self.args)
+                cached = f"{self.predicate.name}({inner})"
+            self._str = cached
+        return cached
 
 
 register_cache_clearer(Predicate._interned.clear)

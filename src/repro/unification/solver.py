@@ -305,12 +305,56 @@ def solve_match(
         yield Substitution._from_dict(dict(bindings))
         return
     buckets = _bucket(universe, frozenset(p.predicate for p in patterns))
+    per_slot = [buckets.get(pattern.predicate, ()) for pattern in patterns]
+    yield from _solve_slot_candidates(patterns, per_slot, bindings, stats)
+
+
+def solve_match_prefiltered(
+    patterns: Sequence[Atom],
+    candidate_lists: Sequence[Sequence[Atom]],
+    base: Optional[Substitution] = None,
+    stats: Optional[MatchSolverStats] = None,
+) -> Iterator[Substitution]:
+    """:func:`solve_match` with per-pattern candidate lists supplied directly.
+
+    Callers that maintain incremental per-slot candidate domains (the naive
+    Skolem-chase reference keeps one list per rule body atom, appended as new
+    facts arrive) skip the per-solve bucketing and predicate scan entirely.
+    Each candidate list may be a superset of the true matches of its pattern
+    — candidates are still verified and filtered before the search — but must
+    only contain atoms of the pattern's predicate.  Like :func:`solve_match`,
+    the lists are snapshotted when the generator starts, so appends made
+    while solutions are being pulled are not observed by this solve.
+    """
+    stats = stats or GLOBAL_MATCH_SOLVER_STATS
+    stats.solves += 1
+    bindings: Dict[Variable, Term] = dict(base.items()) if base else {}
+    if not patterns:
+        stats.solutions += 1
+        yield Substitution._from_dict(dict(bindings))
+        return
+    yield from _solve_slot_candidates(patterns, candidate_lists, bindings, stats)
+
+
+def _solve_slot_candidates(
+    patterns: Sequence[Atom],
+    per_slot: Sequence[Sequence[Atom]],
+    bindings: Dict[Variable, Term],
+    stats: MatchSolverStats,
+) -> Iterator[Substitution]:
+    """Shared tail of the subset-matching solvers (see :func:`solve_match`).
+
+    Filters each slot's raw candidates against the pre-seeded bindings, runs
+    the per-variable domain-intersection fixpoint, and hands the surviving
+    slots to the search.  The candidate snapshots are taken here, in the
+    generator prologue, before any solution is yielded.
+    """
     # initial candidate lists, filtered against the pre-seeded bindings
     trail: List[Variable] = []
     candidates: List[List[Atom]] = []
-    for pattern in patterns:
+    for pattern, raw in zip(patterns, per_slot):
         kept: List[Atom] = []
-        for target in buckets.get(pattern.predicate, ()):
+        for target in raw:
             mark = len(trail)
             if _extend_atom(pattern, target, bindings, trail):
                 kept.append(target)

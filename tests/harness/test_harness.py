@@ -178,6 +178,103 @@ class TestPerfCapture:
             assert row["delta_facts"] >= 1
             assert row["base_facts"] + row["delta_facts"] <= row["output_facts"]
 
+    def test_skolem_chase_scenario(self):
+        from repro.harness.perfcapture import capture_skolem_chase
+
+        payload = capture_skolem_chase(
+            suite_size=2, max_axioms=14, fact_count=50, repeats=1
+        )
+        assert payload["rows"], "no chase input measured"
+        assert payload["all_consistent"], (
+            "semi-naive chase diverged from the naive reference"
+        )
+        assert payload["status"] == "completed"
+        assert payload["speedup_vs_pre_change"] is not None
+        chase_plan = payload["chase_plan"]
+        assert chase_plan["rounds"] > 0
+        assert chase_plan["probes"] > 0
+        assert chase_plan["delta_facts"] > 0
+        for row in payload["rows"]:
+            assert row["output_facts"] >= row["input_facts"]
+
+    def test_guarded_oracle_scenario(self):
+        from repro.harness.perfcapture import capture_guarded_oracle
+
+        payload = capture_guarded_oracle(suite_size=2, max_axioms=14, fact_count=30)
+        assert payload["rows"], "no oracle input measured"
+        assert payload["all_consistent"], (
+            "worklist engine diverged from the recursive reference"
+        )
+        assert payload["status"] == "completed"
+        assert payload["speedup_vs_pre_change"] is not None
+        chase_plan = payload["chase_plan"]
+        assert chase_plan["types_closed"] > 0
+        assert chase_plan["rounds"] > 0
+
+    def test_chase_blocks_render_in_reports(self):
+        from repro.harness.reports import perf_report, step_summary_markdown
+
+        payload = {
+            "scale": "smoke",
+            "wall_seconds": 1.0,
+            "scenarios": {
+                "skolem_chase": {
+                    "wall_seconds": 0.5,
+                    "status": "completed",
+                    "speedup_vs_pre_change": 7.5,
+                    "all_consistent": True,
+                    "chase_plan": {
+                        "rounds": 4,
+                        "max_delta": 12,
+                        "probes": 100,
+                        "probe_hits": 150,
+                    },
+                },
+                "guarded_oracle": {
+                    "wall_seconds": 0.5,
+                    "status": "completed",
+                    "speedup_vs_pre_change": 2.5,
+                    "all_consistent": False,
+                    "chase_plan": {
+                        "rounds": 6,
+                        "max_delta": 9,
+                        "types_closed": 11,
+                        "types_reused": 40,
+                        "imports": 3,
+                    },
+                },
+            },
+        }
+        text = perf_report(payload)
+        assert "7.5x faster than the naive loop" in text
+        assert "2.5x faster than tree re-walks" in text
+        assert "INCONSISTENT" in text  # the guarded block must surface it
+        markdown = step_summary_markdown(payload)
+        assert "Chase-plan stats" in markdown
+        assert "| skolem_chase | 4 | 12 |" in markdown
+        assert "11 types closed / 40 reused" in markdown
+
+    def test_inconsistent_run_renders_even_without_a_speedup(self):
+        # a diverged run whose ratio came out falsy (None/0.0) must still
+        # surface the INCONSISTENT warning in both report formats
+        from repro.harness.reports import perf_report, step_summary_markdown
+
+        payload = {
+            "scale": "smoke",
+            "wall_seconds": 1.0,
+            "scenarios": {
+                "skolem_chase": {
+                    "wall_seconds": 0.5,
+                    "status": "completed",
+                    "speedup_vs_pre_change": None,
+                    "all_consistent": False,
+                    "chase_plan": {"rounds": 0, "max_delta": 0, "probes": 0},
+                },
+            },
+        }
+        assert "INCONSISTENT" in perf_report(payload)
+        assert "INCONSISTENT" in step_summary_markdown(payload)
+
     def test_compare_captures_reports_ratios(self):
         from repro.harness.perfcapture import compare_captures
 
