@@ -28,6 +28,7 @@ from .datalog import (
     FactStore,
     MaterializationResult,
     ReasoningSession,
+    RetractionResult,
     evaluate_query,
     materialize,
     parse_query,
@@ -73,6 +74,7 @@ __all__ = [
     "MaterializationResult",
     "Predicate",
     "ReasoningSession",
+    "RetractionResult",
     "RewritingResult",
     "RewritingSettings",
     "Rule",

@@ -18,8 +18,10 @@ saturation.
 **Serve** — :meth:`KnowledgeBase.session` opens a
 :class:`~repro.datalog.session.ReasoningSession` holding a live
 materialization: ``add_facts`` propagates deltas semi-naively without
-re-materializing, ``answer``/``answer_many`` evaluate queries against the
-live fixpoint, ``snapshot`` captures an immutable result.
+re-materializing, ``retract_facts`` un-asserts base facts by DRed
+(delete/re-derive) without rebuilding, ``answer``/``answer_many`` evaluate
+queries against the live fixpoint, ``snapshot`` captures an immutable
+result.
 
 One-shot use::
 
@@ -33,6 +35,7 @@ Session use::
     kb = KnowledgeBase.load("cim.kb.json")
     session = kb.session(initial_facts)
     session.add_facts(delta)                  # incremental, not from scratch
+    session.retract_facts(stale)              # DRed unwind, not a rebuild
     session.answer_many([query1, query2])
 
 The legacy one-shot helpers (:func:`answer_query`,
@@ -149,8 +152,9 @@ class KnowledgeBase:
     ) -> ReasoningSession:
         """Open a long-lived reasoning session on an initial base instance.
 
-        The session keeps the materialization alive: subsequent
-        ``add_facts`` deltas are propagated semi-naively instead of
+        The session keeps the materialization alive and bidirectional:
+        ``add_facts`` deltas are propagated semi-naively and
+        ``retract_facts`` deltas are unwound by DRed, both instead of
         re-materializing from scratch.  All sessions of this knowledge base
         share one engine, so rule plans are compiled once and reused.
         """

@@ -151,6 +151,31 @@ def _rename_fact(fact: Atom, renaming: Dict[Null, Null]) -> Atom:
     )
 
 
+class _StoredTrigger:
+    """One fired non-full trigger, remembered for delta-pivoted re-firing.
+
+    ``inherited`` accumulates the Σ-guarded subset of the parent closure seen
+    so far: the full parent scan happens once at the first firing, and every
+    later re-fire only classifies the parent's *delta*.  Because every fact
+    ever committed to the parent closure passes through exactly one delta,
+    and guardedness of a fact depends only on the fact and the trigger's head
+    terms, the accumulated set always equals what a fresh scan of the whole
+    closure would return.
+    """
+
+    __slots__ = ("head_facts", "fresh_nulls", "inherited")
+
+    def __init__(
+        self,
+        head_facts: FrozenSet[Atom],
+        fresh_nulls: FrozenSet[Null],
+        inherited: Set[Atom],
+    ) -> None:
+        self.head_facts = head_facts
+        self.fresh_nulls = fresh_nulls
+        self.inherited = inherited
+
+
 class GuardedChaseReasoner:
     """Decides fact entailment for a fixed set of GTGDs (worklist engine)."""
 
@@ -173,7 +198,7 @@ class GuardedChaseReasoner:
         self._pending: Dict[TypeKey, Set[Atom]] = {}
         self._edges: Dict[TypeKey, List[_Edge]] = {}
         self._edge_seen: Set[Tuple] = set()
-        self._triggers: Dict[TypeKey, List[Tuple[FrozenSet[Atom], FrozenSet[Null]]]] = {}
+        self._triggers: Dict[TypeKey, List[_StoredTrigger]] = {}
         self._dirty: List[TypeKey] = []
         self._dirty_set: Set[TypeKey] = set()
 
@@ -284,11 +309,28 @@ class GuardedChaseReasoner:
             # type is a function of the whole parent closure (the Σ-guarded
             # subset is copied in), not just of the trigger's body match, so
             # parent growth can enlarge the child even when no body atom is
-            # re-matched.  The pre-change engine got this by rebuilding every
-            # child from scratch each global round.
-            for head_facts, fresh_nulls in tuple(self._triggers.get(key, ())):
-                if guarded_subset(delta, head_facts, self.sigma_constants):
-                    self._build_child(key, head_facts, fresh_nulls, current, new)
+            # re-matched.  Only the *delta* is classified against the guard —
+            # the trigger carries its accumulated inheritable set, so a
+            # re-fire never re-scans the full closure (the pre-change engine
+            # rebuilt every child from the whole closure each global round).
+            for trigger in tuple(self._triggers.get(key, ())):
+                grown = [
+                    fact
+                    for fact in guarded_subset(
+                        delta, trigger.head_facts, self.sigma_constants
+                    )
+                    if fact not in trigger.inherited
+                ]
+                if grown:
+                    trigger.inherited.update(grown)
+                    self._build_child(
+                        key,
+                        trigger.head_facts,
+                        trigger.fresh_nulls,
+                        trigger.inherited,
+                        current,
+                        new,
+                    )
             # (a) full GTGDs applied inside the vertex, delta-pivoted
             for tgd in self.full_tgds:
                 for substitution in self._delta_matches(
@@ -320,27 +362,32 @@ class GuardedChaseReasoner:
         new: Set[Atom],
     ) -> None:
         """Instantiate one non-full trigger: mint its fresh nulls, remember it
-        for re-firing on parent growth, and build its child type."""
+        for re-firing on parent growth, and build its child type.  The one
+        full-closure guard scan happens here; re-fires extend the trigger's
+        accumulated inheritable set from deltas only."""
         extension = {var: self._fresh_null() for var in tgd.existential_variables}
         extended = Substitution({**dict(substitution.items()), **extension})
         head_facts = frozenset(extended.apply_atoms(tgd.head))
         fresh_nulls = frozenset(extension.values())
-        self._triggers.setdefault(key, []).append((head_facts, fresh_nulls))
-        self._build_child(key, head_facts, fresh_nulls, current, new)
+        inherited = set(guarded_subset(current, head_facts, self.sigma_constants))
+        trigger = _StoredTrigger(head_facts, fresh_nulls, inherited)
+        self._triggers.setdefault(key, []).append(trigger)
+        self._build_child(key, head_facts, fresh_nulls, inherited, current, new)
 
     def _build_child(
         self,
         key: TypeKey,
         head_facts: FrozenSet[Atom],
         fresh_nulls: FrozenSet[Null],
+        inherited: Set[Atom],
         current: Set[Atom],
         new: Set[Atom],
     ) -> None:
-        """Build (or reuse) a trigger's child type from the current parent
-        closure and import the exportable part of its closure into ``new``."""
+        """Build (or reuse) a trigger's child type from its head facts plus
+        the inheritable parent facts, and import the exportable part of the
+        child's closure into ``new``."""
         stats = self.stats
         stats.trigger_firings += 1
-        inherited = guarded_subset(current, head_facts, self.sigma_constants)
         child_type = head_facts | frozenset(inherited)
         child_key, mapping, inverse = _canonicalize(child_type)
         if not self._ensure_type(child_key):

@@ -10,7 +10,11 @@ The service-style workflow compiles once and serves many batches::
     python -m repro compile deps.gtgd -o cim.kb.json     # saturate + persist
     python -m repro load cim.kb.json                     # inspect a saved KB
     python -m repro serve-batch cim.kb.json data.facts queries.txt \
-        --delta day1.facts --delta day2.facts            # incremental session
+        --delta day1.facts --retract stale.facts \
+        --delta day2.facts                               # incremental session
+
+``--delta`` (add) and ``--retract`` (DRed un-assert) files are applied to
+the live session in the order they appear on the command line.
 
 One-shot commands::
 
@@ -50,9 +54,25 @@ PERF_SCENARIO_NAMES = (
     "fulldr_comparison",
     "end_to_end",
     "incremental_updates",
+    "churn",
     "skolem_chase",
     "guarded_oracle",
 )
+
+
+class _SessionUpdateAction(argparse.Action):
+    """Collect ``--delta``/``--retract`` as one ordered list of (op, path).
+
+    Argparse gives each option its own ``append`` list, losing the relative
+    order of mixed adds and retractions; sharing one ``dest`` keeps the
+    command line's interleaving, which is the order the session applies.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        updates = getattr(namespace, self.dest, None) or []
+        operation = "retract" if option_string == "--retract" else "add"
+        updates.append((operation, values))
+        setattr(namespace, self.dest, updates)
 
 
 def _newly_timed_out_scenarios(payload) -> "List[str]":
@@ -272,17 +292,29 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         f"{len(session)} facts in {setup:.3f}s",
         file=sys.stderr,
     )
-    for delta_path in args.delta or ():
-        delta = parse_program(Path(delta_path).read_text(encoding="utf-8")).instance
+    for operation, path in args.updates or ():
+        delta = parse_program(Path(path).read_text(encoding="utf-8")).instance
         start = time.perf_counter()
-        update = session.add_facts(delta)
-        elapsed = time.perf_counter() - start
-        print(
-            f"# delta {delta_path}: +{update.added_facts} facts, "
-            f"{update.derived_count} derived in {update.rounds} rounds "
-            f"({elapsed:.3f}s)",
-            file=sys.stderr,
-        )
+        if operation == "retract":
+            retraction = session.retract_facts(delta)
+            elapsed = time.perf_counter() - start
+            print(
+                f"# retract {path}: -{retraction.retracted_facts} facts "
+                f"({retraction.ignored_facts} ignored), "
+                f"{retraction.overdeleted} overdeleted / "
+                f"{retraction.rederived} rederived, net -{retraction.net_removed} "
+                f"in {retraction.rounds} rounds ({elapsed:.3f}s)",
+                file=sys.stderr,
+            )
+        else:
+            update = session.add_facts(delta)
+            elapsed = time.perf_counter() - start
+            print(
+                f"# delta {path}: +{update.added_facts} facts, "
+                f"{update.derived_count} derived in {update.rounds} rounds "
+                f"({elapsed:.3f}s)",
+                file=sys.stderr,
+            )
     queries = _read_queries(args.queries)
     start = time.perf_counter()
     answer_sets = session.answer_many(queries)
@@ -496,9 +528,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--delta",
-        action="append",
+        action=_SessionUpdateAction,
+        dest="updates",
         metavar="FACTS_FILE",
-        help="fact file applied incrementally to the live session (repeatable)",
+        help="fact file added incrementally to the live session (repeatable; "
+        "applied in command-line order, interleaved with --retract)",
+    )
+    serve_parser.add_argument(
+        "--retract",
+        action=_SessionUpdateAction,
+        dest="updates",
+        metavar="FACTS_FILE",
+        help="fact file of base facts to un-assert via DRed (repeatable; "
+        "applied in command-line order, interleaved with --delta)",
     )
     _add_rewriting_options(serve_parser)
     serve_parser.set_defaults(handler=_command_serve_batch)

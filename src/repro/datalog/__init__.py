@@ -4,6 +4,7 @@ from .engine import (
     DatalogEngine,
     DeltaUpdateResult,
     MaterializationResult,
+    RetractionResult,
     compiled_engine,
     materialize,
     naive_reference_fixpoint,
@@ -33,6 +34,7 @@ __all__ = [
     "PlanVariant",
     "QueryValidationError",
     "ReasoningSession",
+    "RetractionResult",
     "RulePlan",
     "boolean_query_holds",
     "compiled_engine",

@@ -23,7 +23,8 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 from ..logic.atoms import Atom, Predicate
 from ..logic.instance import Instance
 from ..logic.rules import Rule
-from ..unification.matching import match_conjunction_into_set
+from ..unification.matching import match_atom, match_conjunction_into_set
+from ..unification.solver import solve_match_prefiltered
 from .index import FactStore
 from .plan import JoinPlanStats, RulePlan
 from .program import DatalogProgram
@@ -71,6 +72,32 @@ class DeltaUpdateResult:
         return self.added_facts + self.derived_count
 
 
+@dataclass(frozen=True)
+class RetractionResult:
+    """The outcome of one incremental :meth:`DatalogEngine.retract` call.
+
+    Mirrors :class:`DeltaUpdateResult` for the deletion direction.
+    ``retracted_facts`` counts the input facts that actually were base facts
+    (and so were un-asserted); ``ignored_facts`` counts inputs skipped per
+    the retraction contract (never added, or present only as derived).
+    ``overdeleted`` is the size of the over-deletion pass's candidate set
+    (excluding the retracted facts themselves), ``rederived`` how many
+    candidates the re-derivation pass proved from the surviving facts and
+    re-admitted as derived, and ``net_removed`` the store shrinkage —
+    ``len(store_before) - len(store_after)``.
+    """
+
+    retracted_facts: int
+    ignored_facts: int
+    overdeleted: int
+    rederived: int
+    net_removed: int
+    rounds: int
+    rule_applications: int
+    #: per-call join-plan execution counters (see plan.JoinPlanStats)
+    join_stats: Optional[Dict[str, object]] = None
+
+
 class DatalogEngine:
     """Semi-naive evaluation of a Datalog program via compiled join plans.
 
@@ -84,6 +111,7 @@ class DatalogEngine:
     def __init__(self, program: DatalogProgram) -> None:
         self.program = program
         self._rules_by_body = program.rules_by_body_predicate()
+        self._rules_by_head = program.rules_by_head()
         self.join_stats = JoinPlanStats()
         self._plans: Dict[Rule, RulePlan] = {rule: RulePlan(rule) for rule in program}
 
@@ -146,10 +174,15 @@ class DatalogEngine:
         fixpoint, silently violating this method's own precondition for every
         later call.
         """
-        seed = {fact for fact in facts if fact not in store}
+        asserted = {fact for fact in facts}
+        seed = {fact for fact in asserted if fact not in store}
         added = len(seed)
         stats = JoinPlanStats()
         rounds, derived, applications = self._fixpoint_loop(store, seed, stats)
+        # assertions become base facts even when already derivable — they
+        # must survive a later retraction of their derivers (DRed contract)
+        for fact in asserted:
+            store.mark_base(fact)
         self.join_stats.merge(stats)
         return DeltaUpdateResult(
             added_facts=added,
@@ -158,6 +191,166 @@ class DatalogEngine:
             rule_applications=applications,
             join_stats=stats.snapshot(),
         )
+
+    def retract(
+        self,
+        store: FactStore,
+        facts: Instance | Iterable[Atom],
+    ) -> RetractionResult:
+        """Un-assert base facts from a store at fixpoint, DRed style.
+
+        The store is mutated in place and ends exactly where re-materializing
+        the surviving base facts from scratch would land.  Three passes:
+
+        1. **Over-deletion** — the retracted facts seed a deleted-delta that
+           is propagated through the same per-rule :class:`PlanVariant`
+           pipelines :meth:`extend` uses, pivoted on the deleted facts; every
+           head instance they (transitively) helped derive becomes a
+           candidate deletion.  Base facts are self-supported and are never
+           over-deleted.  Each round's deletions are committed only after all
+           of the round's pivots have executed, so a derivation pairing two
+           same-round deletions is still discovered through either pivot.
+        2. **Re-derivation** — every removed fact whose head matches a rule
+           whose body still holds in the shrunken store is re-proved (via the
+           shared constraint-propagating match solver) and re-admitted as
+           derived.
+        3. **Re-insertion** — the re-proved facts seed the ordinary
+           semi-naive :meth:`_fixpoint_loop`, transitively restoring removed
+           facts that depend on them.
+
+        Contract: inputs that are not in the store, or that are present only
+        as derived facts, are ignored (counted in ``ignored_facts``) — an
+        inference cannot be deleted away while its premises remain.
+        Retracting a base fact that is still derivable demotes it to derived
+        rather than removing it.
+        """
+        requested = {fact for fact in facts}
+        seeds = {fact for fact in requested if store.is_base(fact)}
+        ignored = len(requested) - len(seeds)
+        stats = JoinPlanStats()
+        size_before = len(store)
+        for fact in seeds:
+            store.unmark_base(fact)
+
+        removed: Set[Atom] = set()
+        delta = seeds
+        rounds = 0
+        applications = 0
+        while delta:
+            rounds += 1
+            removed |= delta
+            delta_by_predicate: Dict[Predicate, List[Atom]] = {}
+            for fact in delta:
+                delta_by_predicate.setdefault(fact.predicate, []).append(fact)
+            candidates: Set[Atom] = set()
+            for rule in self._rules_touching(delta_by_predicate.keys()):
+                plan = self._plans[rule]
+                for pivot, atom in enumerate(rule.body):
+                    if atom.predicate not in delta_by_predicate:
+                        continue
+                    batch = plan.variant(pivot).execute_deletion(
+                        store, delta_by_predicate, stats
+                    )
+                    if not batch.size:
+                        continue
+                    applications += batch.size
+                    for fact in plan.project_head(batch):
+                        if (
+                            fact not in removed
+                            and fact not in candidates
+                            and fact in store
+                            and not store.is_base(fact)
+                        ):
+                            candidates.add(fact)
+            for fact in delta:
+                store.remove(fact)
+            delta = candidates
+
+        # Re-derivation: a removed fact survives iff some rule body matches
+        # it over what is left.  Candidates whose alternative support itself
+        # depends on facts restored here are picked up transitively by the
+        # re-insertion loop below, so one direct pass suffices as the seed.
+        rederived_seed = self._rederivation_seed(store, removed, stats)
+        loop_rounds, _, loop_applications = self._fixpoint_loop(
+            store, rederived_seed, stats
+        )
+        rederived = sum(1 for fact in removed if fact in store)
+
+        self.join_stats.merge(stats)
+        return RetractionResult(
+            retracted_facts=len(seeds),
+            ignored_facts=ignored,
+            overdeleted=len(removed) - len(seeds),
+            rederived=rederived,
+            net_removed=size_before - len(store),
+            rounds=rounds + loop_rounds,
+            rule_applications=applications + loop_applications,
+            join_stats=stats.snapshot(),
+        )
+
+    #: below this many removed facts the goal-directed per-fact check wins
+    #: over full rule evaluations (one head-constrained solver search per
+    #: fact versus one unconstrained join per head-matching rule)
+    _REDERIVE_BATCH_THRESHOLD = 16
+
+    def _rederivation_seed(
+        self, store: FactStore, removed: Set[Atom], stats: JoinPlanStats
+    ) -> Set[Atom]:
+        """``removed ∩ T_P(remaining)`` — the facts DRed must re-admit.
+
+        Two strategies with identical results: for small ``removed`` sets,
+        each fact is checked goal-directedly (the head match pre-binds the
+        rule body, so the shared match solver searches a tiny space); for
+        large ones, every rule with removed head instances is evaluated
+        *once* over the shrunken store through its compiled non-pivoted plan
+        variant and the projected heads are intersected with ``removed`` —
+        set-at-a-time work proportional to one materialization round instead
+        of one solver search per candidate.
+        """
+        seed: Set[Atom] = set()
+        if len(removed) <= self._REDERIVE_BATCH_THRESHOLD:
+            relation_cache: Dict[Predicate, Tuple[Atom, ...]] = {}
+            for fact in removed:
+                if self._has_alternative_derivation(store, fact, relation_cache):
+                    seed.add(fact)
+            return seed
+        removed_by_predicate: Dict[Predicate, Set[Atom]] = {}
+        for fact in removed:
+            removed_by_predicate.setdefault(fact.predicate, set()).add(fact)
+        for predicate, targets in removed_by_predicate.items():
+            for rule in self._rules_by_head.get(predicate, ()):
+                pending = targets - seed
+                if not pending:
+                    break
+                plan = self._plans[rule]
+                batch = plan.variant(None).execute(store, None, stats)
+                for fact in plan.project_head(batch):
+                    if fact in pending:
+                        seed.add(fact)
+        return seed
+
+    def _has_alternative_derivation(
+        self,
+        store: FactStore,
+        fact: Atom,
+        relation_cache: Dict[Predicate, Tuple[Atom, ...]],
+    ) -> bool:
+        """Whether some rule body over the current store derives ``fact``."""
+        for rule in self._rules_by_head.get(fact.predicate, ()):
+            base = match_atom(rule.head, fact)
+            if base is None:
+                continue
+            candidate_lists = []
+            for atom in rule.body:
+                relation = relation_cache.get(atom.predicate)
+                if relation is None:
+                    relation = tuple(store.relation_facts(atom.predicate))
+                    relation_cache[atom.predicate] = relation
+                candidate_lists.append(relation)
+            witness = next(solve_match_prefiltered(rule.body, candidate_lists, base), None)
+            if witness is not None:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # helpers

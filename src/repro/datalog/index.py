@@ -8,9 +8,27 @@ The store keeps, per predicate, the set of facts plus two kinds of indexes:
 * *multi-column key indexes* (:meth:`key_index`) from a tuple of argument
   positions to a hash map ``key -> [facts]`` — the probe side of the
   compiled hash-join plans in :mod:`repro.datalog.plan`.  Key indexes are
-  built lazily on first use and maintained incrementally by :meth:`add`, so
-  a plan compiled once probes a live index across every semi-naive round
-  and delta update.
+  built lazily on first use and maintained incrementally by :meth:`add` and
+  :meth:`remove`, so a plan compiled once probes a live index across every
+  semi-naive round, delta update, and retraction.
+
+Base/derived bookkeeping (DRed support)
+---------------------------------------
+
+For incremental deletion the store distinguishes *base* facts (asserted by
+the caller — the EDB, self-supported) from *derived* facts (inferred by the
+engine).  The invariants are:
+
+* every base fact is in the store (``base_facts() ⊆ facts()``); derived
+  facts are exactly ``facts() - base_facts()``;
+* base facts are never over-deleted by :meth:`DatalogEngine.retract` — a
+  derived fact's "support" is recorded as the overapproximation *"some rule
+  body over the remaining facts derives it"*, re-checked during the
+  re-derivation pass, rather than as per-derivation counters;
+* a fact can be base *and* derivable: asserting an already-derived fact
+  marks it base (it then survives retraction of its derivers), and
+  retracting a base fact that is still derivable demotes it to derived
+  instead of deleting it.
 """
 
 from __future__ import annotations
@@ -37,7 +55,7 @@ def _key_of(args: Tuple[Term, ...], positions: Tuple[int, ...]) -> object:
 class FactStore:
     """An indexed set of ground facts."""
 
-    __slots__ = ("_by_predicate", "_position_index", "_key_indexes", "_size")
+    __slots__ = ("_by_predicate", "_position_index", "_key_indexes", "_size", "_base")
 
     def __init__(self, facts: Iterable[Atom] = ()) -> None:
         self._by_predicate: Dict[Predicate, Set[Atom]] = defaultdict(set)
@@ -49,7 +67,9 @@ class FactStore:
             Predicate, Dict[Tuple[int, ...], Dict[object, List[Atom]]]
         ] = {}
         self._size = 0
-        self.add_all(facts)
+        # facts asserted by the caller rather than inferred; see module docstring
+        self._base: Set[Atom] = set()
+        self.add_all(facts, base=True)
 
     # ------------------------------------------------------------------
     # mutation
@@ -77,13 +97,70 @@ class FactStore:
         self._size += 1
         return True
 
-    def add_all(self, facts: Iterable[Atom]) -> int:
-        """Add many facts; return how many were new."""
+    def add_all(self, facts: Iterable[Atom], base: bool = False) -> int:
+        """Add many facts; return how many were new.
+
+        With ``base=True`` every fact is also marked base — including facts
+        already present as derived, which an assertion promotes to base.
+        """
         added = 0
         for fact in facts:
             if self.add(fact):
                 added += 1
+            if base:
+                self._base.add(fact)
         return added
+
+    def mark_base(self, fact: Atom) -> bool:
+        """Mark a stored fact as base; return ``True`` if it was derived before."""
+        if fact not in self:
+            raise KeyError(f"cannot mark a fact not in the store as base: {fact}")
+        if fact in self._base:
+            return False
+        self._base.add(fact)
+        return True
+
+    def unmark_base(self, fact: Atom) -> bool:
+        """Demote a fact from base to derived; return ``True`` if it was base."""
+        if fact in self._base:
+            self._base.discard(fact)
+            return True
+        return False
+
+    def remove(self, fact: Atom) -> bool:
+        """Remove a fact, maintaining every index; return ``True`` if present.
+
+        Position-index entries and key-index buckets are trimmed (and
+        dropped when emptied) so later probes stay exact; base marking, if
+        any, is discarded with the fact.
+        """
+        relation = self._by_predicate.get(fact.predicate)
+        if relation is None or fact not in relation:
+            return False
+        relation.discard(fact)
+        args = fact.args
+        for position, term in enumerate(args):
+            entry = (fact.predicate, position, term)
+            bucket = self._position_index.get(entry)
+            if bucket is not None:
+                bucket.discard(fact)
+                if not bucket:
+                    del self._position_index[entry]
+        key_indexes = self._key_indexes.get(fact.predicate)
+        if key_indexes:
+            for positions, index in key_indexes.items():
+                key = _key_of(args, positions)
+                key_bucket = index.get(key)
+                if key_bucket is not None:
+                    try:
+                        key_bucket.remove(fact)
+                    except ValueError:
+                        pass
+                    if not key_bucket:
+                        del index[key]
+        self._base.discard(fact)
+        self._size -= 1
+        return True
 
     # ------------------------------------------------------------------
     # lookup
@@ -100,6 +177,23 @@ class FactStore:
 
     def facts(self) -> FrozenSet[Atom]:
         return frozenset(self)
+
+    def is_base(self, fact: Atom) -> bool:
+        """``True`` if the fact was asserted (not merely derived)."""
+        return fact in self._base
+
+    @property
+    def base_count(self) -> int:
+        return len(self._base)
+
+    @property
+    def derived_count(self) -> int:
+        """Stored facts that are not base (inferred-only)."""
+        return self._size - len(self._base)
+
+    def base_facts(self) -> FrozenSet[Atom]:
+        """The asserted (EDB) facts — what a from-scratch rebuild would start from."""
+        return frozenset(self._base)
 
     def predicates(self) -> Tuple[Predicate, ...]:
         return tuple(self._by_predicate)
@@ -180,6 +274,7 @@ class FactStore:
         clone = FactStore()
         for fact in self:
             clone.add(fact)
+        clone._base.update(self._base)
         return clone
 
     def counts_by_predicate(self) -> Dict[Predicate, int]:

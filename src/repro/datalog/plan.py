@@ -53,6 +53,9 @@ the ``end_to_end`` and ``incremental_updates`` scenarios:
 * ``empty_delta_short_circuits`` / ``empty_relation_short_circuits`` —
   variants skipped without touching the store because the pivot's delta or
   some body relation was empty;
+* ``deletion_batches`` / ``deletion_rows`` — pipelines executed pivoted on
+  a *deleted* delta during DRed over-deletion (:meth:`DatalogEngine.retract`)
+  and the candidate-deletion rows they emitted;
 * ``plans_compiled`` — distinct ``(rule, pivot)`` variants compiled over the
   engine's lifetime; this stays flat across rounds/updates because plans are
   cached and reused;
@@ -81,6 +84,8 @@ class JoinPlanStats:
         "rows_emitted",
         "empty_delta_short_circuits",
         "empty_relation_short_circuits",
+        "deletion_batches",
+        "deletion_rows",
     )
 
     def __init__(self) -> None:
@@ -90,6 +95,10 @@ class JoinPlanStats:
         self.rows_emitted = 0
         self.empty_delta_short_circuits = 0
         self.empty_relation_short_circuits = 0
+        # DRed over-deletion traffic: pipelines run pivoted on a deleted
+        # delta, and the candidate-deletion rows they emitted
+        self.deletion_batches = 0
+        self.deletion_rows = 0
 
     def merge(self, other: "JoinPlanStats") -> None:
         for name in self.__slots__:
@@ -304,6 +313,28 @@ class PlanVariant:
                 return batch
         if stats is not None:
             stats.rows_emitted += batch.size
+        return batch
+
+    def execute_deletion(
+        self,
+        store: FactStore,
+        deleted_by_predicate: Optional[Dict[Predicate, List[Atom]]],
+        stats: Optional[JoinPlanStats] = None,
+    ) -> BindingBatch:
+        """Run the pipeline pivoted on a *deleted* delta (DRed over-deletion).
+
+        The join machinery is byte-for-byte the one :meth:`execute` uses for
+        semi-naive addition — only the delta's meaning flips: rows emitted
+        here are candidate deletions (derivations that used at least one
+        deleted fact), not new derivations.  The deleted facts must still be
+        present in the store when this runs; the engine commits removals
+        only after every pivot of the round has executed, so joins pairing
+        two same-round deletions are still found.
+        """
+        batch = self.execute(store, deleted_by_predicate, stats)
+        if stats is not None:
+            stats.deletion_batches += 1
+            stats.deletion_rows += batch.size
         return batch
 
     @staticmethod

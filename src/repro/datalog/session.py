@@ -9,6 +9,10 @@ calls, so
   semi-naive delta propagation* — the fixpoint loop is seeded with the new
   facts (:meth:`DatalogEngine.extend`) instead of re-running the whole
   materialization, doing work proportional to the consequences of the delta;
+* ``retract_facts(delta)`` un-asserts base facts by DRed (delete/re-derive,
+  :meth:`DatalogEngine.retract`): an over-deletion pass pivots the same
+  compiled join plans on the deleted delta, then a re-derivation pass
+  re-proves survivors — sessions shrink as cheaply as they grow;
 * ``answer(query)`` / ``answer_many(queries)`` evaluate existential-free
   conjunctive queries against the live materialization with no per-call
   setup; and
@@ -32,6 +36,7 @@ from .engine import (
     DatalogEngine,
     DeltaUpdateResult,
     MaterializationResult,
+    RetractionResult,
     compiled_engine,
 )
 from .index import FactStore
@@ -62,8 +67,14 @@ class ReasoningSession:
         self._rounds = initial.rounds
         self._derived = initial.derived_count
         self._applications = initial.rule_applications
-        self._added_facts = len(initial) - initial.derived_count
+        # counted directly from the store's base bookkeeping, not by
+        # subtracting derived_count from the store size: the subtraction
+        # miscounts duplicated inputs and goes stale once retraction shrinks
+        # the store
+        self._added_facts = initial.store.base_count
+        self._retracted_facts = 0
         self._updates = 0
+        self._retractions = 0
         self._join_stats = JoinPlanStats.merge_snapshot({}, initial.join_stats)
 
     # ------------------------------------------------------------------
@@ -75,7 +86,7 @@ class ReasoningSession:
 
     @property
     def store(self) -> FactStore:
-        """The live store (mutated by :meth:`add_facts`); see :meth:`snapshot`."""
+        """The live store (mutated by :meth:`add_facts`/:meth:`retract_facts`)."""
         return self._store
 
     @property
@@ -84,14 +95,39 @@ class ReasoningSession:
         return self._updates
 
     @property
+    def retraction_count(self) -> int:
+        """Number of :meth:`retract_facts` calls served so far."""
+        return self._retractions
+
+    @property
     def derived_count(self) -> int:
-        """Total facts inferred over the session's lifetime."""
+        """Total facts inferred over the session's lifetime.
+
+        A lifetime counter: it never decreases, even when retraction later
+        removes some of those inferences again.  The live store composition
+        is :attr:`base_fact_count` plus ``len(session) - base_fact_count``.
+        """
         return self._derived
 
     @property
     def added_facts(self) -> int:
-        """Total input facts accepted (initial instance plus all deltas)."""
+        """Total input facts accepted (initial instance plus all deltas).
+
+        Lifetime counter, tracked directly from the engine's per-call
+        reports; see :attr:`base_fact_count` for the live number of
+        currently-asserted facts.
+        """
         return self._added_facts
+
+    @property
+    def retracted_facts(self) -> int:
+        """Total base facts un-asserted over the session's lifetime."""
+        return self._retracted_facts
+
+    @property
+    def base_fact_count(self) -> int:
+        """Currently-asserted base facts (survivors of every add/retract)."""
+        return self._store.base_count
 
     @property
     def join_stats(self) -> dict:
@@ -137,6 +173,30 @@ class ReasoningSession:
     def add_fact(self, fact: Atom) -> DeltaUpdateResult:
         """Convenience wrapper for a single-fact delta."""
         return self.add_facts((fact,))
+
+    def retract_facts(self, facts: Instance | Iterable[Atom]) -> RetractionResult:
+        """Un-assert base facts and unwind their consequences incrementally.
+
+        Runs DRed (delete/re-derive) through the same compiled join plans as
+        :meth:`add_facts` — see :meth:`DatalogEngine.retract` for the passes
+        and the resulting :class:`RetractionResult` counters.  The contract
+        for inputs that cannot be retracted: facts never added and facts
+        present only as derivations are *ignored* (reported via
+        ``ignored_facts``), never an error — retraction removes assertions,
+        and whatever stays entailed by the surviving assertions stays in the
+        store.
+        """
+        result = self._engine.retract(self._store, facts)
+        self._rounds += result.rounds
+        self._applications += result.rule_applications
+        self._retracted_facts += result.retracted_facts
+        self._retractions += 1
+        JoinPlanStats.merge_snapshot(self._join_stats, result.join_stats)
+        return result
+
+    def retract_fact(self, fact: Atom) -> RetractionResult:
+        """Convenience wrapper for a single-fact retraction."""
+        return self.retract_facts((fact,))
 
     # ------------------------------------------------------------------
     # query answering
@@ -185,5 +245,5 @@ class ReasoningSession:
     def __repr__(self) -> str:
         return (
             f"ReasoningSession({len(self.program)} rules, {len(self._store)} facts, "
-            f"{self._updates} updates)"
+            f"{self._updates} updates, {self._retractions} retractions)"
         )

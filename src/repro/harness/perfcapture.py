@@ -9,7 +9,10 @@ times, clauses generated/retained, the subsumption hit rate, and the
 interning hit rate.  The ``skolem_chase`` and ``guarded_oracle`` scenarios
 additionally track the chase oracles, each measuring its delta-driven engine
 against the retained pre-change loop in the same process (recorded as
-``speedup_vs_pre_change`` with a ``chase_plan`` stats block).  Every future
+``speedup_vs_pre_change`` with a ``chase_plan`` stats block), and the
+``churn`` scenario drives interleaved add/retract streams through a live
+session, checking every op against full re-materialization and recording
+the DRed counters in a ``dred`` stats block.  Every future
 PR reruns the capture and compares against the recorded trajectory; see the
 "Recording performance" section of ROADMAP.md.
 
@@ -65,6 +68,7 @@ SCENARIO_NAMES: Tuple[str, ...] = (
     "fulldr_comparison",
     "end_to_end",
     "incremental_updates",
+    "churn",
     "skolem_chase",
     "guarded_oracle",
 )
@@ -445,6 +449,163 @@ def capture_incremental_updates(
     }
 
 
+def capture_churn(
+    suite_size: int = 6,
+    max_axioms: int = 60,
+    top_k: int = 3,
+    fact_count: int = 2000,
+    churn_fraction: float = 0.01,
+    op_count: int = 8,
+    repeats: int = 3,
+    timeout_seconds: float = 8.0,
+) -> Dict[str, object]:
+    """Interleaved add/retract churn: DRed sessions vs full re-materialization.
+
+    For each instance an interleaved stream of ``op_count`` updates
+    (alternating ``add_facts`` / ``retract_facts`` batches of
+    ``churn_fraction`` of the instance) is applied to one live
+    :class:`ReasoningSession` and, op by op, compared against
+    re-materializing the *surviving* base facts from scratch — the cost the
+    one-shot API pays to honor the same retraction.  Every op's fixpoint is
+    checked for equality with the rebuild (feeding ``all_consistent``), so
+    the recorded speedup is of two provably identical maintenance paths.
+    The ``dred`` block accumulates the retraction-side counters: base facts
+    retracted, candidates over-deleted, survivors re-derived, net facts
+    removed, and over-deletion/re-derivation rounds.
+    """
+    from ..datalog import DatalogProgram, ReasoningSession, materialize
+    from ..workloads.instances import generate_instance
+    from ..workloads.ontology_suite import generate_suite
+
+    settings = RewritingSettings(timeout_seconds=timeout_seconds)
+    wall_start = time.perf_counter()
+    suite = generate_suite(
+        count=suite_size, seed=2022, min_axioms=12, max_axioms=max_axioms
+    )
+    completed = []
+    all_completed = True
+    for item in suite:
+        result = rewrite(item.tgds, algorithm="exbdr", settings=settings)
+        all_completed = all_completed and result.completed
+        if result.completed:
+            completed.append((item, result))
+    completed.sort(key=lambda pair: pair[1].output_size, reverse=True)
+    rows = []
+    incremental_total = 0.0
+    full_total = 0.0
+    all_consistent = True
+    dred_totals = {
+        "retracted": 0,
+        "overdeleted": 0,
+        "rederived": 0,
+        "net_removed": 0,
+        "rounds": 0,
+    }
+    for item, rewriting in completed[:top_k]:
+        program = DatalogProgram(rewriting.datalog_rules)
+        instance = generate_instance(
+            item.tgds,
+            fact_count=fact_count,
+            constant_count=max(50, fact_count // 10),
+            seed=int(item.identifier),
+        )
+        facts = sorted(instance, key=str)
+        chunk = max(1, int(len(facts) * churn_fraction))
+        add_ops = max(1, op_count // 2)
+        retract_ops = max(1, op_count - add_ops)
+        held_out = facts[-chunk * add_ops :]
+        base = facts[: -chunk * add_ops]
+        # the op stream: alternate adding held-out chunks with retracting
+        # chunks of the initial base facts (the streams are disjoint)
+        ops: List[Tuple[str, List]] = []
+        for index in range(max(add_ops, retract_ops)):
+            if index < add_ops:
+                ops.append(("add", held_out[index * chunk : (index + 1) * chunk]))
+            if index < retract_ops:
+                ops.append(("retract", base[index * chunk : (index + 1) * chunk]))
+        incremental_seconds = None
+        full_seconds = None
+        instance_consistent = True
+        instance_dred = None
+        for _ in range(max(1, repeats)):
+            session = ReasoningSession(program, base)  # setup not timed
+            survivors = list(base)
+            survivor_set = set(base)
+            repeat_incremental = 0.0
+            repeat_full = 0.0
+            repeat_dred = dict.fromkeys(dred_totals, 0)
+            for op, batch in ops:
+                start = time.perf_counter()
+                if op == "add":
+                    session.add_facts(batch)
+                else:
+                    result = session.retract_facts(batch)
+                    repeat_dred["retracted"] += result.retracted_facts
+                    repeat_dred["overdeleted"] += result.overdeleted
+                    repeat_dred["rederived"] += result.rederived
+                    repeat_dred["net_removed"] += result.net_removed
+                    repeat_dred["rounds"] += result.rounds
+                repeat_incremental += time.perf_counter() - start
+                # the one-shot cost of the same update: rebuild from the
+                # surviving base facts
+                if op == "add":
+                    added = [fact for fact in batch if fact not in survivor_set]
+                    survivors.extend(added)
+                    survivor_set.update(added)
+                else:
+                    removed = set(batch)
+                    survivors = [f for f in survivors if f not in removed]
+                    survivor_set -= removed
+                start = time.perf_counter()
+                rebuilt = materialize(program, survivors)
+                repeat_full += time.perf_counter() - start
+                if session.facts() != rebuilt.facts():  # not timed
+                    instance_consistent = False
+            if incremental_seconds is None or repeat_incremental < incremental_seconds:
+                incremental_seconds = repeat_incremental
+            if full_seconds is None or repeat_full < full_seconds:
+                full_seconds = repeat_full
+            instance_dred = repeat_dred  # identical across repeats
+        for key, value in instance_dred.items():
+            dred_totals[key] += value
+        all_consistent = all_consistent and instance_consistent
+        incremental_total += incremental_seconds
+        full_total += full_seconds
+        rows.append(
+            {
+                "input_id": item.identifier,
+                "rule_count": rewriting.output_size,
+                "base_facts": len(base),
+                "ops": len(ops),
+                "chunk_facts": chunk,
+                "incremental_seconds": round(incremental_seconds, 6),
+                "full_seconds": round(full_seconds, 6),
+                "speedup": round(full_seconds / incremental_seconds, 2)
+                if incremental_seconds
+                else None,
+                "consistent": instance_consistent,
+            }
+        )
+    return {
+        "wall_seconds": round(time.perf_counter() - wall_start, 6),
+        "status": STATUS_COMPLETED if all_completed else STATUS_TIMED_OUT,
+        "fact_count": fact_count,
+        "churn_fraction": churn_fraction,
+        "op_count": op_count,
+        "repeats": max(1, repeats),
+        "rows": rows,
+        "dred": dred_totals,
+        "incremental_seconds": round(incremental_total, 6),
+        "full_rematerialize_seconds": round(full_total, 6),
+        "speedup_churn_vs_full": round(full_total / incremental_total, 2)
+        if incremental_total
+        else None,
+        # deliberately False when nothing completed: an empty measurement
+        # must not read as "verified consistent" downstream (CI asserts this)
+        "all_consistent": bool(rows) and all_consistent,
+    }
+
+
 def _chase_suite_inputs(suite_size: int, max_axioms: int, fact_count: int):
     """The shared workload of the chase scenarios: suite items + instances."""
     from ..workloads.instances import generate_instance
@@ -727,6 +888,10 @@ def capture_perf(
             "incremental_updates": lambda: capture_incremental_updates(
                 suite_size=2, max_axioms=24, top_k=1, fact_count=1000, repeats=2
             ),
+            "churn": lambda: capture_churn(
+                suite_size=2, max_axioms=24, top_k=1, fact_count=600, op_count=4,
+                repeats=1,
+            ),
             "skolem_chase": lambda: capture_skolem_chase(
                 suite_size=2, max_axioms=14, fact_count=60, repeats=1
             ),
@@ -740,6 +905,7 @@ def capture_perf(
             "fulldr_comparison": capture_fulldr_comparison,
             "end_to_end": capture_end_to_end,
             "incremental_updates": capture_incremental_updates,
+            "churn": capture_churn,
             "skolem_chase": capture_skolem_chase,
             "guarded_oracle": capture_guarded_oracle,
         }

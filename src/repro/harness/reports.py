@@ -201,6 +201,24 @@ def perf_report(payload: Mapping[str, object]) -> str:
                 f"re-materialization"
                 + ("" if incremental.get("all_consistent") else " (INCONSISTENT!)")
             )
+        churn = scenarios.get("churn")
+        # render whenever there is a speedup to report OR a divergence to
+        # flag — an inconsistent run must never lose its warning
+        if isinstance(churn, Mapping) and (
+            churn.get("speedup_churn_vs_full")
+            or churn.get("all_consistent") is False
+        ):
+            dred = churn.get("dred", {})
+            lines.append(
+                f"churn: interleaved add/retract "
+                f"{churn.get('speedup_churn_vs_full') or '?'}x faster than full "
+                f"re-materialization (DRed: {dred.get('retracted', 0)} retracted, "
+                f"{dred.get('overdeleted', 0)} overdeleted, "
+                f"{dred.get('rederived', 0)} rederived, "
+                f"net -{dred.get('net_removed', 0)} in "
+                f"{dred.get('rounds', 0)} rounds)"
+                + ("" if churn.get("all_consistent") else " (INCONSISTENT!)")
+            )
         for name in ("end_to_end", "incremental_updates"):
             scenario = scenarios.get(name)
             if not isinstance(scenario, Mapping):
@@ -333,6 +351,34 @@ def step_summary_markdown(payload: Mapping[str, object]) -> str:
                 "faster than full re-materialization"
                 + ("." if incremental.get("all_consistent") else " (INCONSISTENT!).")
             )
+        churn = scenarios.get("churn")
+        if isinstance(churn, Mapping) and (
+            churn.get("speedup_churn_vs_full")
+            or churn.get("all_consistent") is False
+        ):
+            lines.append("")
+            lines.append(
+                f"Interleaved add/retract churn is "
+                f"**{churn.get('speedup_churn_vs_full') or '?'}x** faster than full "
+                "re-materialization"
+                + ("." if churn.get("all_consistent") else " (INCONSISTENT!).")
+            )
+            dred = churn.get("dred")
+            if isinstance(dred, Mapping):
+                lines.append("")
+                lines.append("### DRed stats (churn)")
+                lines.append("")
+                lines.append(
+                    "| Retracted | Overdeleted | Rederived | Net removed | Rounds |"
+                )
+                lines.append("| ---: | ---: | ---: | ---: | ---: |")
+                lines.append(
+                    f"| {dred.get('retracted', 0)} "
+                    f"| {dred.get('overdeleted', 0)} "
+                    f"| {dred.get('rederived', 0)} "
+                    f"| {dred.get('net_removed', 0)} "
+                    f"| {dred.get('rounds', 0)} |"
+                )
         join_rows = []
         for name in ("end_to_end", "incremental_updates"):
             scenario = scenarios.get(name)

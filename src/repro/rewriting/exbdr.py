@@ -17,21 +17,27 @@ Candidate selection follows Proposition 5.7: a guard of ``τ'`` always
 participates, so the implementation picks a guard ``G'``, unifies it with a
 head atom of ``τ``, computes the *side atoms* forced to participate, and then
 enumerates counterpart head atoms for them using the positional
-compatibility filter described after Proposition 5.7.
+compatibility filter described after Proposition 5.7.  The surviving
+counterpart lists are searched through the shared constraint-propagating
+solver (:func:`repro.unification.solver.solve_unification_slots`): one
+X-unifier is extended slot by slot with forward checking over the remaining
+slots, instead of attempting a full MGU per cartesian combination, and the
+per-clause head-atom predicate buckets feeding those lists are cached across
+premise pairs and saturation rounds.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..indexing.unification_index import TGDUnificationIndex
-from ..logic.atoms import Atom
+from ..logic.atoms import Atom, Predicate
 from ..logic.rules import Rule, datalog_tgd_to_rule
 from ..logic.substitution import Substitution
 from ..logic.terms import Variable
 from ..logic.tgd import TGD, head_normalize
 from ..unification.mgu import restricted_mgu
+from ..unification.solver import solve_unification_slots
 from .base import InferenceRule, RewritingSettings
 from .lookahead import tgd_result_is_dead_end
 from .registry import AlgorithmCapabilities, register_algorithm
@@ -57,6 +63,13 @@ class ExbDR(InferenceRule[TGD]):
         #: cap on the number of side-atom counterpart combinations explored per
         #: guard choice; prevents pathological blow-ups on adversarial inputs
         self.max_combinations = 100_000
+        # per-clause head atoms bucketed by predicate: the counterpart domain
+        # of every guard/side-atom pairing.  Head tuples are interned, so the
+        # buckets built for a clause are reused for every partner it is
+        # combined with, across all saturation rounds.
+        self._head_buckets: Dict[
+            Tuple[Atom, ...], Dict[Predicate, Tuple[Atom, ...]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # InferenceRule hooks
@@ -96,17 +109,28 @@ class ExbDR(InferenceRule[TGD]):
     # ------------------------------------------------------------------
     # the inference proper
     # ------------------------------------------------------------------
+    def _head_bucket(self, head: Tuple[Atom, ...]) -> Dict[Predicate, Tuple[Atom, ...]]:
+        buckets = self._head_buckets.get(head)
+        if buckets is None:
+            grouped: Dict[Predicate, List[Atom]] = {}
+            for atom in head:
+                grouped.setdefault(atom.predicate, []).append(atom)
+            buckets = {
+                predicate: tuple(atoms) for predicate, atoms in grouped.items()
+            }
+            self._head_buckets[head] = buckets
+        return buckets
+
     def _combine(self, non_full: TGD, full: TGD) -> List[TGD]:
         """All ExbDR consequences of the ordered pair (non-full τ, full τ')."""
         full = full.rename_apart("r")
         existential = non_full.existential_variables
         universal = non_full.universal_variables
+        head_buckets = self._head_bucket(non_full.head)
         results: List[TGD] = []
         seen: Set[TGD] = set()
         for guard in full.guards():
-            for head_guard in non_full.head:
-                if head_guard.predicate != guard.predicate:
-                    continue
+            for head_guard in head_buckets.get(guard.predicate, ()):
                 sigma = restricted_mgu((head_guard,), (guard,), existential)
                 if sigma is None:
                     continue
@@ -122,7 +146,12 @@ class ExbDR(InferenceRule[TGD]):
                     atom for atom in full.body if atom not in set(side_atoms)
                 )
                 candidate_lists = [
-                    self._counterparts(atom, non_full.head, sigma, existential)
+                    self._counterparts(
+                        atom,
+                        head_buckets.get(atom.predicate, ()),
+                        sigma,
+                        existential,
+                    )
                     for atom in side_atoms
                 ]
                 if any(not candidates for candidates in candidate_lists):
@@ -132,12 +161,18 @@ class ExbDR(InferenceRule[TGD]):
                     combination_count *= len(candidates)
                 if combination_count > self.max_combinations:
                     candidate_lists = [candidates[:4] for candidates in candidate_lists]
-                for combination in itertools.product(*candidate_lists):
+                # slot-by-slot selection under one incrementally extended
+                # X-unifier with forward checking, instead of a cartesian
+                # product with one full MGU attempt per combination; the
+                # solver yields in product order, so `seen`/`results` are
+                # populated exactly as before
+                for _combination, theta in solve_unification_slots(
+                    side_atoms, candidate_lists, existential
+                ):
                     derived = self._derive(
                         non_full,
                         full,
-                        side_atoms,
-                        combination,
+                        theta,
                         rest_atoms,
                         existential,
                         universal,
@@ -179,12 +214,14 @@ class ExbDR(InferenceRule[TGD]):
         sigma: Substitution,
         existential: frozenset,
     ) -> List[Atom]:
-        """Candidate head atoms for a side atom (positional filter of Section 5.1)."""
+        """Candidate head atoms for a side atom (positional filter of Section 5.1).
+
+        ``head_atoms`` is the side atom's predicate bucket of the non-full
+        clause's (cached) head grouping — same-predicate by construction.
+        """
         image = sigma.apply_atom(body_atom)
         candidates: List[Atom] = []
         for head_atom in head_atoms:
-            if head_atom.predicate != body_atom.predicate:
-                continue
             head_image = sigma.apply_atom(head_atom)
             compatible = True
             for body_arg, head_arg in zip(image.args, head_image.args):
@@ -205,16 +242,17 @@ class ExbDR(InferenceRule[TGD]):
         self,
         non_full: TGD,
         full: TGD,
-        side_atoms: Tuple[Atom, ...],
-        counterparts: Tuple[Atom, ...],
+        theta: Substitution,
         rest_atoms: Tuple[Atom, ...],
         existential: frozenset,
         universal: frozenset,
     ) -> Optional[TGD]:
-        """Attempt one ExbDR inference for a fixed matching of side atoms."""
-        theta = restricted_mgu(counterparts, side_atoms, existential)
-        if theta is None:
-            return None
+        """Attempt one ExbDR inference for a fixed matching of side atoms.
+
+        ``theta`` is the ȳ-MGU of the chosen counterparts and the side atoms,
+        built incrementally by :func:`solve_unification_slots` — identical to
+        what ``restricted_mgu(counterparts, side_atoms, ȳ)`` would return.
+        """
         if self._maps_universal_into_existential(theta, universal, existential):
             return None
         new_rest = theta.apply_atoms(rest_atoms)

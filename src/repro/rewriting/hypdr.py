@@ -27,8 +27,7 @@ by subsequent saturation steps on the emitted (Skolem-free) rules.
 
 from __future__ import annotations
 
-import itertools
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..indexing.path_index import RulePathIndex
 from ..logic.atoms import Atom
@@ -61,6 +60,12 @@ class HypDR(InferenceRule[Rule]):
         #: bound on the backtracking fan-out per seed, to keep adversarial
         #: inputs from exploding a single inference step
         self.max_branches = 200_000
+        # target atom -> generator rules with a unifiable head, reused across
+        # seeds, recursion depths, and saturation rounds (atoms are interned,
+        # so recurring targets hit).  Invalidated only when a *generator*
+        # joins or leaves the index; the per-call worked_off filter is
+        # applied on top of the cached domain.
+        self._generator_cache: Dict[Atom, Tuple[Rule, ...]] = {}
 
     # ------------------------------------------------------------------
     # InferenceRule hooks
@@ -70,9 +75,13 @@ class HypDR(InferenceRule[Rule]):
 
     def register(self, clause: Rule) -> None:
         self._index.add(clause)
+        if self._is_generator(clause):
+            self._generator_cache.clear()
 
     def unregister(self, clause: Rule) -> None:
         self._index.remove(clause)
+        if self._is_generator(clause):
+            self._generator_cache.clear()
 
     def extract_datalog(self, worked_off: Iterable[Rule]) -> Tuple[Rule, ...]:
         return tuple(rule for rule in worked_off if rule.is_skolem_free)
@@ -99,11 +108,15 @@ class HypDR(InferenceRule[Rule]):
         return rule.body_is_skolem_free and not rule.head.is_function_free
 
     def _generators_for(self, atom: Atom, worked_off: Set[Rule]) -> Tuple[Rule, ...]:
-        return tuple(
-            rule
-            for rule in self._index.rules_with_unifiable_head(atom)
-            if rule in worked_off and self._is_generator(rule)
-        )
+        candidates = self._generator_cache.get(atom)
+        if candidates is None:
+            candidates = tuple(
+                rule
+                for rule in self._index.rules_with_unifiable_head(atom)
+                if self._is_generator(rule)
+            )
+            self._generator_cache[atom] = candidates
+        return tuple(rule for rule in candidates if rule in worked_off)
 
     def _hyperresolve(
         self,

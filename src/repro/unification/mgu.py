@@ -15,7 +15,7 @@ they were constants.
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, Iterable, Optional, Sequence, Tuple
+from typing import AbstractSet, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..logic.atoms import Atom
 from ..logic.substitution import Substitution
@@ -52,6 +52,7 @@ def _unify_terms(
     right: Term,
     bindings: Dict[Variable, Term],
     frozen: AbstractSet[Variable],
+    trail: Optional[List[Variable]] = None,
 ) -> None:
     left = _walk(left, bindings)
     right = _walk(right, bindings)
@@ -61,11 +62,15 @@ def _unify_terms(
         if _occurs(left, right, bindings):
             raise UnificationError(f"occurs check failed for {left} in {right}")
         bindings[left] = right
+        if trail is not None:
+            trail.append(left)
         return
     if isinstance(right, Variable) and right not in frozen:
         if _occurs(right, left, bindings):
             raise UnificationError(f"occurs check failed for {right} in {left}")
         bindings[right] = left
+        if trail is not None:
+            trail.append(right)
         return
     if isinstance(left, FunctionTerm) and isinstance(right, FunctionTerm):
         if left.symbol != right.symbol:
@@ -73,7 +78,7 @@ def _unify_terms(
                 f"cannot unify function symbols {left.symbol} and {right.symbol}"
             )
         for sub_left, sub_right in zip(left.args, right.args):
-            _unify_terms(sub_left, sub_right, bindings, frozen)
+            _unify_terms(sub_left, sub_right, bindings, frozen, trail)
         return
     raise UnificationError(f"cannot unify {left} and {right}")
 
@@ -92,6 +97,56 @@ def _to_substitution(bindings: Dict[Variable, Term]) -> Substitution:
     return Substitution._from_dict(
         {var: _resolve(term, bindings) for var, term in bindings.items()}
     )
+
+
+class IncrementalUnifier:
+    """A trail-based X-MGU built one atom pair at a time.
+
+    Slot-by-slot searches (the solver's candidate-pairing enumeration)
+    extend one shared triangular binding set per accepted pair and roll it
+    back on backtrack via :meth:`undo`, instead of re-unifying the whole
+    prefix per candidate the way a fresh :func:`mgu_atoms` call would.
+    Because pairs are processed in the same left-to-right order with the
+    same binding discipline, :meth:`substitution` after ``n`` accepted pairs
+    is exactly ``mgu_atoms(lefts, rights, frozen)`` on those pairs.
+    """
+
+    __slots__ = ("_bindings", "_trail", "_frozen")
+
+    def __init__(self, frozen_variables: AbstractSet[Variable] = _EMPTY_FROZEN) -> None:
+        self._bindings: Dict[Variable, Term] = {}
+        self._trail: List[Variable] = []
+        self._frozen = frozen_variables
+
+    def mark(self) -> int:
+        """A checkpoint to :meth:`undo` back to."""
+        return len(self._trail)
+
+    def undo(self, mark: int) -> None:
+        """Discard every binding made since the checkpoint."""
+        trail = self._trail
+        bindings = self._bindings
+        while len(trail) > mark:
+            del bindings[trail.pop()]
+
+    def unify_atoms(self, left: Atom, right: Atom) -> bool:
+        """Extend the unifier so ``θ(left) = θ(right)``; rolls back on failure."""
+        if left.predicate != right.predicate:
+            return False
+        mark = len(self._trail)
+        try:
+            for term_left, term_right in zip(left.args, right.args):
+                _unify_terms(
+                    term_left, term_right, self._bindings, self._frozen, self._trail
+                )
+        except UnificationError:
+            self.undo(mark)
+            return False
+        return True
+
+    def substitution(self) -> Substitution:
+        """The accumulated unifier as a fully resolved substitution."""
+        return _to_substitution(self._bindings)
 
 
 def mgu_atoms(

@@ -693,3 +693,82 @@ def solve_bounded_pairings(
             state.undo(trail, mark)
 
     yield from recurse(0)
+
+
+def solve_unification_slots(
+    right_atoms: Sequence[Atom],
+    candidate_lists: Sequence[Sequence[Atom]],
+    frozen_variables: FrozenSet[Variable],
+    stats: Optional[MatchSolverStats] = None,
+) -> Iterator[Tuple[Tuple[Atom, ...], Substitution]]:
+    """Enumerate per-slot candidate choices under one shared X-unifier.
+
+    Slot ``i`` picks one atom from ``candidate_lists[i]`` to unify with
+    ``right_atoms[i]``; a complete choice yields ``(choices, θ)`` where ``θ``
+    is exactly ``restricted_mgu(choices, right_atoms, frozen_variables)``.
+    This is the counterpart-selection problem of ExbDR (Definition 5.5),
+    previously enumerated as a cartesian product with one full MGU attempt
+    per combination.  Here the unifier is extended incrementally slot by
+    slot (trail-based, rolled back on backtrack) and every accepted choice
+    **forward-checks** the remaining slots: their candidate lists are
+    re-filtered under the extended unifier, and an emptied list prunes the
+    whole subtree before any deeper combination is tried.
+
+    Slots are processed in the given order and candidates in the given list
+    order, so solutions come out in the same lexicographic order as the
+    cartesian product they replace — downstream derivation order (and hence
+    saturation behavior) is unchanged.
+    """
+    stats = stats or GLOBAL_MATCH_SOLVER_STATS
+    stats.solves += 1
+    count = len(right_atoms)
+    if count == 0:
+        return
+    if any(not candidates for candidates in candidate_lists):
+        stats.empty_domain_exits += 1
+        return
+    from .mgu import IncrementalUnifier
+
+    unifier = IncrementalUnifier(frozen_variables)
+    chosen: List[Atom] = []
+
+    def search(
+        depth: int, domains: Sequence[Sequence[Atom]]
+    ) -> Iterator[Tuple[Tuple[Atom, ...], Substitution]]:
+        if depth == count:
+            stats.solutions += 1
+            yield tuple(chosen), unifier.substitution()
+            return
+        target = right_atoms[depth]
+        for candidate in domains[depth]:
+            mark = unifier.mark()
+            if not unifier.unify_atoms(candidate, target):
+                stats.domains_pruned += 1
+                continue
+            stats.nodes_expanded += 1
+            narrowed: List[Sequence[Atom]] = list(domains)
+            emptied = False
+            for later in range(depth + 1, count):
+                kept: List[Atom] = []
+                later_target = right_atoms[later]
+                for later_candidate in domains[later]:
+                    probe = unifier.mark()
+                    if unifier.unify_atoms(later_candidate, later_target):
+                        unifier.undo(probe)
+                        kept.append(later_candidate)
+                    else:
+                        stats.domains_pruned += 1
+                if not kept:
+                    emptied = True
+                    break
+                narrowed[later] = kept
+            if emptied:
+                stats.empty_domain_exits += 1
+                unifier.undo(mark)
+                continue
+            chosen.append(candidate)
+            yield from search(depth + 1, narrowed)
+            chosen.pop()
+            unifier.undo(mark)
+
+    yield from search(0, [tuple(candidates) for candidates in candidate_lists])

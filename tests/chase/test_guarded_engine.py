@@ -116,3 +116,53 @@ class TestValidation:
         exact = reasoner.entailed_base_facts(program.instance)
         bounded = skolem_chase_base_facts(program.instance, program.tgds, max_term_depth=4)
         assert exact == bounded
+
+
+class TestDeltaPivotedTriggerRefires:
+    """The stored-trigger re-fires must match the full-closure reference."""
+
+    def test_refires_grow_child_types_incrementally(self):
+        # B(?x) facts about the parent arrive over several worklist rounds,
+        # so the stored trigger for the existential must re-fire — each time
+        # growing the inheritable set by the new delta only
+        program = parse_program(
+            """
+            A(?x) -> exists ?y. r(?x, ?y), B(?y).
+            r(?x, ?y), B(?y) -> C(?x).
+            C(?x) -> B(?x).
+            B(?x) -> D(?x).
+            A(a). r(a, b). B(b).
+            """
+        )
+        from repro.chase.guarded_engine import ReferenceGuardedReasoner
+
+        worklist = GuardedChaseReasoner(program.tgds).entailed_base_facts(
+            program.instance
+        )
+        reference = ReferenceGuardedReasoner(program.tgds).entailed_base_facts(
+            program.instance
+        )
+        assert worklist == reference
+        D = Predicate("D", 1)
+        assert D(Constant("a")) in worklist
+
+    def test_ontology_suite_equivalence_with_reference(self):
+        from repro.chase.guarded_engine import ReferenceGuardedReasoner
+        from repro.workloads.instances import generate_instance
+        from repro.workloads.ontology_suite import generate_suite
+
+        suite = generate_suite(count=3, seed=13, min_axioms=8, max_axioms=16)
+        for item in suite:
+            instance = generate_instance(
+                item.tgds,
+                fact_count=30,
+                constant_count=10,
+                seed=int(item.identifier),
+            )
+            worklist = GuardedChaseReasoner(
+                item.tgds, max_types=500_000
+            ).entailed_base_facts(instance)
+            reference = ReferenceGuardedReasoner(
+                item.tgds, max_types=500_000
+            ).entailed_base_facts(instance)
+            assert worklist == reference, item.identifier

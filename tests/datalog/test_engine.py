@@ -3,7 +3,7 @@
 from repro.datalog.engine import DatalogEngine, materialize
 from repro.datalog.program import DatalogProgram
 from repro.logic.atoms import Predicate
-from repro.logic.parser import parse_program, parse_tgds
+from repro.logic.parser import parse_facts, parse_program, parse_tgds
 from repro.logic.terms import Constant
 
 Reach = Predicate("Reach", 2)
@@ -201,3 +201,106 @@ class TestSemiNaiveBookkeeping:
             Edge(a, b). Edge(b, c). Edge(c, d).
             """
         )
+
+
+CLOSURE_RULES = """
+Edge(?x, ?y) -> Reach(?x, ?y).
+Reach(?x, ?y), Edge(?y, ?z) -> Reach(?x, ?z).
+"""
+
+
+class TestRetraction:
+    """DRed (delete/re-derive) through the compiled join plans."""
+
+    def _closure_engine(self, facts):
+        program = parse_program(CLOSURE_RULES + facts)
+        engine = DatalogEngine(DatalogProgram(program.tgds))
+        result = engine.materialize(program.instance)
+        return engine, result.store
+
+    def _surviving_rebuild(self, store):
+        """The retraction contract's reference point: re-materialize the base."""
+        program = parse_program(CLOSURE_RULES)
+        return materialize(DatalogProgram(program.tgds), store.base_facts()).facts()
+
+    def test_chain_retraction_unwinds_consequences(self):
+        engine, store = self._closure_engine("Edge(a, b). Edge(b, c). Edge(c, d).")
+        result = engine.retract(store, parse_facts("Edge(b, c)."))
+        assert result.retracted_facts == 1
+        assert result.net_removed > 1  # the edge plus downstream Reach facts
+        assert Reach(a, b) in store
+        assert Reach(b, c) not in store
+        assert Reach(a, d) not in store
+        assert store.facts() == self._surviving_rebuild(store)
+
+    def test_diamond_rederives_the_surviving_path(self):
+        # two routes from a to d; deleting one must keep Reach(a, d)
+        engine, store = self._closure_engine(
+            "Edge(a, b). Edge(b, d). Edge(a, c). Edge(c, d)."
+        )
+        result = engine.retract(store, parse_facts("Edge(b, d)."))
+        assert Reach(a, d) in store
+        assert Reach(b, d) not in store
+        assert result.rederived >= 1
+        assert store.facts() == self._surviving_rebuild(store)
+
+    def test_cycle_retraction_breaks_spurious_support(self):
+        # the classic DRed trap: facts in a derivation cycle support each
+        # other, so naive counting would never remove them
+        engine, store = self._closure_engine("Edge(a, b). Edge(b, a). Edge(b, c).")
+        engine.retract(store, parse_facts("Edge(b, a)."))
+        assert Reach(b, a) not in store
+        assert Reach(a, a) not in store
+        assert Reach(a, c) in store
+        assert store.facts() == self._surviving_rebuild(store)
+
+    def test_retracting_still_derivable_fact_demotes_it(self):
+        program = parse_program(
+            "Edge(?x, ?y) -> Link(?x, ?y). Edge(a, b). Link(a, b)."
+        )
+        engine = DatalogEngine(DatalogProgram(program.tgds))
+        store = engine.materialize(program.instance).store
+        Link = Predicate("Link", 2)
+        result = engine.retract(store, [Link(a, b)])
+        # un-asserted but still entailed by Edge(a, b): stays, as derived
+        assert result.retracted_facts == 1
+        assert result.net_removed == 0
+        assert Link(a, b) in store
+        assert not store.is_base(Link(a, b))
+
+    def test_never_added_and_derived_only_inputs_are_ignored(self):
+        engine, store = self._closure_engine("Edge(a, b). Edge(b, c).")
+        size_before = len(store)
+        result = engine.retract(
+            store, [Reach(a, c), Predicate("Edge", 2)(c, d), Node(a)]
+        )
+        assert result.retracted_facts == 0
+        assert result.ignored_facts == 3
+        assert result.net_removed == 0
+        assert len(store) == size_before
+
+    def test_retract_everything_empties_the_store(self):
+        engine, store = self._closure_engine("Edge(a, b). Edge(b, c).")
+        engine.retract(store, list(store.base_facts()))
+        assert len(store) == 0
+        assert store.base_count == 0
+
+    def test_retraction_reports_join_stats(self):
+        engine, store = self._closure_engine("Edge(a, b). Edge(b, c). Edge(c, d).")
+        result = engine.retract(store, parse_facts("Edge(b, c)."))
+        assert result.join_stats is not None
+        assert result.join_stats.get("deletion_batches", 0) > 0
+
+    def test_large_retraction_uses_batched_rederivation(self):
+        # a long chain with a bypass edge: removing a middle edge over-deletes
+        # far more than _REDERIVE_BATCH_THRESHOLD facts, steering the seed
+        # computation through the set-at-a-time full-plan path
+        names = [chr(ord("a") + i) for i in range(12)]
+        edges = ". ".join(
+            f"Edge({left}, {right})" for left, right in zip(names, names[1:])
+        )
+        engine, store = self._closure_engine(f"{edges}. Edge(a, f).")
+        result = engine.retract(store, parse_facts("Edge(c, d)."))
+        assert result.overdeleted > DatalogEngine._REDERIVE_BATCH_THRESHOLD
+        assert result.rederived >= 1  # the a-f bypass re-proves a* reachability
+        assert store.facts() == self._surviving_rebuild(store)

@@ -76,3 +76,92 @@ class TestCandidateRetrieval:
     def test_unknown_predicate_yields_no_candidates(self):
         store = FactStore([R(a, b)])
         assert list(store.candidates(S(x))) == []
+
+
+class TestBaseDerivedBookkeeping:
+    def test_constructor_facts_are_base(self):
+        store = FactStore([R(a, b), S(a)])
+        assert store.is_base(R(a, b))
+        assert store.base_count == 2
+        assert store.derived_count == 0
+        assert store.base_facts() == {R(a, b), S(a)}
+
+    def test_add_defaults_to_derived(self):
+        store = FactStore()
+        store.add(R(a, b))
+        assert not store.is_base(R(a, b))
+        assert store.base_count == 0
+        assert store.derived_count == 1
+
+    def test_add_all_base_promotes_existing_derived(self):
+        store = FactStore()
+        store.add(R(a, b))
+        # asserting an already-derived fact adds nothing but promotes it
+        assert store.add_all([R(a, b)], base=True) == 0
+        assert store.is_base(R(a, b))
+        assert store.derived_count == 0
+
+    def test_mark_base_reports_promotion(self):
+        store = FactStore()
+        store.add(R(a, b))
+        assert store.mark_base(R(a, b))
+        assert not store.mark_base(R(a, b))
+
+    def test_mark_base_rejects_absent_fact(self):
+        store = FactStore()
+        with pytest.raises(KeyError):
+            store.mark_base(R(a, b))
+
+    def test_unmark_base_demotes_without_removing(self):
+        store = FactStore([R(a, b)])
+        assert store.unmark_base(R(a, b))
+        assert R(a, b) in store
+        assert not store.is_base(R(a, b))
+        assert not store.unmark_base(R(a, b))
+
+    def test_copy_preserves_base_marks(self):
+        store = FactStore([R(a, b)])
+        store.add(R(b, c))
+        clone = store.copy()
+        assert clone.is_base(R(a, b))
+        assert not clone.is_base(R(b, c))
+        clone.unmark_base(R(a, b))
+        assert store.is_base(R(a, b))
+
+
+class TestRemoval:
+    def test_remove_updates_len_and_membership(self):
+        store = FactStore([R(a, b), R(b, c)])
+        assert store.remove(R(a, b))
+        assert len(store) == 1
+        assert R(a, b) not in store
+        assert store.relation(R) == {R(b, c)}
+
+    def test_remove_absent_fact_is_a_noop(self):
+        store = FactStore([R(a, b)])
+        assert not store.remove(R(b, a))
+        assert not store.remove(S(a))
+        assert len(store) == 1
+
+    def test_remove_trims_position_index(self):
+        store = FactStore([R(a, b), R(a, c)])
+        store.remove(R(a, b))
+        assert set(store.candidates(R(a, y))) == {R(a, c)}
+        assert list(store.candidates(R(x, b))) == []
+
+    def test_remove_trims_key_index_buckets(self):
+        store = FactStore([R(a, b), R(a, c)])
+        # force a key-index bucket on position 0, then shrink it
+        # (single-column keys are the bare term, see _key_of)
+        assert set(store.key_index(R, (0,)).get(a, ())) == {R(a, b), R(a, c)}
+        store.remove(R(a, b))
+        assert set(store.key_index(R, (0,)).get(a, ())) == {R(a, c)}
+        store.remove(R(a, c))
+        assert store.key_index(R, (0,)).get(a) is None
+
+    def test_remove_discards_base_mark(self):
+        store = FactStore([R(a, b)])
+        store.remove(R(a, b))
+        assert store.base_count == 0
+        store.add(R(a, b))
+        assert not store.is_base(R(a, b))

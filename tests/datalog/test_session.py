@@ -139,3 +139,96 @@ class TestParseQuery:
 
         with pytest.raises(ParseError):
             parse_query("Reach(?x, ?y) extra")
+
+
+class TestRetractionCorrectness:
+    def test_retract_matches_full_rematerialization(self):
+        session = _closure_session("Edge(a, b). Edge(b, c). Edge(c, d).")
+        session.retract_facts(parse_facts("Edge(b, c)."))
+        program = parse_program(CLOSURE)
+        full = materialize(
+            DatalogProgram(program.tgds), parse_facts("Edge(a, b). Edge(c, d).")
+        )
+        assert session.facts() == full.facts()
+
+    def test_add_then_retract_round_trips(self):
+        session = _closure_session("Edge(a, b). Edge(b, c).")
+        before = session.facts()
+        delta = parse_facts("Edge(c, d). Edge(d, e).")
+        session.add_facts(delta)
+        session.retract_facts(delta)
+        assert session.facts() == before
+
+    def test_interleaved_churn_matches_rebuild(self):
+        session = _closure_session("Edge(a, b). Edge(b, c).")
+        session.add_facts(parse_facts("Edge(c, d)."))
+        session.retract_facts(parse_facts("Edge(a, b)."))
+        session.add_facts(parse_facts("Edge(d, a)."))
+        program = parse_program(CLOSURE)
+        survivors = parse_facts("Edge(b, c). Edge(c, d). Edge(d, a).")
+        full = materialize(DatalogProgram(program.tgds), survivors)
+        assert session.facts() == full.facts()
+
+    def test_retraction_contract_ignores_unretractable_inputs(self):
+        session = _closure_session("Edge(a, b). Edge(b, c).")
+        result = session.retract_facts(
+            parse_facts("Reach(a, c). Edge(x, y).")  # derived-only / never added
+        )
+        assert result.retracted_facts == 0
+        assert result.ignored_facts == 2
+        assert session.facts() == _closure_session("Edge(a, b). Edge(b, c).").facts()
+
+
+class TestRetractionBookkeeping:
+    def test_added_facts_counts_base_not_subtraction(self):
+        # regression: duplicated inputs used to inflate the old
+        # len(initial) - derived_count bookkeeping
+        session = _closure_session("Edge(a, b). Edge(a, b). Edge(b, c).")
+        assert session.added_facts == 2
+        assert session.base_fact_count == 2
+
+    def test_added_facts_with_already_derivable_inputs(self):
+        # an input fact the rules also derive is still an accepted assertion
+        program = parse_program(
+            "Edge(?x, ?y) -> Link(?x, ?y)."
+        )
+        session = ReasoningSession(
+            program.tgds, parse_facts("Edge(a, b). Link(a, b).")
+        )
+        assert session.added_facts == 2
+        assert session.base_fact_count == 2
+        # the rule re-proves the asserted Link fact, so nothing new is
+        # derived and the store is exactly the two assertions
+        assert len(session) == 2
+
+    def test_counters_stay_consistent_after_retraction(self):
+        # regression: the subtraction-based added_facts went stale (or
+        # negative) once retraction shrank the store
+        session = _closure_session("Edge(a, b). Edge(b, c). Edge(c, d).")
+        added_before = session.added_facts
+        session.retract_facts(parse_facts("Edge(b, c)."))
+        assert session.added_facts == added_before  # lifetime counter
+        assert session.retracted_facts == 1
+        assert session.retraction_count == 1
+        assert session.base_fact_count == 2
+        assert session.added_facts >= 0
+        assert len(session) == len(session.facts())
+
+    def test_retract_fact_convenience_and_repr(self):
+        session = _closure_session()
+        session.retract_fact(parse_fact("Edge(b, c)."))
+        assert session.retraction_count == 1
+        assert "1 retractions" in repr(session)
+
+    def test_snapshot_is_immune_to_later_retractions(self):
+        session = _closure_session("Edge(a, b). Edge(b, c).")
+        snapshot = session.snapshot()
+        session.retract_facts(parse_facts("Edge(a, b)."))
+        assert parse_fact("Edge(a, b).") in snapshot.store.facts()
+
+    def test_answers_reflect_retraction(self):
+        session = _closure_session("Edge(a, b). Edge(b, c).")
+        query = parse_query("Reach(?x, c)")
+        assert len(session.answer(query)) == 2
+        session.retract_facts(parse_facts("Edge(a, b)."))
+        assert len(session.answer(query)) == 1

@@ -178,6 +178,27 @@ class TestPerfCapture:
             assert row["delta_facts"] >= 1
             assert row["base_facts"] + row["delta_facts"] <= row["output_facts"]
 
+    def test_churn_scenario(self):
+        from repro.harness.perfcapture import capture_churn
+
+        payload = capture_churn(
+            suite_size=2, max_axioms=20, top_k=1, fact_count=150,
+            op_count=4, repeats=1,
+        )
+        assert payload["rows"], "no completed rewriting to measure"
+        assert payload["all_consistent"], (
+            "DRed retraction diverged from full re-materialization"
+        )
+        assert payload["speedup_churn_vs_full"] > 1.0
+        dred = payload["dred"]
+        assert dred["retracted"] > 0
+        assert dred["rounds"] > 0
+        # over-deletion never removes more than it first suspects
+        assert dred["net_removed"] <= dred["retracted"] + dred["overdeleted"]
+        for row in payload["rows"]:
+            assert row["ops"] >= 2
+            assert row["consistent"]
+
     def test_skolem_chase_scenario(self):
         from repro.harness.perfcapture import capture_skolem_chase
 

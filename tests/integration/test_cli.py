@@ -231,6 +231,53 @@ class TestServeBatchCommand:
         assert "delta" in captured.err
 
 
+    def test_serve_batch_retracts_incrementally(
+        self, kb_file, facts_file, queries_file, tmp_path, capsys
+    ):
+        retract = tmp_path / "retract.facts"
+        retract.write_text("ACEquipment(sw2).", encoding="utf-8")
+        exit_code = main(
+            [
+                "serve-batch",
+                str(kb_file),
+                str(facts_file),
+                str(queries_file),
+                "--retract",
+                str(retract),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "retract" in captured.err
+        assert "sw2" not in captured.out
+
+    def test_serve_batch_interleaves_updates_in_command_line_order(
+        self, kb_file, facts_file, queries_file, tmp_path, capsys
+    ):
+        delta = tmp_path / "delta.facts"
+        delta.write_text("ACEquipment(sw42).", encoding="utf-8")
+        retract = tmp_path / "retract.facts"
+        # retracting the fact added by the preceding --delta only works if
+        # the two streams are applied in command-line order
+        retract.write_text("ACEquipment(sw42).", encoding="utf-8")
+        exit_code = main(
+            [
+                "serve-batch",
+                str(kb_file),
+                str(facts_file),
+                str(queries_file),
+                "--delta",
+                str(delta),
+                "--retract",
+                str(retract),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "sw42" not in captured.out
+        assert captured.err.index("delta") < captured.err.index("retract")
+
+
 class TestStatsCommand:
     def test_stats_output(self, dependency_file, capsys):
         exit_code = main(["stats", str(dependency_file)])

@@ -124,3 +124,52 @@ class TestHelpers:
         assert x not in renamed[0].variable_set()
         assert y in renamed[0].variable_set()
         assert x in renaming.domain()
+
+
+class TestIncrementalUnifier:
+    def test_accumulated_substitution_matches_mgu_atoms(self):
+        from repro.unification.mgu import IncrementalUnifier, mgu_atoms
+
+        lefts = (R(x, y), S(y))
+        rights = (R(a, z), S(b))
+        unifier = IncrementalUnifier()
+        for left, right in zip(lefts, rights):
+            assert unifier.unify_atoms(left, right)
+        assert unifier.substitution() == mgu_atoms(lefts, rights)
+
+    def test_failed_pair_rolls_back_cleanly(self):
+        from repro.unification.mgu import IncrementalUnifier, mgu
+
+        unifier = IncrementalUnifier()
+        assert unifier.unify_atoms(R(x, y), R(a, b))
+        before = unifier.substitution()
+        # x is already bound to a; R(x, .) cannot match R(b, .)
+        assert not unifier.unify_atoms(R(x, z), R(b, b))
+        assert unifier.substitution() == before
+        assert unifier.substitution() == mgu(R(x, y), R(a, b))
+
+    def test_undo_to_mark_restores_earlier_state(self):
+        from repro.unification.mgu import IncrementalUnifier
+
+        unifier = IncrementalUnifier()
+        assert unifier.unify_atoms(R(x, x), R(a, a))
+        mark = unifier.mark()
+        assert unifier.unify_atoms(S(y), S(b))
+        unifier.undo(mark)
+        substitution = unifier.substitution()
+        assert substitution.get(x) == a
+        assert substitution.get(y) is None
+
+    def test_frozen_variables_behave_like_constants(self):
+        from repro.unification.mgu import IncrementalUnifier
+
+        unifier = IncrementalUnifier(frozenset((x,)))
+        assert not unifier.unify_atoms(R(x, y), R(a, b))
+        assert unifier.unify_atoms(R(x, y), R(x, b))
+
+    def test_predicate_mismatch_is_rejected(self):
+        from repro.unification.mgu import IncrementalUnifier
+
+        unifier = IncrementalUnifier()
+        assert not unifier.unify_atoms(S(x), R(a, b))
+        assert len(unifier.substitution()) == 0

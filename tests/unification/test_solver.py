@@ -303,3 +303,70 @@ class TestStats:
 def _reset_global_stats():
     yield
     reset_match_solver_stats()
+
+
+class TestSolveUnificationSlots:
+    def _differential(self, side_atoms, candidate_lists, frozen):
+        """Reference: cartesian product with one full restricted MGU each."""
+        from repro.unification.mgu import restricted_mgu
+
+        expected = []
+        for combination in itertools.product(*candidate_lists):
+            theta = restricted_mgu(combination, side_atoms, frozen)
+            if theta is not None:
+                expected.append((tuple(combination), theta))
+        return expected
+
+    def test_matches_product_enumeration_and_order(self):
+        u, v = Variable("u"), Variable("v")
+        side_atoms = (R(x, y), S(y, z))
+        candidate_lists = [
+            [R(u, a), R(u, b), R(a, v)],
+            [S(a, b), S(b, c), S(u, v)],
+        ]
+        from repro.unification.solver import solve_unification_slots
+
+        got = list(solve_unification_slots(side_atoms, candidate_lists, frozenset()))
+        expected = self._differential(side_atoms, candidate_lists, frozenset())
+        assert got == expected
+        assert len(got) >= 2  # the case is non-trivial
+
+    def test_frozen_variables_are_respected(self):
+        side_atoms = (R(x, y),)
+        candidate_lists = [[R(a, y), R(x, b), R(a, b)]]
+        frozen = frozenset((x, y))
+        from repro.unification.solver import solve_unification_slots
+
+        got = list(solve_unification_slots(side_atoms, candidate_lists, frozen))
+        expected = self._differential(side_atoms, candidate_lists, frozen)
+        assert got == expected
+
+    def test_empty_candidate_list_short_circuits(self):
+        from repro.unification.solver import solve_unification_slots
+
+        stats = MatchSolverStats()
+        got = list(
+            solve_unification_slots(
+                (R(x, y), S(y, z)), [[R(a, b)], []], frozenset(), stats=stats
+            )
+        )
+        assert got == []
+        assert stats.empty_domain_exits >= 1
+        assert stats.nodes_expanded == 0
+
+    def test_forward_checking_prunes_incompatible_slots(self):
+        # binding the first slot forces x = a, which empties the second
+        # slot's domain without ever expanding its candidates
+        stats = MatchSolverStats()
+        from repro.unification.solver import solve_unification_slots
+
+        got = list(
+            solve_unification_slots(
+                (R(x, x), S(x, y)),
+                [[R(a, a)], [S(b, c), S(c, c)]],
+                frozenset(),
+                stats=stats,
+            )
+        )
+        assert got == []
+        assert stats.domains_pruned >= 2
