@@ -42,6 +42,11 @@ The legacy one-shot helpers (:func:`answer_query`,
 :func:`entailed_base_facts`) and the per-call :meth:`KnowledgeBase.answer` /
 :meth:`KnowledgeBase.certain_base_facts` remain as thin shims over the
 session layer.
+
+For serving *concurrent* traffic against resident compiled KBs — an asyncio
+front end that micro-batches requests, a worker-process pool holding warm
+sessions, and a retraction-aware answer cache — see :mod:`repro.serve` and
+the ``python -m repro serve`` command.
 """
 
 from __future__ import annotations
@@ -143,6 +148,32 @@ class KnowledgeBase:
         """
         tgds, rewriting = read_kb_file(path)
         return cls(tgds=tgds, rewriting=rewriting)
+
+    @classmethod
+    def load_or_compile(
+        cls,
+        path: "str | Path",
+        algorithm: str = "hypdr",
+        settings: Optional[RewritingSettings] = None,
+    ) -> "Tuple[KnowledgeBase, Instance]":
+        """Accept either a saved KB JSON or a raw GTGD file.
+
+        Returns ``(kb, seed_facts)`` — facts embedded in a GTGD dependency
+        file are passed along so callers can seed a session with them (a
+        saved KB JSON carries no facts, so its seed instance is empty).
+        This is the loading contract shared by the ``serve-batch`` CLI and
+        the long-lived server (:mod:`repro.serve`).
+        """
+        from .kb.format import parse_kb_text
+        from .logic.parser import parse_program
+
+        text = Path(path).read_text(encoding="utf-8")
+        if text.lstrip().startswith("{"):
+            tgds, rewriting = parse_kb_text(text)
+            return cls(tgds=tgds, rewriting=rewriting), Instance()
+        program = parse_program(text)
+        kb = cls.compile(program.tgds, algorithm=algorithm, settings=settings)
+        return kb, program.instance
 
     # ------------------------------------------------------------------
     # sessions

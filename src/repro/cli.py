@@ -14,7 +14,20 @@ The service-style workflow compiles once and serves many batches::
         --delta day2.facts                               # incremental session
 
 ``--delta`` (add) and ``--retract`` (DRed un-assert) files are applied to
-the live session in the order they appear on the command line.
+the live session in the order they appear on the command line.  The
+queries file may be ``-`` to read from stdin, and ``--json`` emits one
+NDJSON result line per query (the wire format of the server).
+
+The long-lived server (:mod:`repro.serve`) keeps knowledge bases resident
+and answers concurrent clients over newline-delimited JSON::
+
+    python -m repro serve cim.kb.json --port 7411 --workers 4
+    python -m repro serve cim=cim.kb.json grid=grid.gtgd \
+        --facts cim=data.facts                           # several KBs
+
+Each positional argument is ``PATH`` or ``NAME=PATH`` (the name clients
+address; default: the file stem).  SIGINT/SIGTERM drain in-flight batches
+before exiting.
 
 One-shot commands::
 
@@ -27,6 +40,7 @@ One-shot commands::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 import time
 from pathlib import Path
@@ -57,6 +71,7 @@ PERF_SCENARIO_NAMES = (
     "churn",
     "skolem_chase",
     "guarded_oracle",
+    "serving_throughput",
 )
 
 
@@ -235,30 +250,14 @@ def _command_load(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_or_compile_kb(args: argparse.Namespace):
-    """Accept either a saved KB JSON or a raw GTGD file for serve-batch.
-
-    Returns ``(kb, seed_facts)`` — facts embedded in a GTGD dependency file
-    are passed along so they seed the session (as materialize/entails do).
-    """
-    from .kb.format import parse_kb_text
-
-    text = Path(args.knowledge_base).read_text(encoding="utf-8")
-    if text.lstrip().startswith("{"):
-        tgds, rewriting = parse_kb_text(text)
-        return KnowledgeBase(tgds=tgds, rewriting=rewriting), ()
-    program = parse_program(text)
-    kb = KnowledgeBase.compile(
-        program.tgds,
-        algorithm=args.algorithm,
-        settings=_settings_from_args(args),
-    )
-    return kb, program.instance
-
-
 def _read_queries(path: str) -> List:
+    """Parse one query per line; ``-`` reads from stdin (pipelines)."""
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        text = Path(path).read_text(encoding="utf-8")
     queries = []
-    for line in Path(path).read_text(encoding="utf-8").splitlines():
+    for line in text.splitlines():
         stripped = line.split("%", 1)[0].split("#", 1)[0].strip()
         if stripped:
             queries.append(parse_query(stripped))
@@ -270,7 +269,11 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     from .kb import KnowledgeBaseFormatError
 
     try:
-        kb, seed_facts = _load_or_compile_kb(args)
+        kb, seed_facts = KnowledgeBase.load_or_compile(
+            args.knowledge_base,
+            algorithm=args.algorithm,
+            settings=_settings_from_args(args),
+        )
     except (KnowledgeBaseFormatError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -319,18 +322,114 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     answer_sets = session.answer_many(queries)
     elapsed = time.perf_counter() - start
-    for query, answers in zip(queries, answer_sets):
-        print(f"{query}")
-        for row in sorted(answers, key=str):
-            print("  " + ", ".join(str(term) for term in row))
-        if not answers:
-            print("  (no answers)")
+    if args.json:
+        from .serve.protocol import encode_message, query_result
+
+        for query, answers in zip(queries, answer_sets):
+            sys.stdout.write(
+                encode_message(query_result(str(query), answers)).decode("utf-8")
+            )
+    else:
+        for query, answers in zip(queries, answer_sets):
+            print(f"{query}")
+            for row in sorted(answers, key=str):
+                print("  " + ", ".join(str(term) for term in row))
+            if not answers:
+                print("  (no answers)")
     print(
         f"# answered {len(queries)} queries over {len(session)} facts "
         f"in {elapsed:.3f}s",
         file=sys.stderr,
     )
     return 0
+
+
+def _parse_named_path(spec: str, default_name: Optional[str] = None):
+    """Split a ``NAME=PATH`` spec; a bare ``PATH`` names itself by file stem."""
+    if "=" in spec:
+        name, _, path = spec.partition("=")
+        return name, path
+    return default_name or Path(spec).stem, spec
+
+
+async def _serve_until_signalled(server, host: str, port: int) -> int:
+    """Run the long-lived server until SIGINT/SIGTERM, then drain."""
+    import signal
+
+    await server.start()
+    await server.warm()
+    bound_host, bound_port = await server.start_tcp(host, port)
+    print(
+        f"# serving on {bound_host}:{bound_port} "
+        "(newline-delimited JSON; Ctrl-C drains and exits)",
+        file=sys.stderr,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):
+            # platforms without loop signal handlers fall back to KeyboardInterrupt
+            pass
+    try:
+        await stop.wait()
+    except KeyboardInterrupt:
+        pass
+    print("# draining in-flight batches ...", file=sys.stderr)
+    await server.shutdown()
+    print("# server stopped", file=sys.stderr)
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Boot the long-lived reasoning server (see :mod:`repro.serve`)."""
+    from .kb import KnowledgeBaseFormatError
+    from .logic.instance import Instance
+    from .serve.server import ReasoningServer, ServedKB
+
+    loaded = {}
+    order = []
+    try:
+        for spec in args.knowledge_base:
+            name, path = _parse_named_path(spec)
+            if name in loaded:
+                print(f"error: duplicate knowledge base name {name!r}", file=sys.stderr)
+                return 2
+            kb, seed_facts = KnowledgeBase.load_or_compile(
+                path, algorithm=args.algorithm, settings=_settings_from_args(args)
+            )
+            seed = Instance()
+            seed.update(seed_facts)
+            loaded[name] = (kb, seed)
+            order.append(name)
+        default = order[0] if len(order) == 1 else None
+        for spec in args.facts or ():
+            name, path = _parse_named_path(spec, default_name=default)
+            if name not in loaded:
+                print(
+                    f"error: --facts {spec!r} names no loaded knowledge base "
+                    f"(loaded: {', '.join(order)}); use NAME=PATH",
+                    file=sys.stderr,
+                )
+                return 2
+            loaded[name][1].update(
+                parse_program(Path(path).read_text(encoding="utf-8")).instance
+            )
+    except (KnowledgeBaseFormatError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        server = ReasoningServer(
+            [ServedKB(name, *loaded[name]) for name in order],
+            workers=args.workers,
+            cache_size=args.cache_size,
+            max_batch_size=args.max_batch_size,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return asyncio.run(_serve_until_signalled(server, args.host, args.port))
 
 
 def _command_stats(args: argparse.Namespace) -> int:
@@ -524,7 +623,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument("facts", help="file with the initial base facts")
     serve_parser.add_argument(
-        "queries", help="file with one conjunctive query per line"
+        "queries", help="file with one conjunctive query per line ('-' for stdin)"
+    )
+    serve_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one NDJSON result line per query (the server's wire format) "
+        "instead of the human-readable listing",
     )
     serve_parser.add_argument(
         "--delta",
@@ -544,6 +649,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_rewriting_options(serve_parser)
     serve_parser.set_defaults(handler=_command_serve_batch)
+
+    server_parser = subparsers.add_parser(
+        "serve",
+        help="run the long-lived reasoning server (newline-delimited JSON "
+        "over TCP; see repro.serve)",
+    )
+    server_parser.add_argument(
+        "knowledge_base",
+        nargs="+",
+        metavar="KB",
+        help="a saved KB JSON or GTGD file to serve, as PATH or NAME=PATH "
+        "(default name: the file stem)",
+    )
+    server_parser.add_argument(
+        "--facts",
+        action="append",
+        metavar="[NAME=]FACTS_FILE",
+        help="seed base facts for a served KB (repeatable; NAME may be "
+        "omitted when serving a single KB)",
+    )
+    server_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    server_parser.add_argument(
+        "--port",
+        type=int,
+        default=7411,
+        help="TCP port (default: 7411; 0 picks a free port)",
+    )
+    server_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool workers holding warm sessions; 0 (default) runs "
+        "the reasoning inline on a thread",
+    )
+    server_parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="answer-cache capacity in entries (default: 1024)",
+    )
+    server_parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=128,
+        help="cap on queries grouped into one micro-batch (default: 128)",
+    )
+    _add_rewriting_options(server_parser)
+    server_parser.set_defaults(handler=_command_serve)
 
     perf_parser = subparsers.add_parser(
         "perf",

@@ -26,7 +26,7 @@ program.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 from ..logic.atoms import Atom
 from ..logic.instance import Instance
@@ -76,6 +76,7 @@ class ReasoningSession:
         self._updates = 0
         self._retractions = 0
         self._join_stats = JoinPlanStats.merge_snapshot({}, initial.join_stats)
+        self._mutation_listeners: List[Callable[["ReasoningSession", str], None]] = []
 
     # ------------------------------------------------------------------
     # introspection
@@ -130,6 +131,33 @@ class ReasoningSession:
         return self._store.base_count
 
     @property
+    def generation(self) -> int:
+        """Monotone mutation counter: bumps on every add/retract call.
+
+        Two reads of the session with the same generation are guaranteed to
+        see the same materialization, which is what answer caches key on —
+        see :class:`repro.serve.cache.AnswerCache`.
+        """
+        return self._updates + self._retractions
+
+    def add_mutation_listener(
+        self, listener: Callable[["ReasoningSession", str], None]
+    ) -> None:
+        """Register ``listener(session, kind)`` to fire after every mutation.
+
+        ``kind`` is ``"add"`` or ``"retract"``.  Listeners run after the
+        store has reached the post-mutation fixpoint (so reading answers
+        from inside a listener is safe) and before the mutating call
+        returns.  The serving layer uses this as its cache-invalidation
+        hook (:meth:`repro.serve.cache.AnswerCache.watch_session`).
+        """
+        self._mutation_listeners.append(listener)
+
+    def _notify_mutation(self, kind: str) -> None:
+        for listener in self._mutation_listeners:
+            listener(self, kind)
+
+    @property
     def join_stats(self) -> dict:
         """Cumulative join-plan counters over the session's lifetime.
 
@@ -168,6 +196,7 @@ class ReasoningSession:
         self._added_facts += result.added_facts
         self._updates += 1
         JoinPlanStats.merge_snapshot(self._join_stats, result.join_stats)
+        self._notify_mutation("add")
         return result
 
     def add_fact(self, fact: Atom) -> DeltaUpdateResult:
@@ -192,6 +221,7 @@ class ReasoningSession:
         self._retracted_facts += result.retracted_facts
         self._retractions += 1
         JoinPlanStats.merge_snapshot(self._join_stats, result.join_stats)
+        self._notify_mutation("retract")
         return result
 
     def retract_fact(self, fact: Atom) -> RetractionResult:
@@ -211,9 +241,16 @@ class ReasoningSession:
         """Batched evaluation: one answer set per query, in input order.
 
         All queries run against the same live materialization, so a batch
-        pays the (already-amortized) fixpoint exactly once.
+        pays the (already-amortized) fixpoint exactly once.  Duplicate
+        queries within a batch are evaluated once and fanned out — the
+        serving layer's micro-batcher leans on this to amortize plan probes
+        across concurrent requests asking the same thing.
         """
-        return tuple(evaluate_query(query, self._store) for query in queries)
+        evaluated: Dict[ConjunctiveQuery, FrozenSet[Tuple[Term, ...]]] = {}
+        for query in queries:
+            if query not in evaluated:
+                evaluated[query] = evaluate_query(query, self._store)
+        return tuple(evaluated[query] for query in queries)
 
     def entails(self, fact: Atom) -> bool:
         """Decide ``I, Σ |= F`` for a base fact over the live materialization."""

@@ -71,6 +71,7 @@ SCENARIO_NAMES: Tuple[str, ...] = (
     "churn",
     "skolem_chase",
     "guarded_oracle",
+    "serving_throughput",
 )
 
 #: every scenario payload carries a ``status`` flag so a baseline comparison
@@ -855,6 +856,257 @@ def capture_guarded_oracle(
     }
 
 
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted, non-empty sequence."""
+    index = min(len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def capture_serving_throughput(
+    suite_size: int = 3,
+    max_axioms: int = 40,
+    fact_count: int = 6000,
+    clients: int = 8,
+    queries_per_client: int = 32,
+    distinct_queries: int = 6,
+    mutations: int = 2,
+    repeats: int = 2,
+    timeout_seconds: float = 8.0,
+) -> Dict[str, object]:
+    """Concurrent serving throughput of :class:`repro.serve.ReasoningServer`.
+
+    Boots an in-process server (inline worker tier, so the measurement is
+    deterministic and free of pool cold-starts) over the largest completed
+    ontology-suite rewriting, then drives ``clients`` concurrent clients
+    issuing ``queries_per_client`` queries each from a pool of
+    ``distinct_queries`` templates, with ``mutations`` retract/add ops
+    interleaved mid-stream to exercise answer-cache invalidation.  Records
+    per-request latency (``latency_ms`` with p50/p99), the answer-cache hit
+    rate, the micro-batch size histogram, and the measured speedup over
+    answering the *identical* request stream sequentially on one warm
+    session (the cost ``serve-batch`` pays per query — no batching, no
+    dedup, no cache).  Both sides run best-of-``repeats`` on a fresh
+    server/session per repeat (the same fairness rule as :func:`_best_of`),
+    with a ``gc.collect()`` before each timed run so heap pressure left by
+    earlier scenarios in a full capture does not skew the event loop.
+    Every concurrent response (from every repeat, not just the best one) is
+    checked against a fresh single-threaded oracle at the generation the
+    server stamped on it;
+    ``stale_free`` records the outcome (enforced by CI's sanity check — a
+    cached answer surviving a retraction would flip it false).
+    """
+    import asyncio
+
+    from ..api import KnowledgeBase
+    from ..datalog.query import parse_query
+    from ..logic.printer import format_fact
+    from ..serve.protocol import encode_answers
+    from ..serve.server import ReasoningServer, ServedKB
+    from ..workloads.instances import generate_instance
+    from ..workloads.ontology_suite import generate_suite
+
+    settings = RewritingSettings(timeout_seconds=timeout_seconds)
+    wall_start = time.perf_counter()
+    suite = generate_suite(
+        count=suite_size, seed=2022, min_axioms=12, max_axioms=max_axioms
+    )
+    completed = []
+    all_completed = True
+    for item in suite:
+        result = rewrite(item.tgds, algorithm="exbdr", settings=settings)
+        all_completed = all_completed and result.completed
+        if result.completed:
+            completed.append((item, result))
+    completed.sort(key=lambda pair: pair[1].output_size, reverse=True)
+    if not completed:
+        return {
+            "wall_seconds": round(time.perf_counter() - wall_start, 6),
+            "status": STATUS_TIMED_OUT,
+            "requests": 0,
+            "stale_free": False,
+        }
+    item, rewriting = completed[0]
+    kb = KnowledgeBase(tgds=tuple(item.tgds), rewriting=rewriting)
+    instance = generate_instance(
+        item.tgds,
+        fact_count=fact_count,
+        constant_count=max(50, fact_count // 10),
+        seed=int(item.identifier),
+    )
+    facts = sorted(instance, key=str)
+    predicates = sorted(
+        {fact.predicate for fact in facts}, key=lambda pred: pred.name
+    )
+    # join queries first: they are the representative (and expensive) case,
+    # so the pool measures amortization of real work, not just scans
+    binary = [pred for pred in predicates if pred.arity == 2]
+    query_texts = [
+        f"{first.name}(?x, ?y), {second.name}(?y, ?z)"
+        for first, second in zip(binary, binary[1:])
+    ]
+    query_texts.extend(
+        f"{pred.name}({', '.join(f'?x{i}' for i in range(pred.arity))})"
+        for pred in predicates
+    )
+    query_texts = query_texts[:distinct_queries]
+    # the mutation payload: a small chunk of base facts retracted and
+    # re-added — sized as an invalidation event (the thing the cache must
+    # survive), not bulk churn, which the ``churn`` scenario measures
+    chunk = facts[: max(1, len(facts) // 500)]
+    chunk_text = "\n".join(format_fact(fact) for fact in chunk)
+    total_requests = clients * queries_per_client
+
+    async def _drive():
+        server = ReasoningServer([ServedKB("bench", kb, facts)], workers=0)
+        await server.start()
+        await server.warm()  # materialize before the clock starts
+        handles = [server.local_client() for _ in range(clients)]
+        latencies: List[float] = []
+        observed: List[Tuple[str, int, object]] = []
+
+        async def client_task(index: int, handle) -> None:
+            for round_no in range(queries_per_client):
+                text = query_texts[(index + round_no) % len(query_texts)]
+                start = time.perf_counter()
+                response = await handle.query(text)
+                latencies.append(time.perf_counter() - start)
+                observed.append(
+                    (text, response["generation"], response["answers"])
+                )
+
+        async def writer_task(handle) -> None:
+            for op_no in range(mutations):
+                threshold = total_requests * (op_no + 1) // (mutations + 1)
+                while len(latencies) < threshold:
+                    await asyncio.sleep(0)
+                if op_no % 2 == 0:
+                    await handle.retract_facts(chunk_text)
+                else:
+                    await handle.add_facts(chunk_text)
+
+        concurrent_start = time.perf_counter()
+        await asyncio.gather(
+            *(client_task(i, handle) for i, handle in enumerate(handles)),
+            writer_task(handles[0]),
+        )
+        concurrent_wall = time.perf_counter() - concurrent_start
+        stats = await handles[0].stats()
+        await server.shutdown()
+        return latencies, observed, stats, concurrent_wall
+
+    import gc
+
+    best = None
+    all_observed: List[Tuple[str, int, object]] = []
+    for _ in range(max(1, repeats)):
+        gc.collect()
+        latencies, observed, stats, concurrent_wall = asyncio.run(_drive())
+        all_observed.extend(observed)
+        if best is None or concurrent_wall < best[0]:
+            best = (concurrent_wall, latencies, stats)
+    concurrent_wall, latencies, stats = best
+    observed = all_observed
+
+    # the sequential reference: the identical logical stream (every query
+    # request plus the same mutations at the same points) answered one at a
+    # time on a single warm session, the way serve-batch would
+    queries = {text: parse_query(text) for text in query_texts}
+    schedule: List[Tuple[str, str]] = []
+    for round_no in range(queries_per_client):
+        for index in range(clients):
+            schedule.append(("query", query_texts[(index + round_no) % len(query_texts)]))
+    for op_no in range(mutations):
+        position = len(schedule) * (op_no + 1) // (mutations + 1) + op_no
+        schedule.insert(position, ("retract" if op_no % 2 == 0 else "add", None))
+    sequential_wall = None
+    for _ in range(max(1, repeats)):
+        session = kb.session(facts)
+        len(session)  # force the materialization before the clock starts
+        gc.collect()
+        sequential_start = time.perf_counter()
+        for kind, text in schedule:
+            if kind == "query":
+                session.answer(queries[text])
+            elif kind == "retract":
+                session.retract_facts(chunk)
+            else:
+                session.add_facts(chunk)
+        elapsed = time.perf_counter() - sequential_start
+        if sequential_wall is None or elapsed < sequential_wall:
+            sequential_wall = elapsed
+
+    # stale-answer audit: every response must equal a fresh single-threaded
+    # session's answers at the generation the server stamped on it
+    generations = sorted({generation for _, generation, _ in observed})
+    oracle: Dict[int, Dict[str, object]] = {}
+    for generation in generations:
+        state = list(facts)
+        for op_no in range(min(generation, mutations)):
+            if op_no % 2 == 0:
+                removed = set(chunk)
+                state = [fact for fact in state if fact not in removed]
+            else:
+                state.extend(chunk)
+        answers = kb.answer_many(list(queries.values()), state)
+        oracle[generation] = {
+            text: encode_answers(answer_set)
+            for text, answer_set in zip(queries, answers)
+        }
+    stale_free = bool(observed) and all(
+        answers == oracle[generation][text]
+        for text, generation, answers in observed
+    )
+
+    latencies.sort()
+    cache_stats = stats["answer_cache"]
+    batch_stats = stats["batching"]
+    return {
+        "wall_seconds": round(time.perf_counter() - wall_start, 6),
+        "status": STATUS_COMPLETED if all_completed else STATUS_TIMED_OUT,
+        "input_id": item.identifier,
+        "rule_count": rewriting.output_size,
+        "base_facts": len(facts),
+        "clients": clients,
+        "queries_per_client": queries_per_client,
+        "distinct_queries": len(query_texts),
+        "mutations": mutations,
+        "repeats": max(1, repeats),
+        "requests": total_requests,
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1000, 3),
+            "p99": round(_percentile(latencies, 0.99) * 1000, 3),
+            "mean": round(sum(latencies) / len(latencies) * 1000, 3),
+            "max": round(latencies[-1] * 1000, 3),
+        }
+        if latencies
+        else {},
+        "requests_per_second": round(total_requests / concurrent_wall, 1)
+        if concurrent_wall
+        else None,
+        "serving": {
+            "cache_hit_rate": cache_stats["hit_rate"],
+            "cache_hits": cache_stats["hits"],
+            "cache_misses": cache_stats["misses"],
+            "stale_drops": cache_stats["stale_drops"],
+            "invalidations": cache_stats["invalidations"],
+            "batches": batch_stats["batches"],
+            "evaluated": batch_stats["evaluated"],
+            "dedup_saved": batch_stats["dedup_saved"],
+            "max_batch_size": batch_stats["max_batch_size"],
+            "batch_size_histogram": batch_stats["batch_size_histogram"],
+            "workers": stats["workers"]["mode"],
+        },
+        "concurrent_wall_seconds": round(concurrent_wall, 6),
+        "sequential_wall_seconds": round(sequential_wall, 6),
+        "speedup_batched_vs_sequential": round(sequential_wall / concurrent_wall, 2)
+        if concurrent_wall
+        else None,
+        # deliberately False when nothing was observed: an empty run must not
+        # read as "verified stale-free" downstream (CI asserts this flag)
+        "stale_free": stale_free,
+    }
+
+
 def capture_perf(
     smoke: bool = False, scenarios: Optional[Sequence[str]] = None
 ) -> Dict[str, object]:
@@ -898,6 +1150,10 @@ def capture_perf(
             "guarded_oracle": lambda: capture_guarded_oracle(
                 suite_size=2, max_axioms=14, fact_count=40
             ),
+            "serving_throughput": lambda: capture_serving_throughput(
+                suite_size=2, max_axioms=24, fact_count=200, clients=4,
+                queries_per_client=4, distinct_queries=4,
+            ),
         }
     else:
         runners = {
@@ -908,6 +1164,7 @@ def capture_perf(
             "churn": capture_churn,
             "skolem_chase": capture_skolem_chase,
             "guarded_oracle": capture_guarded_oracle,
+            "serving_throughput": capture_serving_throughput,
         }
     # start from empty intern tables so repeated in-process captures measure
     # the same (cold) workload and report comparable hit rates

@@ -149,6 +149,19 @@ def end_to_end_report(rows: Sequence[Mapping[str, object]]) -> str:
     )
 
 
+def _stats_block(scenario: Mapping[str, object], key: str) -> Mapping[str, object]:
+    """The named stats block of a scenario, or ``{}`` when absent.
+
+    Captures recorded before a stats block existed (older committed
+    baselines, the merge-base capture CI compares against) simply lack the
+    key — and a hand-edited capture may carry a malformed one.  Every
+    renderer reads optional blocks through this helper so old and new
+    captures keep rendering side by side instead of crashing the report.
+    """
+    block = scenario.get(key)
+    return block if isinstance(block, Mapping) else {}
+
+
 def perf_report(payload: Mapping[str, object]) -> str:
     """Render a BENCH_rewriting capture (see harness.perfcapture) as text."""
     lines: List[str] = [
@@ -275,6 +288,25 @@ def perf_report(payload: Mapping[str, object]) -> str:
                 f"{chase_plan.get('rounds', 0)} delta rounds, "
                 f"{chase_plan.get('imports', 0)} imports)"
                 + ("" if guarded.get("all_consistent") else " (INCONSISTENT!)")
+            )
+        serving = scenarios.get("serving_throughput")
+        # render whenever there is a speedup to report OR stale answers to
+        # flag — a stale-serving run must never lose its warning
+        if isinstance(serving, Mapping) and (
+            serving.get("speedup_batched_vs_sequential")
+            or serving.get("stale_free") is False
+        ):
+            block = _stats_block(serving, "serving")
+            latency = _stats_block(serving, "latency_ms")
+            lines.append(
+                f"serving_throughput: {serving.get('clients', '?')} concurrent "
+                f"clients {serving.get('speedup_batched_vs_sequential') or '?'}x "
+                f"faster than sequential serve-batch "
+                f"(p50 {latency.get('p50', '?')}ms / p99 {latency.get('p99', '?')}ms, "
+                f"cache hit rate {block.get('cache_hit_rate', 0.0)}, "
+                f"{block.get('batches', 0)} batches, "
+                f"dedup saved {block.get('dedup_saved', 0)})"
+                + ("" if serving.get("stale_free", True) else " (STALE ANSWERS!)")
             )
     status_changes = payload.get("scenario_status_vs_baseline")
     if isinstance(status_changes, Mapping):
@@ -443,6 +475,46 @@ def step_summary_markdown(payload: Mapping[str, object]) -> str:
             )
             lines.append("| --- | ---: | ---: | --- | ---: |")
             lines.extend(chase_rows)
+        serving = scenarios.get("serving_throughput")
+        if isinstance(serving, Mapping):
+            block = _stats_block(serving, "serving")
+            latency = _stats_block(serving, "latency_ms")
+            # older captures have no serving scenario blocks; render only
+            # what is actually there so baselines keep comparing
+            if block or latency:
+                speedup = serving.get("speedup_batched_vs_sequential")
+                lines.append("")
+                lines.append("### Serving stats")
+                lines.append("")
+                lines.append(
+                    "| Clients | Requests | p50 (ms) | p99 (ms) | Cache hit rate "
+                    "| Batches | Dedup saved | Speedup vs sequential |"
+                )
+                lines.append(
+                    "| ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: |"
+                )
+                lines.append(
+                    f"| {serving.get('clients', '–')} "
+                    f"| {serving.get('requests', '–')} "
+                    f"| {latency.get('p50', '–')} "
+                    f"| {latency.get('p99', '–')} "
+                    f"| {block.get('cache_hit_rate', '–')} "
+                    f"| {block.get('batches', '–')} "
+                    f"| {block.get('dedup_saved', '–')} "
+                    f"| {f'{speedup}x' if speedup else '–'}"
+                    + ("" if serving.get("stale_free", True) else " (STALE ANSWERS!)")
+                    + " |"
+                )
+                histogram = block.get("batch_size_histogram")
+                if isinstance(histogram, Mapping) and histogram:
+                    rendered = ", ".join(
+                        f"{size}×{count}"
+                        for size, count in sorted(
+                            histogram.items(), key=lambda pair: int(pair[0])
+                        )
+                    )
+                    lines.append("")
+                    lines.append(f"Batch-size histogram (size×count): {rendered}")
     if isinstance(baseline, Mapping) and "error" in baseline:
         lines.append("")
         lines.append(f"**Baseline comparison failed:** {baseline['error']}")

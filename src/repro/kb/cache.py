@@ -11,11 +11,35 @@ equivalent for both (same certain answers on every instance).
 
 Only *completed* rewritings are cached — a run cut short by a timeout or a
 clause limit is not a function of Σ alone.
+
+Concurrency and fork semantics
+------------------------------
+
+All cache state (the entry dict and the hit/miss counters) is guarded by a
+module-level lock, so the cache is safe to share between the serving
+front end's threads (``asyncio.to_thread`` executors, the TCP handler) and
+any other thread compiling knowledge bases.  The lock is *not* held while a
+missing Σ is rewritten — saturation can take seconds, and serializing
+compilations behind one lock would defeat the worker tier; two threads
+racing to compile the same Σ simply both compile it and the second insert
+wins (idempotent: both results are equivalent functions of Σ).
+
+The cache is **per-process** by design.  The serving worker pool
+(:mod:`repro.serve.workers`) relies on that: with the ``fork`` start method
+children inherit a snapshot of the parent's warm cache (a free warm start);
+with ``spawn`` they start cold and warm up independently.  Either way no
+synchronization crosses the process boundary — workers report their own
+cache counters through :func:`compile_cache_stats`, which the server's
+stats endpoint aggregates per pid.  To keep fork safe, the lock is only
+ever held for quick dict operations (never across a rewrite), so a child
+forked mid-operation cannot inherit a lock that guards a half-finished
+compilation.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..logic.normal_form import normalize_tgd
@@ -30,6 +54,9 @@ _CacheKey = Tuple[str, str, RewritingSettings]
 _cache: Dict[_CacheKey, RewritingResult] = {}
 _hits = 0
 _misses = 0
+#: guards ``_cache``/``_hits``/``_misses``; held only for dict/counter ops,
+#: never across a rewrite (see the module docstring's fork notes)
+_cache_lock = threading.RLock()
 
 
 def sigma_fingerprint(tgds: Iterable[TGD]) -> str:
@@ -53,21 +80,27 @@ def cached_rewrite(
     Returns ``(result, fingerprint)``.  The cache key is the Σ fingerprint
     together with the algorithm name and the (hashable) settings, so the
     same Σ compiled under different knobs is measured separately.
+
+    Thread-safe; concurrent misses on the same key may compile twice (the
+    lock is deliberately not held during saturation) but converge on one
+    equivalent entry.
     """
     global _hits, _misses
     effective = settings if settings is not None else RewritingSettings()
     fingerprint = sigma_fingerprint(tgds)
     key = (fingerprint, algorithm.lower(), effective)
-    cached = _cache.get(key)
-    if cached is not None:
-        _hits += 1
-        return cached, fingerprint
-    _misses += 1
+    with _cache_lock:
+        cached = _cache.get(key)
+        if cached is not None:
+            _hits += 1
+            return cached, fingerprint
+        _misses += 1
     result = rewrite(tgds, algorithm=algorithm, settings=settings)
     if result.completed:
-        while len(_cache) >= COMPILE_CACHE_LIMIT:
-            _cache.pop(next(iter(_cache)))
-        _cache[key] = result
+        with _cache_lock:
+            while len(_cache) >= COMPILE_CACHE_LIMIT:
+                _cache.pop(next(iter(_cache)))
+            _cache[key] = result
     return result, fingerprint
 
 
@@ -78,15 +111,20 @@ def compile_cache_stats() -> Dict[str, object]:
     (:func:`repro.datalog.engine.compiled_engine`) — the downstream half of
     "compile once, serve many": the rewriting cache avoids re-saturating Σ,
     the engine cache avoids re-compiling its join plans.
+
+    Counters are per-process (see the module docstring); the serving stats
+    endpoint reports one block per worker pid.
     """
     from ..datalog.engine import _ENGINE_CACHE
 
-    total = _hits + _misses
+    with _cache_lock:
+        hits, misses, entries = _hits, _misses, len(_cache)
+    total = hits + misses
     return {
-        "entries": len(_cache),
-        "hits": _hits,
-        "misses": _misses,
-        "hit_rate": round(_hits / total, 4) if total else 0.0,
+        "entries": entries,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": round(hits / total, 4) if total else 0.0,
         "engine_cache_entries": len(_ENGINE_CACHE),
     }
 
@@ -97,7 +135,8 @@ def clear_compile_cache() -> None:
     from ..datalog.engine import clear_engine_cache
 
     global _hits, _misses
-    _cache.clear()
+    with _cache_lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0
     clear_engine_cache()
-    _hits = 0
-    _misses = 0

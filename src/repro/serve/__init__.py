@@ -1,0 +1,87 @@
+"""A long-lived serving layer over compiled knowledge bases.
+
+This package turns the library's compile-once-serve-many story into an
+actual server process: one or more ``repro-kb/v1`` knowledge bases stay
+resident with warm, materialized reasoning sessions, and concurrent
+clients query and mutate them over newline-delimited JSON.
+
+Architecture
+------------
+
+Requests flow through four layers, each its own module::
+
+    TCP / LocalClient          (protocol.py — NDJSON framing, one format
+         |                      shared with `serve-batch --json`)
+         v
+    ReasoningServer            (server.py — request routing, per-KB drain
+         |                      loops, graceful shutdown)
+         v
+    BatchQueue + AnswerCache   (batcher.py, cache.py — micro-batching,
+         |                      dedup, generation-stamped LRU answers)
+         v
+    worker tier                (workers.py — warm sessions inline or on a
+                                ProcessPoolExecutor, op-log catch-up)
+
+**Front end** (:mod:`.server`): an asyncio server accepts NDJSON requests
+over TCP (``python -m repro serve``) or in process
+(:meth:`~repro.serve.server.ReasoningServer.local_client`, used by tests
+and the perf harness so both paths exercise identical code).  Requests
+carry an ``id`` echoed in the response, so clients pipeline freely.
+
+**Micro-batching** (:mod:`.batcher`): every request lands in a per-KB
+queue drained by one task per KB.  The drain loop yields to the event loop
+exactly once after waking, so requests that arrive concurrently meet in
+the queue; a maximal run of queries then becomes one batch.  Cache hits
+are answered immediately, the remaining queries are deduplicated by
+fingerprint, and each distinct query is evaluated once for the whole
+batch.  Mutations are *barriers*: the loop waits for in-flight batches,
+appends the op to the KB's log, and applies it alone — which is what makes
+per-KB request ordering sequentially consistent.
+
+**Answer cache** (:mod:`.cache`): an LRU keyed on interned canonical query
+fingerprints, stamped with the KB generation it was computed at.  Any
+``add``/``retract`` bumps the generation (O(1) invalidation — stale
+entries die lazily on lookup), and inserts from batches that raced with a
+mutation are refused, so the cache can never serve a pre-mutation answer.
+
+**Worker tier** (:mod:`.workers`): CPU-bound reasoning never runs on the
+event loop.  With ``--workers 0`` the work runs on a serialized thread;
+with ``--workers N`` a :class:`~concurrent.futures.ProcessPoolExecutor`
+holds N processes, each keeping warm sessions keyed by KB fingerprint.
+Workers reach the server-assigned generation by replaying the suffix of
+the per-KB op log they have not seen yet — the mutation barrier guarantees
+no worker is ever *ahead* of a batch's assigned prefix, so sessions only
+ever roll forward.
+
+The serving-side performance story is measured by the
+``serving_throughput`` perf scenario (see :mod:`repro.harness.perfcapture`)
+and guarded by concurrency tests plus a hypothesis property stating that
+no interleaving of cached answers and mutations serves a stale result.
+"""
+
+from .cache import AnswerCache, query_fingerprint
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_answers,
+    encode_message,
+    query_result,
+)
+from .server import Client, LocalClient, ReasoningServer, ServedKB, ServeError
+
+__all__ = [
+    "AnswerCache",
+    "Client",
+    "LocalClient",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ReasoningServer",
+    "ServeError",
+    "ServedKB",
+    "decode_message",
+    "encode_answers",
+    "encode_message",
+    "query_fingerprint",
+    "query_result",
+]

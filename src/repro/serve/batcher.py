@@ -1,0 +1,149 @@
+"""Per-KB micro-batching of concurrent requests.
+
+The front end enqueues every request for a knowledge base into one
+:class:`BatchQueue`; the server's per-KB drain loop wakes, lets the event
+loop settle once (so requests that arrived "together" actually meet in the
+queue), and then pops work in arrival order:
+
+* a maximal run of *consecutive query requests* becomes one batch — the
+  batch resolves answer-cache hits immediately, deduplicates the remaining
+  queries by fingerprint, and evaluates each distinct query once
+  (amortizing plan probes across requests exactly the way the join
+  pipelines amortize tuples);
+* a *mutation* request (add/retract) is a barrier: it is popped alone, so
+  every earlier query is answered against the pre-mutation generation and
+  every later one sees the mutation.
+
+:class:`BatcherStats` records the batch-size histogram and the dedup
+savings that the ``serving_throughput`` perf scenario reports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+#: hard cap on how many query requests one dispatched batch may carry;
+#: bounds per-batch latency under a flood without starving the queue
+DEFAULT_MAX_BATCH_SIZE = 128
+
+#: request kinds that mutate the KB and therefore act as batch barriers
+MUTATION_KINDS = ("add", "retract")
+
+
+@dataclass
+class PendingRequest:
+    """One enqueued request: its kind, payload, and the future to resolve."""
+
+    kind: str  # "query" | "add" | "retract"
+    #: the query text (kind == "query") or the facts text (mutations)
+    text: str
+    future: "asyncio.Future"
+    #: canonical cache fingerprint, filled by the server for queries
+    fingerprint: Optional[str] = None
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class BatchQueue:
+    """An awaitable FIFO of :class:`PendingRequest` for one knowledge base."""
+
+    def __init__(self) -> None:
+        self._pending: Deque[PendingRequest] = deque()
+        self._wake = asyncio.Event()
+        self.closed = False
+
+    def submit(self, request: PendingRequest) -> None:
+        if self.closed:
+            raise RuntimeError("queue is closed (server is shutting down)")
+        self._pending.append(request)
+        self._wake.set()
+
+    def close(self) -> None:
+        """Refuse new work; already-enqueued requests will still be served."""
+        self.closed = True
+        self._wake.set()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def drained(self) -> bool:
+        return self.closed and not self._pending
+
+    async def wait(self) -> None:
+        """Block until there is (or might be) work, then reset the signal."""
+        await self._wake.wait()
+        self._wake.clear()
+        if self._pending:
+            # let concurrently-arriving requests land before batching; one
+            # zero-sleep yields the loop exactly once, which is the whole
+            # micro-batching window — no timer, no added latency floor
+            await asyncio.sleep(0)
+
+    def head_kind(self) -> Optional[str]:
+        return self._pending[0].kind if self._pending else None
+
+    def pop_mutation(self) -> PendingRequest:
+        head = self._pending.popleft()
+        assert head.kind in MUTATION_KINDS
+        return head
+
+    def pop_query_batch(
+        self, max_batch_size: int = DEFAULT_MAX_BATCH_SIZE
+    ) -> List[PendingRequest]:
+        """Pop the maximal leading run of queries (bounded by the cap)."""
+        batch: List[PendingRequest] = []
+        while (
+            self._pending
+            and self._pending[0].kind == "query"
+            and len(batch) < max_batch_size
+        ):
+            batch.append(self._pending.popleft())
+        return batch
+
+
+class BatcherStats:
+    """Counters describing how well batching and dedup amortized the work."""
+
+    def __init__(self) -> None:
+        self.batches = 0
+        self.requests = 0
+        self.cache_hits = 0
+        self.evaluated = 0
+        self.dedup_saved = 0
+        self.mutations = 0
+        #: batch size (number of grouped query requests) -> occurrences
+        self.batch_size_histogram: Dict[int, int] = {}
+
+    def record_batch(self, size: int, cache_hits: int, evaluated: int) -> None:
+        """One dispatched query batch: ``size`` requests grouped, of which
+        ``cache_hits`` were answered from cache and the rest deduplicated
+        down to ``evaluated`` distinct evaluations."""
+        self.batches += 1
+        self.requests += size
+        self.cache_hits += cache_hits
+        self.evaluated += evaluated
+        self.dedup_saved += (size - cache_hits) - evaluated
+        self.batch_size_histogram[size] = self.batch_size_histogram.get(size, 0) + 1
+
+    def record_mutation(self) -> None:
+        self.mutations += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready view for the stats endpoint and the perf capture."""
+        return {
+            "batches": self.batches,
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "evaluated": self.evaluated,
+            "dedup_saved": self.dedup_saved,
+            "mutations": self.mutations,
+            "max_batch_size": max(self.batch_size_histogram, default=0),
+            "batch_size_histogram": {
+                str(size): count
+                for size, count in sorted(self.batch_size_histogram.items())
+            },
+        }

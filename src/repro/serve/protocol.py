@@ -1,0 +1,160 @@
+"""The one wire format of the serving layer: newline-delimited JSON.
+
+Every message — a request to the long-lived server, its response, and each
+result line of ``serve-batch --json`` — is a single JSON object on a single
+line (NDJSON), so clients can stream with nothing but a line reader and a
+JSON parser.  This module owns encoding and decoding for both directions;
+the batch CLI and the server deliberately share it so the two serving paths
+speak one format.
+
+Requests
+--------
+
+Every request is an object with an ``op`` and an optional ``id`` (echoed
+verbatim in the response, so clients may pipeline)::
+
+    {"id": 1, "op": "query",   "kb": "cim", "query": "Equipment(?x)"}
+    {"id": 2, "op": "add",     "kb": "cim", "facts": "ACEquipment(sw9)."}
+    {"id": 3, "op": "retract", "kb": "cim", "facts": "ACEquipment(sw1)."}
+    {"id": 4, "op": "stats"}
+    {"id": 5, "op": "ping"}
+
+``kb`` may be omitted when the server hosts exactly one knowledge base.
+
+Responses
+---------
+
+``{"id": ..., "ok": true, ...}`` on success, with op-specific fields
+(``answers`` as a sorted list of term-string rows for queries, mutation
+counters for add/retract, the stats block for ``stats``), or
+``{"id": ..., "ok": false, "error": "..."}`` on failure.  Answers are
+encoded by :func:`encode_answers`, which both the server and the
+correctness checks (CI smoke, tests) use, so "the same answers" is a
+well-defined string comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+#: protocol identifier reported by the server's hello/stats payloads
+PROTOCOL_VERSION = "repro-serve/v1"
+
+#: request operations the server understands
+REQUEST_OPS = ("query", "add", "retract", "stats", "ping")
+
+
+class ProtocolError(ValueError):
+    """Raised when a message is not a valid protocol line."""
+
+
+# ----------------------------------------------------------------------
+# message framing
+# ----------------------------------------------------------------------
+def encode_message(message: Mapping[str, object]) -> bytes:
+    """Serialize one message as a single NDJSON line (bytes, newline included)."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: "str | bytes") -> Dict[str, object]:
+    """Parse one NDJSON line into a message dict.
+
+    Raises :class:`ProtocolError` on malformed JSON or a non-object payload.
+    """
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"not valid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"a protocol message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def validate_request(message: Mapping[str, object]) -> str:
+    """Check a decoded request's shape; return its ``op``.
+
+    Raises :class:`ProtocolError` naming the problem — the server turns
+    that into an ``ok: false`` response rather than dropping the
+    connection.
+    """
+    op = message.get("op")
+    if op not in REQUEST_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(REQUEST_OPS)}"
+        )
+    if op == "query" and not isinstance(message.get("query"), str):
+        raise ProtocolError("a query request needs a string 'query' field")
+    if op in ("add", "retract") and not isinstance(message.get("facts"), str):
+        raise ProtocolError(f"an {op} request needs a string 'facts' field")
+    return op
+
+
+# ----------------------------------------------------------------------
+# responses
+# ----------------------------------------------------------------------
+def ok_response(
+    request_id: object = None, **fields: object
+) -> Dict[str, object]:
+    """A success response echoing the request id."""
+    response: Dict[str, object] = {"id": request_id, "ok": True}
+    response.update(fields)
+    return response
+
+
+def error_response(request_id: object, message: str) -> Dict[str, object]:
+    """A failure response echoing the request id."""
+    return {"id": request_id, "ok": False, "error": message}
+
+
+# ----------------------------------------------------------------------
+# payload encoding shared by the server and serve-batch --json
+# ----------------------------------------------------------------------
+def encode_answers(
+    answers: "FrozenSet[Tuple[object, ...]] | Iterable[Tuple[object, ...]]",
+) -> List[List[str]]:
+    """Answer tuples as a deterministically sorted list of term-string rows.
+
+    The sort makes the encoding canonical: two answer sets are equal iff
+    their encodings are equal, which is what the stale-cache checks (CI
+    smoke, hypothesis properties) compare.
+    """
+    return sorted([str(term) for term in row] for row in answers)
+
+
+def query_result(query_text: str, answers, cached: Optional[bool] = None) -> Dict[str, object]:
+    """The op-agnostic query result payload (server response body and
+    ``serve-batch --json`` line share this shape)."""
+    encoded = encode_answers(answers)
+    payload: Dict[str, object] = {
+        "query": query_text,
+        "answers": encoded,
+        "count": len(encoded),
+    }
+    if cached is not None:
+        payload["cached"] = cached
+    return payload
+
+
+def mutation_result(kind: str, result) -> Dict[str, object]:
+    """Counters of one applied mutation (a Delta/RetractionResult)."""
+    if kind == "add":
+        return {
+            "op": "add",
+            "added_facts": result.added_facts,
+            "derived": result.derived_count,
+            "rounds": result.rounds,
+        }
+    return {
+        "op": "retract",
+        "retracted_facts": result.retracted_facts,
+        "ignored_facts": result.ignored_facts,
+        "overdeleted": result.overdeleted,
+        "rederived": result.rederived,
+        "net_removed": result.net_removed,
+        "rounds": result.rounds,
+    }

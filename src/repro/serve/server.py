@@ -1,0 +1,611 @@
+"""The long-lived reasoning server: asyncio front end over the worker tier.
+
+:class:`ReasoningServer` holds one or more compiled knowledge bases
+resident and serves concurrent query/add/retract traffic against them:
+
+* requests enter through :meth:`handle_request` (used directly by the
+  in-process :class:`LocalClient` and by the NDJSON-over-TCP listener);
+* each KB's requests flow through a :class:`~repro.serve.batcher.BatchQueue`
+  drained by one task per KB: consecutive queries are micro-batched (cache
+  hits answered immediately, the rest deduplicated and evaluated once),
+  mutations are barriers that bump the answer-cache generation and append
+  to the KB's op log;
+* CPU-bound work runs on the worker tier (:mod:`repro.serve.workers`) —
+  inline threads or a process pool of warm sessions that catch up against
+  the op log;
+* :meth:`shutdown` drains: the queues refuse new work, in-flight batches
+  finish and their responses are delivered, then the pool is torn down.
+
+Consistency contract: responses are sequentially consistent per KB — a
+query observes every mutation whose response was delivered before the
+query was submitted, and the answer cache can never serve a result from
+before a mutation (generation-stamped entries, see
+:mod:`repro.serve.cache`).
+
+Two knowledge bases registered under different names but with the same Σ
+fingerprint *and* the same initial facts share one serving state (one op
+log, one set of warm worker sessions) — the fingerprint is the safe share
+key, which is how a fleet of logical KB names stays cheap.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..api import KnowledgeBase
+from ..datalog.query import QueryValidationError, parse_query
+from ..kb.cache import compile_cache_stats
+from ..logic.atoms import Atom
+from ..logic.instance import Instance
+from ..logic.printer import format_fact
+from ..logic.parser import parse_facts
+from .batcher import (
+    DEFAULT_MAX_BATCH_SIZE,
+    MUTATION_KINDS,
+    BatcherStats,
+    BatchQueue,
+    PendingRequest,
+)
+from .cache import DEFAULT_CAPACITY, AnswerCache, query_fingerprint
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    validate_request,
+)
+from .workers import build_kb_spec, make_worker_tier
+
+
+class ServeError(RuntimeError):
+    """Raised for server lifecycle misuse and failed client requests."""
+
+
+@dataclass
+class ServedKB:
+    """One knowledge base to serve: a handle name, the KB, its base facts."""
+
+    name: str
+    kb: KnowledgeBase
+    initial_facts: "Instance | Sequence[Atom]" = ()
+
+
+class _KBState:
+    """Per-share-key serving state: queue, op log, batcher stats."""
+
+    def __init__(self, key: str, kb: KnowledgeBase, facts_text: str) -> None:
+        self.key = key
+        self.kb = kb
+        self.facts_text = facts_text
+        self.queue = BatchQueue()
+        #: ordered mutation log: ("add" | "retract", facts text); its length
+        #: is the KB's generation
+        self.ops: List[Tuple[str, str]] = []
+        self.stats = BatcherStats()
+        self.inflight: Set[asyncio.Task] = set()
+        self.drain_task: Optional[asyncio.Task] = None
+
+    @property
+    def generation(self) -> int:
+        return len(self.ops)
+
+
+class ReasoningServer:
+    """Serve concurrent reasoning traffic over resident compiled KBs."""
+
+    def __init__(
+        self,
+        served: Sequence[ServedKB],
+        workers: int = 0,
+        cache_size: int = DEFAULT_CAPACITY,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+    ) -> None:
+        if not served:
+            raise ValueError("a server needs at least one knowledge base")
+        if max_batch_size < 1:
+            raise ValueError(f"max batch size must be positive, got {max_batch_size}")
+        self._names: Dict[str, str] = {}
+        self._states: Dict[str, _KBState] = {}
+        specs: Dict[str, Dict[str, str]] = {}
+        for entry in served:
+            if entry.name in self._names:
+                raise ValueError(f"duplicate knowledge base name {entry.name!r}")
+            if not entry.kb.rewriting.completed:
+                raise ValueError(
+                    f"knowledge base {entry.name!r} carries an incomplete "
+                    "rewriting (timeout or clause limit during compile); "
+                    "serving it would silently drop certain answers"
+                )
+            facts_text = "\n".join(
+                format_fact(fact) for fact in sorted(entry.initial_facts, key=str)
+            )
+            # the safe share key: same Σ + same base facts ⇒ one op log and
+            # one set of warm worker sessions, however many names point at it
+            facts_digest = hashlib.sha256(facts_text.encode("utf-8")).hexdigest()
+            key = f"{entry.kb.fingerprint[:16]}/{facts_digest[:8]}"
+            self._names[entry.name] = key
+            if key not in self._states:
+                self._states[key] = _KBState(key, entry.kb, facts_text)
+                specs[key] = build_kb_spec(entry.kb, entry.initial_facts)
+        self._default_key = (
+            next(iter(self._states)) if len(self._states) == 1 else None
+        )
+        self._specs = specs
+        self._workers = workers
+        self._max_batch_size = max_batch_size
+        self.cache = AnswerCache(cache_size)
+        self._tier = None
+        self._worker_processes: Dict[str, Dict[str, object]] = {}
+        self._closing = False
+        self._started_at: Optional[float] = None
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ReasoningServer":
+        """Create the worker tier and the per-KB drain loops."""
+        if self._tier is not None:
+            raise ServeError("server already started")
+        self._tier = make_worker_tier(self._specs, self._workers)
+        self._started_at = time.monotonic()
+        for state in self._states.values():
+            state.drain_task = asyncio.create_task(self._drain(state))
+        return self
+
+    async def warm(self) -> None:
+        """Pre-materialize every KB on the worker tier before taking traffic.
+
+        Dispatches one empty batch per worker slot per KB; in pool mode
+        that warms (up to) every worker process, in inline mode the single
+        local session.
+        """
+        self._require_started()
+        slots = max(1, self._tier.describe().get("max_workers", 1))
+        tasks = [
+            self._tier.answer_batch(state.key, list(state.ops), [])
+            for state in self._states.values()
+            for _ in range(slots)
+        ]
+        for payload in await asyncio.gather(*tasks):
+            self._note_worker(payload)
+
+    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Listen for NDJSON clients; returns the bound (host, port)."""
+        self._require_started()
+        if self._tcp_server is not None:
+            raise ServeError("TCP listener already running")
+        self._tcp_server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        bound = self._tcp_server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def shutdown(self) -> None:
+        """Graceful drain: refuse new work, finish in-flight batches, stop."""
+        if self._tier is None or self._closing:
+            return
+        self._closing = True
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        for state in self._states.values():
+            state.queue.close()
+        drains = [
+            state.drain_task
+            for state in self._states.values()
+            if state.drain_task is not None
+        ]
+        if drains:
+            await asyncio.gather(*drains, return_exceptions=True)
+        await self._tier.shutdown()
+
+    def _require_started(self) -> None:
+        if self._tier is None:
+            raise ServeError("server not started; call start() first")
+
+    def local_client(self) -> "LocalClient":
+        """An in-process client speaking the protocol without sockets."""
+        return LocalClient(self)
+
+    # ------------------------------------------------------------------
+    # request handling (shared by LocalClient and the TCP listener)
+    # ------------------------------------------------------------------
+    async def handle_request(self, message: Dict[str, object]) -> Dict[str, object]:
+        """Serve one decoded protocol request; always returns a response."""
+        request_id = message.get("id")
+        try:
+            op = validate_request(message)
+        except ProtocolError as exc:
+            return error_response(request_id, str(exc))
+        if op == "ping":
+            return ok_response(request_id, pong=True, protocol=PROTOCOL_VERSION)
+        if op == "stats":
+            return ok_response(request_id, stats=self.stats())
+        self._require_started()
+        state = self._resolve_kb(message.get("kb"))
+        if state is None:
+            known = ", ".join(sorted(self._names)) or "(none)"
+            return error_response(
+                request_id,
+                f"unknown knowledge base {message.get('kb')!r}; serving: {known}",
+            )
+        if op == "query":
+            try:
+                query = parse_query(message["query"])
+            except (QueryValidationError, ValueError) as exc:
+                return error_response(request_id, f"bad query: {exc}")
+            pending = PendingRequest(
+                kind="query",
+                text=str(message["query"]),
+                future=asyncio.get_running_loop().create_future(),
+                fingerprint=query_fingerprint(query),
+            )
+        else:
+            try:
+                parse_facts(message["facts"])
+            except ValueError as exc:
+                # reject before the op can enter the log: a malformed entry
+                # would poison every later worker catch-up
+                return error_response(request_id, f"bad facts: {exc}")
+            pending = PendingRequest(
+                kind=op,
+                text=str(message["facts"]),
+                future=asyncio.get_running_loop().create_future(),
+            )
+        try:
+            state.queue.submit(pending)
+        except RuntimeError as exc:
+            return error_response(request_id, str(exc))
+        try:
+            result = await pending.future
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: B902 - worker failures become responses
+            return error_response(request_id, f"{type(exc).__name__}: {exc}")
+        return ok_response(request_id, **result)
+
+    def _resolve_kb(self, name: object) -> Optional[_KBState]:
+        if name is None:
+            if self._default_key is None:
+                return None
+            return self._states[self._default_key]
+        key = self._names.get(name)
+        return self._states.get(key) if key is not None else None
+
+    # ------------------------------------------------------------------
+    # the per-KB drain loop
+    # ------------------------------------------------------------------
+    async def _drain(self, state: _KBState) -> None:
+        queue = state.queue
+        while True:
+            if not len(queue):
+                if queue.closed:
+                    break
+                await queue.wait()
+                continue
+            if queue.head_kind() in MUTATION_KINDS:
+                # barrier: no batch may still be answering at an older
+                # generation when the op enters the log, and no worker
+                # session may run ahead of a later batch's assigned prefix
+                await self._wait_inflight(state)
+                await self._apply_mutation(state, queue.pop_mutation())
+            else:
+                self._dispatch_batch(
+                    state, queue.pop_query_batch(self._max_batch_size)
+                )
+        await self._wait_inflight(state)
+
+    async def _wait_inflight(self, state: _KBState) -> None:
+        while state.inflight:
+            await asyncio.gather(*list(state.inflight), return_exceptions=True)
+
+    async def _apply_mutation(self, state: _KBState, pending: PendingRequest) -> None:
+        state.ops.append((pending.kind, pending.text))
+        self.cache.invalidate(state.key)
+        state.stats.record_mutation()
+        try:
+            payload = await self._tier.apply_mutation(state.key, list(state.ops))
+        except Exception as exc:  # noqa: B902 - delivered via the future
+            self._resolve(pending, exception=exc)
+            return
+        self._note_worker(payload)
+        result = dict(payload["result"])
+        result["generation"] = payload["generation"]
+        result["store_size"] = payload["store_size"]
+        self._resolve(pending, result=result)
+
+    def _dispatch_batch(self, state: _KBState, batch: List[PendingRequest]) -> None:
+        generation = state.generation
+        cache_hits = 0
+        misses: Dict[str, List[PendingRequest]] = {}
+        for pending in batch:
+            answers = self.cache.get(state.key, pending.fingerprint)
+            if answers is not None:
+                cache_hits += 1
+                self._resolve(
+                    pending,
+                    result={
+                        "query": pending.text,
+                        "answers": answers,
+                        "count": len(answers),
+                        "cached": True,
+                        "generation": generation,
+                    },
+                )
+            else:
+                misses.setdefault(pending.fingerprint, []).append(pending)
+        state.stats.record_batch(len(batch), cache_hits, len(misses))
+        if not misses:
+            return
+        task = asyncio.create_task(
+            self._execute_batch(state, generation, list(state.ops), misses)
+        )
+        state.inflight.add(task)
+        task.add_done_callback(state.inflight.discard)
+
+    async def _execute_batch(
+        self,
+        state: _KBState,
+        generation: int,
+        ops: List[Tuple[str, str]],
+        misses: Dict[str, List[PendingRequest]],
+    ) -> None:
+        fingerprints = list(misses)
+        texts = [misses[fp][0].text for fp in fingerprints]
+        try:
+            payload = await self._tier.answer_batch(state.key, ops, texts)
+        except Exception as exc:  # noqa: B902 - delivered via the futures
+            for fingerprint in fingerprints:
+                for pending in misses[fingerprint]:
+                    self._resolve(pending, exception=exc)
+            return
+        self._note_worker(payload)
+        for fingerprint, answers in zip(fingerprints, payload["answers"]):
+            self.cache.put(state.key, fingerprint, generation, answers)
+            for pending in misses[fingerprint]:
+                self._resolve(
+                    pending,
+                    result={
+                        "query": pending.text,
+                        "answers": answers,
+                        "count": len(answers),
+                        "cached": False,
+                        "generation": generation,
+                    },
+                )
+
+    @staticmethod
+    def _resolve(
+        pending: PendingRequest,
+        result: Optional[Dict[str, object]] = None,
+        exception: Optional[BaseException] = None,
+    ) -> None:
+        if pending.future.done():  # client gave up (disconnected / cancelled)
+            return
+        if exception is not None:
+            pending.future.set_exception(exception)
+        else:
+            pending.future.set_result(result)
+
+    def _note_worker(self, payload: Dict[str, object]) -> None:
+        pid = payload.get("pid")
+        stats = payload.get("compile_cache")
+        if pid is not None and isinstance(stats, dict):
+            self._worker_processes[str(pid)] = stats
+
+    # ------------------------------------------------------------------
+    # stats endpoint
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """The JSON stats block (``op: stats`` and the perf capture)."""
+        kbs: Dict[str, object] = {}
+        merged = BatcherStats()
+        for name, key in sorted(self._names.items()):
+            state = self._states[key]
+            kbs[name] = {
+                "share_key": state.key,
+                "fingerprint": state.kb.fingerprint,
+                "rules": len(state.kb.program),
+                "generation": state.generation,
+                "queued": len(state.queue),
+                "batcher": state.stats.snapshot(),
+            }
+        for state in self._states.values():
+            merged.batches += state.stats.batches
+            merged.requests += state.stats.requests
+            merged.cache_hits += state.stats.cache_hits
+            merged.evaluated += state.stats.evaluated
+            merged.dedup_saved += state.stats.dedup_saved
+            merged.mutations += state.stats.mutations
+            for size, count in state.stats.batch_size_histogram.items():
+                merged.batch_size_histogram[size] = (
+                    merged.batch_size_histogram.get(size, 0) + count
+                )
+        workers = dict(self._tier.describe()) if self._tier is not None else {}
+        workers["per_process_compile_cache"] = dict(self._worker_processes)
+        # the front-end process compiles too (KB loading); report it under
+        # its own pid so inline mode still shows a per-process view
+        workers.setdefault("frontend_compile_cache", compile_cache_stats())
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3)
+            if self._started_at is not None
+            else 0.0,
+            "draining": self._closing,
+            "kbs": kbs,
+            "answer_cache": self.cache.stats(),
+            "batching": merged.snapshot(),
+            "workers": workers,
+        }
+
+    # ------------------------------------------------------------------
+    # TCP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: Set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(self._respond(line, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(
+        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        try:
+            message = decode_message(line)
+        except ProtocolError as exc:
+            response = error_response(None, str(exc))
+        else:
+            response = await self.handle_request(message)
+        async with write_lock:
+            try:
+                writer.write(encode_message(response))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; nothing left to deliver
+
+
+# ----------------------------------------------------------------------
+# clients
+# ----------------------------------------------------------------------
+class _ClientOps:
+    """Protocol helpers shared by the in-process and TCP clients."""
+
+    async def request(self, message: Dict[str, object]) -> Dict[str, object]:
+        raise NotImplementedError
+
+    async def _checked(self, message: Dict[str, object]) -> Dict[str, object]:
+        response = await self.request(message)
+        if not response.get("ok"):
+            raise ServeError(response.get("error") or "request failed")
+        return response
+
+    async def query(self, query: str, kb: Optional[str] = None) -> Dict[str, object]:
+        message: Dict[str, object] = {"op": "query", "query": query}
+        if kb is not None:
+            message["kb"] = kb
+        return await self._checked(message)
+
+    async def add_facts(self, facts: str, kb: Optional[str] = None) -> Dict[str, object]:
+        message: Dict[str, object] = {"op": "add", "facts": facts}
+        if kb is not None:
+            message["kb"] = kb
+        return await self._checked(message)
+
+    async def retract_facts(
+        self, facts: str, kb: Optional[str] = None
+    ) -> Dict[str, object]:
+        message: Dict[str, object] = {"op": "retract", "facts": facts}
+        if kb is not None:
+            message["kb"] = kb
+        return await self._checked(message)
+
+    async def stats(self) -> Dict[str, object]:
+        return (await self._checked({"op": "stats"}))["stats"]
+
+    async def ping(self) -> bool:
+        return bool((await self._checked({"op": "ping"})).get("pong"))
+
+
+class LocalClient(_ClientOps):
+    """In-process client: protocol dicts straight into ``handle_request``.
+
+    The test and perf-capture client — same code path as TCP minus the
+    socket framing.
+    """
+
+    def __init__(self, server: ReasoningServer) -> None:
+        self._server = server
+        self._next_id = 0
+
+    async def request(self, message: Dict[str, object]) -> Dict[str, object]:
+        if "id" not in message:
+            self._next_id += 1
+            message = {**message, "id": self._next_id}
+        return await self._server.handle_request(message)
+
+
+class Client(_ClientOps):
+    """NDJSON-over-TCP client with pipelining (responses matched by id)."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._pending: Dict[object, asyncio.Future] = {}
+        self._read_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "Client":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, message: Dict[str, object]) -> Dict[str, object]:
+        if "id" not in message:
+            self._next_id += 1
+            message = {**message, "id": f"c{self._next_id}"}
+        future = asyncio.get_running_loop().create_future()
+        self._pending[message["id"]] = future
+        self._writer.write(encode_message(message))
+        await self._writer.drain()
+        return await future
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = decode_message(line)
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionError, OSError, ProtocolError) as exc:
+            self._fail_pending(exc)
+        finally:
+            self._fail_pending(ServeError("connection closed"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass

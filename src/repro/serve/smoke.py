@@ -1,0 +1,157 @@
+"""End-to-end smoke check for the serving layer (the CI ``serve`` job).
+
+Boots a real :class:`~repro.serve.server.ReasoningServer` with a TCP
+listener, fires ~50 concurrent queries from several pipelined clients with
+one retraction interleaved mid-stream, and asserts that every response
+agrees with a direct :meth:`repro.api.KnowledgeBase.answer_many` oracle at
+the generation the server stamped on it.  Exercises the whole stack —
+NDJSON framing, micro-batching, the answer cache across an invalidation,
+the worker tier (process pool by default), and graceful shutdown.
+
+Run it as::
+
+    python -m repro.serve.smoke [--workers N] [--queries N]
+
+Exit status 0 means every concurrent answer matched the oracle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Dict, List, Tuple
+
+SIGMA = """
+ACEquipment(?x) -> exists ?y. hasTerminal(?x, ?y), ACTerminal(?y).
+ACTerminal(?x) -> Terminal(?x).
+hasTerminal(?x, ?z), Terminal(?z) -> Equipment(?x).
+"""
+
+RETRACTED_FACT = "ACEquipment(sw1)."
+
+QUERY_TEXTS = (
+    "Equipment(?x)",
+    "Terminal(?x)",
+    "ACEquipment(?x)",
+    "ACTerminal(?x)",
+    "hasTerminal(?x, ?y)",
+    "ACEquipment(?x), hasTerminal(?x, ?y)",
+)
+
+
+def _fact_lines(devices: int = 12) -> List[str]:
+    lines = []
+    for i in range(1, devices + 1):
+        lines.append(f"ACEquipment(sw{i}).")
+        if i % 2 == 0:
+            lines.append(f"hasTerminal(sw{i}, trm{i}).")
+            lines.append(f"ACTerminal(trm{i}).")
+    return lines
+
+
+async def _run(workers: int, total_queries: int) -> int:
+    from ..api import KnowledgeBase
+    from ..datalog.query import parse_query
+    from ..logic.parser import parse_facts, parse_program
+    from .protocol import encode_answers
+    from .server import Client, ReasoningServer, ServedKB
+
+    program = parse_program(SIGMA)
+    kb = KnowledgeBase.compile(program.tgds)
+    fact_lines = _fact_lines()
+    initial = parse_facts("\n".join(fact_lines))
+
+    server = ReasoningServer([ServedKB("cim", kb, initial)], workers=workers)
+    await server.start()
+    await server.warm()
+    host, port = await server.start_tcp()
+    print(f"serve smoke: listening on {host}:{port} (workers={workers})")
+
+    observed: List[Tuple[str, int, List[List[str]]]] = []
+
+    async def query_task(client: Client, text: str) -> None:
+        response = await client.query(text)
+        observed.append((text, response["generation"], response["answers"]))
+
+    clients = [await Client.connect(host, port) for _ in range(5)]
+    tasks = []
+    mutation_response: Dict[str, object] = {}
+
+    async def retract_task() -> None:
+        mutation_response.update(await clients[0].retract_facts(RETRACTED_FACT))
+
+    for i in range(total_queries):
+        tasks.append(
+            asyncio.create_task(
+                query_task(clients[i % len(clients)], QUERY_TEXTS[i % len(QUERY_TEXTS)])
+            )
+        )
+        if i == total_queries // 2:
+            tasks.append(asyncio.create_task(retract_task()))
+    await asyncio.gather(*tasks)
+    stats = await clients[0].stats()
+    for client in clients:
+        await client.close()
+    await server.shutdown()
+
+    # the oracle: fresh single-shot answers at each generation the server
+    # could have stamped (0 = initial facts, 1 = after the retraction)
+    queries = [parse_query(text) for text in QUERY_TEXTS]
+    oracle: Dict[int, Dict[str, List[List[str]]]] = {}
+    for generation, lines in (
+        (0, fact_lines),
+        (1, [line for line in fact_lines if line != RETRACTED_FACT]),
+    ):
+        answers = kb.answer_many(queries, parse_facts("\n".join(lines)))
+        oracle[generation] = {
+            text: encode_answers(answer_set)
+            for text, answer_set in zip(QUERY_TEXTS, answers)
+        }
+
+    failures = 0
+    for text, generation, answers in observed:
+        if generation not in oracle:
+            print(f"FAIL: {text!r} answered at unexpected generation {generation}")
+            failures += 1
+        elif answers != oracle[generation][text]:
+            print(
+                f"FAIL: {text!r} at generation {generation}: served {answers!r}, "
+                f"oracle says {oracle[generation][text]!r}"
+            )
+            failures += 1
+
+    kb_stats = stats["kbs"]["cim"]
+    cache = stats["answer_cache"]
+    batching = stats["batching"]
+    print(
+        f"serve smoke: {len(observed)} answers checked against the oracle, "
+        f"{failures} mismatches"
+    )
+    print(
+        f"  generation={kb_stats['generation']} batches={batching['batches']} "
+        f"cache_hit_rate={cache['hit_rate']} dedup_saved={batching['dedup_saved']} "
+        f"workers={stats['workers']['mode']}"
+    )
+    if len(observed) != total_queries:
+        print(f"FAIL: expected {total_queries} answers, saw {len(observed)}")
+        failures += 1
+    if kb_stats["generation"] != 1 or "retracted_facts" not in mutation_response:
+        print(f"FAIL: retraction did not land (response: {mutation_response})")
+        failures += 1
+    if cache["invalidations"] < 1:
+        print("FAIL: the retraction never invalidated the answer cache")
+        failures += 1
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--queries", type=int, default=50)
+    options = parser.parse_args(argv)
+    return asyncio.run(_run(options.workers, options.queries))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,235 @@
+"""The CPU-bound worker tier: warm reasoning sessions behind an executor.
+
+Materialization, delta propagation, and query evaluation are CPU-bound, so
+the asyncio front end never runs them on the event loop.  Two executors
+implement one interface:
+
+* :class:`InlineWorkerTier` — the work runs in this process on a thread
+  (``asyncio.to_thread``), serialized by a lock (the fact-store's lazily
+  built indexes are not thread-safe).  Zero setup cost; the default for
+  tests, the perf capture, and single-core boxes.
+* :class:`PoolWorkerTier` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  whose workers each hold *warm sessions*: the first task touching a KB in
+  a worker process materializes it once, and every later task reuses the
+  live session.  Knowledge bases are shipped to workers as ``repro-kb/v1``
+  JSON payloads (compiled rules travel, saturation never re-runs — each
+  worker pays one plan-compile + materialize, served from its process-local
+  caches; see the fork-semantics notes in :mod:`repro.kb.cache`).
+
+Consistency across workers uses an **op log**: the server appends every
+mutation (as parseable fact text) to a per-KB ordered log and sends the
+log prefix with each task.  A worker session remembers how many ops it has
+applied and catches up on the missing suffix before answering, so any
+worker — no matter which subset of earlier tasks it happened to run —
+reaches exactly the generation the server assigned to the batch.  Sessions
+only move forward; the server's barrier around mutations (see
+:mod:`repro.serve.batcher`) guarantees no task ever needs a generation a
+worker has already passed.
+
+Worker results are JSON-ready dicts (answers pre-encoded via
+:func:`repro.serve.protocol.encode_answers`) so the pool pickles plain
+strings and ints, never interned term objects.  Each result also carries
+the worker's pid and its per-process compile-cache counters
+(:func:`repro.kb.cache.compile_cache_stats`), which the server's stats
+endpoint aggregates into a per-process view.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..datalog.query import parse_query
+from ..kb.cache import compile_cache_stats
+from ..logic.parser import parse_facts
+from .protocol import encode_answers, mutation_result
+
+#: an op-log entry: ("add" | "retract", facts text)
+OpLog = Sequence[Tuple[str, str]]
+
+
+def build_kb_spec(kb, initial_facts) -> Dict[str, str]:
+    """A picklable description of one served KB (payload JSON + seed facts).
+
+    ``kb`` is a :class:`repro.api.KnowledgeBase`; the spec round-trips its
+    compiled rewriting through the ``repro-kb/v1`` payload so worker
+    processes reconstruct it without re-running saturation.
+    """
+    from ..kb.format import knowledge_base_payload
+    from ..logic.printer import format_fact
+
+    payload = knowledge_base_payload(kb.tgds, kb.rewriting)
+    facts_text = "\n".join(format_fact(fact) for fact in sorted(initial_facts, key=str))
+    return {"kb_json": json.dumps(payload), "facts": facts_text}
+
+
+class WorkerState:
+    """Warm sessions for a set of KB specs, caught up against an op log.
+
+    One instance lives in each worker process (module global, installed by
+    the pool initializer) and one inside :class:`InlineWorkerTier`.
+    """
+
+    def __init__(self, specs: Dict[str, Dict[str, str]]) -> None:
+        self._specs = specs
+        #: name -> [session, ops_applied]
+        self._sessions: Dict[str, list] = {}
+
+    def _ensure(self, name: str) -> list:
+        entry = self._sessions.get(name)
+        if entry is None:
+            from ..api import KnowledgeBase
+            from ..kb.format import parse_kb_text
+
+            spec = self._specs[name]
+            tgds, rewriting = parse_kb_text(spec["kb_json"])
+            kb = KnowledgeBase(tgds=tgds, rewriting=rewriting)
+            session = kb.session(parse_facts(spec["facts"]))
+            entry = [session, 0]
+            self._sessions[name] = entry
+        return entry
+
+    def _catch_up(self, entry: list, ops: OpLog):
+        """Apply the op-log suffix this session has not seen; return the
+        result of the last op applied (``None`` if already caught up)."""
+        session, applied = entry
+        last = None
+        for kind, facts_text in list(ops)[applied:]:
+            delta = parse_facts(facts_text)
+            if kind == "add":
+                last = session.add_facts(delta)
+            else:
+                last = session.retract_facts(delta)
+        entry[1] = max(applied, len(ops))
+        return last
+
+    def answer_batch(
+        self, name: str, ops: OpLog, query_texts: Sequence[str]
+    ) -> Dict[str, object]:
+        """Catch up to the op-log prefix, evaluate the (deduplicated)
+        queries, return encoded answers."""
+        entry = self._ensure(name)
+        self._catch_up(entry, ops)
+        session = entry[0]
+        queries = [parse_query(text) for text in query_texts]
+        answer_sets = session.answer_many(queries)
+        return {
+            "answers": [encode_answers(answers) for answers in answer_sets],
+            "generation": entry[1],
+            "store_size": len(session),
+            "pid": os.getpid(),
+            "compile_cache": compile_cache_stats(),
+        }
+
+    def apply_mutation(self, name: str, ops: OpLog) -> Dict[str, object]:
+        """Catch up through the log, whose final entry is the requested
+        mutation; return that op's counters."""
+        entry = self._ensure(name)
+        last = self._catch_up(entry, ops)
+        if last is None:
+            # this session was already past the requested op (impossible
+            # under the server's mutation barrier, but stay honest)
+            raise RuntimeError(
+                f"worker session for {name!r} is ahead of the requested op log"
+            )
+        kind = ops[-1][0]
+        return {
+            "result": mutation_result(kind, last),
+            "generation": entry[1],
+            "store_size": len(entry[0]),
+            "pid": os.getpid(),
+            "compile_cache": compile_cache_stats(),
+        }
+
+
+# ----------------------------------------------------------------------
+# process-pool plumbing (module-level so the pool can pickle it)
+# ----------------------------------------------------------------------
+_POOL_STATE: Optional[WorkerState] = None
+
+
+def _pool_initializer(specs: Dict[str, Dict[str, str]]) -> None:
+    global _POOL_STATE
+    _POOL_STATE = WorkerState(specs)
+
+
+def _pool_answer_batch(name: str, ops: List[Tuple[str, str]], texts: List[str]):
+    return _POOL_STATE.answer_batch(name, ops, texts)
+
+
+def _pool_apply_mutation(name: str, ops: List[Tuple[str, str]]):
+    return _POOL_STATE.apply_mutation(name, ops)
+
+
+# ----------------------------------------------------------------------
+# the two executors
+# ----------------------------------------------------------------------
+class InlineWorkerTier:
+    """Run worker tasks in-process on a thread, one at a time."""
+
+    def __init__(self, specs: Dict[str, Dict[str, str]]) -> None:
+        self._state = WorkerState(specs)
+        self._lock = asyncio.Lock()
+
+    async def answer_batch(self, name, ops, texts) -> Dict[str, object]:
+        async with self._lock:
+            return await asyncio.to_thread(
+                self._state.answer_batch, name, list(ops), list(texts)
+            )
+
+    async def apply_mutation(self, name, ops) -> Dict[str, object]:
+        async with self._lock:
+            return await asyncio.to_thread(
+                self._state.apply_mutation, name, list(ops)
+            )
+
+    async def shutdown(self) -> None:
+        return None
+
+    def describe(self) -> Dict[str, object]:
+        return {"mode": "inline", "max_workers": 1}
+
+
+class PoolWorkerTier:
+    """Run worker tasks on a ProcessPoolExecutor with warm sessions."""
+
+    def __init__(self, specs: Dict[str, Dict[str, str]], max_workers: int) -> None:
+        if max_workers < 1:
+            raise ValueError(f"worker count must be positive, got {max_workers}")
+        self._max_workers = max_workers
+        self._executor = ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_pool_initializer,
+            initargs=(specs,),
+        )
+
+    async def answer_batch(self, name, ops, texts) -> Dict[str, object]:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, _pool_answer_batch, name, list(ops), list(texts)
+        )
+
+    async def apply_mutation(self, name, ops) -> Dict[str, object]:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, _pool_apply_mutation, name, list(ops)
+        )
+
+    async def shutdown(self) -> None:
+        # shutdown(wait=True) blocks; keep the event loop responsive
+        await asyncio.to_thread(self._executor.shutdown, True)
+
+    def describe(self) -> Dict[str, object]:
+        return {"mode": "pool", "max_workers": self._max_workers}
+
+
+def make_worker_tier(
+    specs: Dict[str, Dict[str, str]], workers: int
+) -> "InlineWorkerTier | PoolWorkerTier":
+    """``workers == 0`` → inline tier; ``workers >= 1`` → process pool."""
+    if workers == 0:
+        return InlineWorkerTier(specs)
+    return PoolWorkerTier(specs, workers)

@@ -277,6 +277,77 @@ class TestServeBatchCommand:
         assert "sw42" not in captured.out
         assert captured.err.index("delta") < captured.err.index("retract")
 
+    def test_serve_batch_reads_queries_from_stdin(
+        self, kb_file, facts_file, capsys, monkeypatch
+    ):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("Equipment(?x)\n"))
+        exit_code = main(["serve-batch", str(kb_file), str(facts_file), "-"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "sw1" in captured.out
+        assert "answered 1 queries" in captured.err
+
+    def test_serve_batch_json_emits_ndjson_results(
+        self, kb_file, facts_file, queries_file, capsys
+    ):
+        import json
+
+        exit_code = main(
+            ["serve-batch", str(kb_file), str(facts_file), str(queries_file), "--json"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        lines = [json.loads(line) for line in captured.out.splitlines() if line]
+        assert len(lines) == 2
+        by_query = {line["query"]: line for line in lines}
+        equipment = by_query["ans(?x) <- Equipment(?x)"]
+        assert equipment["count"] == len(equipment["answers"])
+        assert ["sw1"] in equipment["answers"]
+        assert ["sw2"] in equipment["answers"]
+        # answers are sorted rows of term strings — the canonical encoding
+        assert equipment["answers"] == sorted(equipment["answers"])
+
+    def test_serve_batch_json_from_stdin_pipeline(
+        self, kb_file, facts_file, capsys, monkeypatch
+    ):
+        import io
+        import json
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("Terminal(?x)\n% comment\nACEquipment(?x)\n")
+        )
+        exit_code = main(
+            ["serve-batch", str(kb_file), str(facts_file), "-", "--json"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        lines = [json.loads(line) for line in captured.out.splitlines() if line]
+        assert [line["query"] for line in lines] == [
+            "ans(?x) <- Terminal(?x)",
+            "ans(?x) <- ACEquipment(?x)",
+        ]
+
+
+class TestServeCommand:
+    def test_serve_rejects_duplicate_kb_names(self, kb_file, capsys):
+        exit_code = main(["serve", f"cim={kb_file}", f"cim={kb_file}"])
+        assert exit_code == 2
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_serve_rejects_facts_for_unknown_kb(self, kb_file, facts_file, capsys):
+        exit_code = main(
+            ["serve", f"cim={kb_file}", "--facts", f"other={facts_file}"]
+        )
+        assert exit_code == 2
+        assert "names no loaded knowledge base" in capsys.readouterr().err
+
+    def test_serve_rejects_missing_kb_file(self, tmp_path, capsys):
+        exit_code = main(["serve", str(tmp_path / "missing.kb.json")])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
 
 class TestStatsCommand:
     def test_stats_output(self, dependency_file, capsys):

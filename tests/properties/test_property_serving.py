@@ -1,0 +1,226 @@
+"""Hypothesis properties for the serving layer's consistency story.
+
+The headline property (the one the ISSUE demands): **no interleaving of
+cached answers and mutations can serve a stale result**.  Hypothesis draws
+random schedules of concurrent queries and ``add``/``retract`` mutations,
+drives them through a real :class:`~repro.serve.server.ReasoningServer`
+(micro-batching, answer cache, mutation barriers — the whole pipeline),
+and checks every served answer against a fresh single-threaded session
+replaying the server's own op log up to the generation stamped on the
+response.  A second, model-based property pins the same invariant on the
+:class:`~repro.serve.cache.AnswerCache` in isolation.
+"""
+
+import asyncio
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import KnowledgeBase
+from repro.datalog.query import parse_query
+from repro.logic.parser import parse_facts, parse_program
+from repro.serve.cache import AnswerCache
+from repro.serve.protocol import encode_answers
+from repro.serve.server import ReasoningServer, ServedKB
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+SIGMA = """
+ACEquipment(?x) -> exists ?y. hasTerminal(?x, ?y), ACTerminal(?y).
+ACTerminal(?x) -> Terminal(?x).
+hasTerminal(?x, ?z), Terminal(?z) -> Equipment(?x).
+"""
+
+SEED_FACTS = [
+    "ACEquipment(sw1).",
+    "ACEquipment(sw2).",
+    "hasTerminal(sw1, trm1).",
+    "ACTerminal(trm1).",
+]
+
+QUERY_TEXTS = [
+    "Equipment(?x)",
+    "Terminal(?x)",
+    "ACEquipment(?x)",
+    "ACEquipment(?x), hasTerminal(?x, ?y)",
+]
+
+#: facts the mutation schedule may add or retract (retracting one that is
+#: absent is a legal no-op mutation — it still bumps the generation)
+MUTABLE_FACTS = [
+    "ACEquipment(sw1).",
+    "ACEquipment(sw9).",
+    "hasTerminal(sw2, trm2).",
+    "ACTerminal(trm2).",
+]
+
+_KB = None
+
+
+def compiled_kb():
+    global _KB
+    if _KB is None:
+        _KB = KnowledgeBase.compile(parse_program(SIGMA).tgds)
+    return _KB
+
+
+# one schedule = waves of operations; operations inside a wave are issued
+# concurrently (asyncio.gather), waves run back to back
+operation = st.one_of(
+    st.sampled_from([("query", text) for text in QUERY_TEXTS]),
+    st.sampled_from([("query", text) for text in QUERY_TEXTS]),
+    st.sampled_from(
+        [("add", fact) for fact in MUTABLE_FACTS]
+        + [("retract", fact) for fact in MUTABLE_FACTS]
+    ),
+)
+schedules = st.lists(
+    st.lists(operation, min_size=1, max_size=4), min_size=1, max_size=4
+)
+
+
+def replay(op_log):
+    """The base-fact lines after applying a prefix of the server's op log."""
+    lines = list(SEED_FACTS)
+    for kind, fact in op_log:
+        if kind == "add":
+            if fact not in lines:
+                lines.append(fact)
+        else:
+            lines = [line for line in lines if line != fact]
+    return lines
+
+
+@RELAXED
+@given(schedule=schedules)
+def test_no_interleaving_of_cached_answers_and_mutations_serves_stale_results(
+    schedule,
+):
+    kb = compiled_kb()
+
+    async def drive():
+        server = ReasoningServer(
+            [ServedKB("cim", kb, parse_facts("\n".join(SEED_FACTS)))],
+            cache_size=8,  # small enough that eviction happens too
+        )
+        await server.start()
+        try:
+            clients = [server.local_client() for _ in range(3)]
+            served = []
+            mutations = []
+
+            async def run_op(slot, kind, payload):
+                client = clients[slot % len(clients)]
+                if kind == "query":
+                    response = await client.query(payload)
+                    served.append(response)
+                elif kind == "add":
+                    mutations.append(await client.add_facts(payload))
+                else:
+                    mutations.append(await client.retract_facts(payload))
+
+            for wave in schedule:
+                await asyncio.gather(
+                    *[
+                        run_op(slot, kind, payload)
+                        for slot, (kind, payload) in enumerate(wave)
+                    ]
+                )
+            return served, mutations
+        finally:
+            await server.shutdown()
+
+    served, mutations = asyncio.run(drive())
+
+    # reconstruct the server's op log from the generation each mutation
+    # response was stamped with: generation g means "the g-th op applied"
+    op_log = {}
+    for response, (kind, payload) in zip(
+        sorted(mutations, key=lambda r: r["generation"]),
+        [
+            (kind, payload)
+            for wave in schedule
+            for kind, payload in wave
+            if kind != "query"
+        ],
+    ):
+        assert response["ok"] is True
+        op_log[response["generation"]] = (kind, payload)
+    ordered_ops = [op_log[g] for g in sorted(op_log)]
+    assert sorted(op_log) == list(range(1, len(ordered_ops) + 1))
+
+    # every served answer must equal a fresh single-threaded session's
+    # answer over the base facts as of the response's stamped generation
+    oracle_cache = {}
+    for response in served:
+        generation = response["generation"]
+        if generation not in oracle_cache:
+            lines = replay(ordered_ops[:generation])
+            answers = kb.answer_many(
+                [parse_query(text) for text in QUERY_TEXTS],
+                parse_facts("\n".join(lines)),
+            )
+            oracle_cache[generation] = {
+                text: encode_answers(answer_set)
+                for text, answer_set in zip(QUERY_TEXTS, answers)
+            }
+        assert response["answers"] == oracle_cache[generation][response["query"]], (
+            f"stale answer for {response['query']!r} at generation {generation}"
+        )
+
+
+# ----------------------------------------------------------------------
+# the same invariant on the cache alone, against a reference model
+# ----------------------------------------------------------------------
+cache_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, 3), st.integers(0, 5)),
+        st.tuples(st.just("get"), st.integers(0, 3), st.just(0)),
+        st.tuples(st.just("invalidate"), st.integers(0, 1), st.just(0)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@RELAXED
+@given(ops=cache_ops)
+def test_answer_cache_never_returns_answers_from_a_superseded_generation(ops):
+    cache = AnswerCache(capacity=3)
+    generations = {"kb0": 0, "kb1": 0}
+    model = {}  # (kb, fp) -> (generation, payload) of the last accepted put
+
+    for kind, a, b in ops:
+        kb_key = f"kb{a % 2}"
+        fingerprint = f"q{a}"
+        if kind == "put":
+            payload = [[f"gen{generations[kb_key]}", f"v{b}"]]
+            accepted = cache.put(kb_key, fingerprint, generations[kb_key], payload)
+            assert accepted, "a put at the current generation must be accepted"
+            model[(kb_key, fingerprint)] = (generations[kb_key], payload)
+            # a put stamped with any *older* generation must be refused
+            if generations[kb_key] > 0:
+                assert not cache.put(
+                    kb_key, fingerprint, generations[kb_key] - 1, [["stale"]]
+                )
+        elif kind == "get":
+            answers = cache.get(kb_key, fingerprint)
+            if answers is not None:
+                generation, payload = model[(kb_key, fingerprint)]
+                assert generation == generations[kb_key], (
+                    "served an answer cached at a superseded generation"
+                )
+                assert answers == payload
+        else:
+            generations[kb_key] += 1
+            assert cache.invalidate(kb_key) == generations[kb_key]
+
+    for (kb_key, fingerprint), (generation, payload) in model.items():
+        answers = cache.get(kb_key, fingerprint)
+        if answers is not None:
+            assert generation == generations[kb_key]
+            assert answers == payload
