@@ -17,7 +17,15 @@ Quickstart::
         ACEquipment(sw1). ACEquipment(sw2).
     ''')
     kb = KnowledgeBase.compile(program.tgds, algorithm="hypdr")
-    print(kb.certain_base_facts(program.instance))
+    print(kb.session(program.instance).certain_base_facts())
+
+Query answering goes through :meth:`KnowledgeBase.answer_many` (or a
+session's ``answer``/``answer_many``), optionally tuned per call with
+:class:`QueryOptions` — the default ``auto`` strategy answers bound point
+queries goal-directedly via the magic-sets transformation::
+
+    from repro import QueryOptions, parse_query
+    kb.answer_many([parse_query("Equipment(sw1)")], program.instance)
 """
 
 from .api import KnowledgeBase, answer_query, entailed_base_facts
@@ -27,6 +35,7 @@ from .datalog import (
     DeltaUpdateResult,
     FactStore,
     MaterializationResult,
+    QueryOptions,
     ReasoningSession,
     RetractionResult,
     evaluate_query,
@@ -73,6 +82,7 @@ __all__ = [
     "KnowledgeBase",
     "MaterializationResult",
     "Predicate",
+    "QueryOptions",
     "ReasoningSession",
     "RetractionResult",
     "RewritingResult",

@@ -28,7 +28,7 @@ One-shot use::
     from repro import KnowledgeBase, parse_program
     program = parse_program("A(?x) -> B(?x). A(a).")
     kb = KnowledgeBase.compile(program.tgds)
-    kb.certain_base_facts(program.instance)
+    kb.session(program.instance).certain_base_facts()
 
 Session use::
 
@@ -38,10 +38,35 @@ Session use::
     session.retract_facts(stale)              # DRed unwind, not a rebuild
     session.answer_many([query1, query2])
 
-The legacy one-shot helpers (:func:`answer_query`,
-:func:`entailed_base_facts`) and the per-call :meth:`KnowledgeBase.answer` /
-:meth:`KnowledgeBase.certain_base_facts` remain as thin shims over the
-session layer.
+**Query strategies** — ``answer_many`` (and every query surface above it)
+accepts a keyword-only :class:`QueryOptions`.  The default ``auto`` strategy
+answers bound point queries on cold sessions *goal-directedly* through the
+magic-sets transformation (:mod:`repro.datalog.magic`), deriving only the
+facts the query's constants demand instead of the full fixpoint; warm
+sessions and unbound queries use the live materialization.  Answers are
+identical under every strategy — only the work differs::
+
+    kb.answer_many([query], facts)                                   # auto
+    kb.answer_many([query], facts, options=QueryOptions("demand"))   # forced
+
+Deprecated surface
+------------------
+
+The legacy one-shot shims — module-level :func:`answer_query` and
+:func:`entailed_base_facts`, and the per-call :meth:`KnowledgeBase.answer`
+and :meth:`KnowledgeBase.certain_base_facts` — predate sessions and
+:class:`QueryOptions`; each call recompiled its reasoning state from
+scratch.  They still work, but emit :class:`DeprecationWarning` and will be
+removed once nothing depends on them.  Migrate:
+
+* ``answer_query(tgds, I, q)`` → ``KnowledgeBase.compile(tgds).answer_many([q], I)``
+* ``entailed_base_facts(tgds, I)`` → ``KnowledgeBase.compile(tgds).session(I).certain_base_facts()``
+* ``kb.answer(q, I)`` → ``kb.answer_many([q], I)`` (or keep a session)
+* ``kb.certain_base_facts(I)`` → ``kb.session(I).certain_base_facts()``
+
+The blessed query surface (:class:`KnowledgeBase`, :class:`QueryOptions`,
+:class:`~repro.datalog.query.ConjunctiveQuery`) is re-exported from
+:mod:`repro`.
 
 For serving *concurrent* traffic against resident compiled KBs — an asyncio
 front end that micro-batches requests, a worker-process pool holding warm
@@ -51,6 +76,7 @@ the ``python -m repro serve`` command.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
@@ -61,7 +87,7 @@ from .datalog.engine import (
     compiled_engine,
 )
 from .datalog.program import DatalogProgram
-from .datalog.query import ConjunctiveQuery, evaluate_query
+from .datalog.query import ConjunctiveQuery, QueryOptions, evaluate_query
 from .datalog.session import ReasoningSession
 from .kb.cache import cached_rewrite, sigma_fingerprint
 from .kb.format import read_kb_file, write_kb_file
@@ -179,7 +205,10 @@ class KnowledgeBase:
     # sessions
     # ------------------------------------------------------------------
     def session(
-        self, instance: Instance | Iterable[Atom] = ()
+        self,
+        instance: Instance | Iterable[Atom] = (),
+        *,
+        defer_materialization: bool = False,
     ) -> ReasoningSession:
         """Open a long-lived reasoning session on an initial base instance.
 
@@ -188,8 +217,18 @@ class KnowledgeBase:
         ``retract_facts`` deltas are unwound by DRed, both instead of
         re-materializing from scratch.  All sessions of this knowledge base
         share one engine, so rule plans are compiled once and reused.
+
+        With ``defer_materialization=True`` the session starts cold — no
+        fixpoint is computed until something needs it — which lets the
+        ``auto``/``demand`` query strategies answer bound point queries
+        goal-directedly without ever paying for full materialization.
         """
-        return ReasoningSession(self.program, instance, engine=self.engine)
+        return ReasoningSession(
+            self.program,
+            instance,
+            engine=self.engine,
+            defer_materialization=defer_materialization,
+        )
 
     # ------------------------------------------------------------------
     # one-shot reasoning services (shims over the session layer)
@@ -203,7 +242,17 @@ class KnowledgeBase:
     def certain_base_facts(
         self, instance: Instance | Iterable[Atom]
     ) -> FrozenSet[Atom]:
-        """All base facts entailed by the instance and the GTGDs."""
+        """All base facts entailed by the instance and the GTGDs.
+
+        .. deprecated:: use ``kb.session(instance).certain_base_facts()``;
+           see "Deprecated surface" in the module docstring.
+        """
+        warnings.warn(
+            "KnowledgeBase.certain_base_facts(instance) is deprecated; use "
+            "kb.session(instance).certain_base_facts()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.session(instance).certain_base_facts()
 
     def entails(self, instance: Instance | Iterable[Atom], fact: Atom) -> bool:
@@ -216,17 +265,40 @@ class KnowledgeBase:
         self,
         query: ConjunctiveQuery,
         instance: Instance | Iterable[Atom],
+        *,
+        options: Optional[QueryOptions] = None,
     ) -> FrozenSet[Tuple[Term, ...]]:
-        """Answer an existential-free conjunctive query under certain-answer semantics."""
-        return self.session(instance).answer(query)
+        """Answer an existential-free conjunctive query under certain-answer semantics.
+
+        .. deprecated:: use :meth:`answer_many` (or keep a session); see
+           "Deprecated surface" in the module docstring.
+        """
+        warnings.warn(
+            "KnowledgeBase.answer(query, instance) is deprecated; use "
+            "kb.answer_many([query], instance) or keep a session",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.answer_many((query,), instance, options=options)[0]
 
     def answer_many(
         self,
         queries: Sequence[ConjunctiveQuery],
         instance: Instance | Iterable[Atom],
+        *,
+        options: Optional[QueryOptions] = None,
     ) -> Tuple[FrozenSet[Tuple[Term, ...]], ...]:
-        """Batched query answering: one materialization, many evaluations."""
-        return self.session(instance).answer_many(queries)
+        """Batched query answering over a fresh instance.
+
+        The session behind the batch starts cold, so the default ``auto``
+        strategy answers bound point queries goal-directedly (magic sets)
+        without paying for full materialization; the first
+        materialized-strategy query in the batch warms it once for the
+        rest.  Pass ``options`` to force a strategy (see
+        :class:`QueryOptions`).
+        """
+        session = self.session(instance, defer_materialization=True)
+        return session.answer_many(queries, options=options)
 
 
 def answer_query(
@@ -235,8 +307,19 @@ def answer_query(
     query: ConjunctiveQuery,
     algorithm: str = "hypdr",
 ) -> FrozenSet[Tuple[Term, ...]]:
-    """One-shot query answering: rewrite, materialize, evaluate."""
-    return KnowledgeBase.compile(tgds, algorithm=algorithm).answer(query, instance)
+    """One-shot query answering: rewrite, materialize, evaluate.
+
+    .. deprecated:: use ``KnowledgeBase.compile(tgds).answer_many([query],
+       instance)``; see "Deprecated surface" in the module docstring.
+    """
+    warnings.warn(
+        "answer_query is deprecated; use "
+        "KnowledgeBase.compile(tgds).answer_many([query], instance)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    kb = KnowledgeBase.compile(tgds, algorithm=algorithm)
+    return kb.answer_many((query,), instance)[0]
 
 
 def entailed_base_facts(
@@ -244,5 +327,17 @@ def entailed_base_facts(
     instance: Instance | Iterable[Atom],
     algorithm: str = "hypdr",
 ) -> FrozenSet[Atom]:
-    """One-shot computation of all entailed base facts via the rewriting."""
-    return KnowledgeBase.compile(tgds, algorithm=algorithm).certain_base_facts(instance)
+    """One-shot computation of all entailed base facts via the rewriting.
+
+    .. deprecated:: use ``KnowledgeBase.compile(tgds).session(instance)
+       .certain_base_facts()``; see "Deprecated surface" in the module
+       docstring.
+    """
+    warnings.warn(
+        "entailed_base_facts is deprecated; use "
+        "KnowledgeBase.compile(tgds).session(instance).certain_base_facts()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    kb = KnowledgeBase.compile(tgds, algorithm=algorithm)
+    return kb.session(instance).certain_base_facts()

@@ -72,6 +72,7 @@ PERF_SCENARIO_NAMES = (
     "skolem_chase",
     "guarded_oracle",
     "serving_throughput",
+    "demand_queries",
 )
 
 
@@ -287,14 +288,25 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         return 2
     instance = parse_program(Path(args.facts).read_text(encoding="utf-8")).instance
     instance.update(seed_facts)
+    # demand/auto strategies want a cold session so bound point queries can
+    # go goal-directed; the materialized strategy pays the fixpoint up front
+    strategy = getattr(args, "strategy", "auto") or "auto"
+    defer = strategy != "materialized"
     start = time.perf_counter()
-    session = kb.session(instance)
+    session = kb.session(instance, defer_materialization=defer)
     setup = time.perf_counter() - start
-    print(
-        f"# session: {len(kb.program)} rules, {len(instance)} base facts -> "
-        f"{len(session)} facts in {setup:.3f}s",
-        file=sys.stderr,
-    )
+    if session.is_cold:
+        print(
+            f"# session: {len(kb.program)} rules, {len(instance)} base facts, "
+            f"cold (strategy={strategy}) in {setup:.3f}s",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"# session: {len(kb.program)} rules, {len(instance)} base facts -> "
+            f"{len(session)} facts in {setup:.3f}s",
+            file=sys.stderr,
+        )
     for operation, path in args.updates or ():
         delta = parse_program(Path(path).read_text(encoding="utf-8")).instance
         start = time.perf_counter()
@@ -318,9 +330,11 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
                 f"({elapsed:.3f}s)",
                 file=sys.stderr,
             )
+    from .datalog.query import QueryOptions
+
     queries = _read_queries(args.queries)
     start = time.perf_counter()
-    answer_sets = session.answer_many(queries)
+    answer_sets = session.answer_many(queries, options=QueryOptions(strategy=strategy))
     elapsed = time.perf_counter() - start
     if args.json:
         from .serve.protocol import encode_message, query_result
@@ -336,11 +350,21 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
                 print("  " + ", ".join(str(term) for term in row))
             if not answers:
                 print("  (no answers)")
-    print(
-        f"# answered {len(queries)} queries over {len(session)} facts "
-        f"in {elapsed:.3f}s",
-        file=sys.stderr,
-    )
+    if session.is_cold:
+        demand = session.demand_stats
+        print(
+            f"# answered {len(queries)} queries goal-directed "
+            f"({demand['queries']} demand evaluations, "
+            f"{demand['predicates_touched']}/{demand['predicates_total']} "
+            f"predicates touched) in {elapsed:.3f}s",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"# answered {len(queries)} queries over {len(session)} facts "
+            f"in {elapsed:.3f}s",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -646,6 +670,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FACTS_FILE",
         help="fact file of base facts to un-assert via DRed (repeatable; "
         "applied in command-line order, interleaved with --delta)",
+    )
+    serve_parser.add_argument(
+        "--strategy",
+        choices=("auto", "materialized", "demand"),
+        default="auto",
+        help="query evaluation strategy: 'materialized' pays the full "
+        "fixpoint up front, 'demand' answers goal-directedly via magic "
+        "sets, 'auto' (default) goes goal-directed for bound queries on a "
+        "cold session (answers are identical under every strategy)",
     )
     _add_rewriting_options(serve_parser)
     serve_parser.set_defaults(handler=_command_serve_batch)

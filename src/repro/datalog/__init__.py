@@ -10,11 +10,21 @@ from .engine import (
     naive_reference_fixpoint,
 )
 from .index import FactStore
+from .magic import (
+    DemandAnswer,
+    DemandReport,
+    MagicProgram,
+    demand_answer,
+    magic_transform,
+    query_has_bound_arguments,
+)
 from .plan import BindingBatch, JoinPlanStats, PlanVariant, RulePlan
 from .program import DatalogProgram, DatalogValidationError
 from .query import (
     ConjunctiveQuery,
+    QueryOptions,
     QueryValidationError,
+    QUERY_STRATEGIES,
     boolean_query_holds,
     evaluate_query,
     parse_query,
@@ -28,18 +38,26 @@ __all__ = [
     "DatalogProgram",
     "DatalogValidationError",
     "DeltaUpdateResult",
+    "DemandAnswer",
+    "DemandReport",
     "FactStore",
     "JoinPlanStats",
+    "MagicProgram",
     "MaterializationResult",
     "PlanVariant",
+    "QUERY_STRATEGIES",
+    "QueryOptions",
     "QueryValidationError",
     "ReasoningSession",
     "RetractionResult",
     "RulePlan",
     "boolean_query_holds",
     "compiled_engine",
+    "demand_answer",
     "evaluate_query",
+    "magic_transform",
     "materialize",
     "naive_reference_fixpoint",
     "parse_query",
+    "query_has_bound_arguments",
 ]

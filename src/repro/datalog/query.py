@@ -26,6 +26,43 @@ class QueryValidationError(ValueError):
     """Raised when a query is not existential-free or otherwise malformed."""
 
 
+#: the evaluation strategies a query can request; see :class:`QueryOptions`
+QUERY_STRATEGIES = ("auto", "materialized", "demand")
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Per-call evaluation options for ``answer``/``answer_many``.
+
+    ``strategy`` selects how answers are computed (they are identical under
+    every strategy — only the work done differs):
+
+    * ``"materialized"`` — evaluate over the session's full materialization,
+      computing it first if the session is cold.  The right choice for warm
+      sessions and for batches that touch most of the KB.
+    * ``"demand"`` — goal-directed evaluation via the magic-sets
+      transformation (:mod:`repro.datalog.magic`): only derive facts the
+      query's bound arguments demand.  The right choice for bound point
+      queries on cold sessions; a query with no bound arguments degenerates
+      to (reachability-restricted) full materialization in a scratch store.
+    * ``"auto"`` (default) — ``demand`` when the session is cold *and* the
+      query has at least one bound argument, else ``materialized``.
+    """
+
+    strategy: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.strategy not in QUERY_STRATEGIES:
+            raise ValueError(
+                f"unknown query strategy {self.strategy!r}; "
+                f"expected one of {QUERY_STRATEGIES}"
+            )
+
+
+#: the default options: automatic strategy selection
+DEFAULT_QUERY_OPTIONS = QueryOptions()
+
+
 @dataclass(frozen=True)
 class ConjunctiveQuery:
     """An existential-free conjunctive query ``ans(x) <- body``."""

@@ -15,9 +15,16 @@ calls, so
   re-proves survivors — sessions shrink as cheaply as they grow;
 * ``answer(query)`` / ``answer_many(queries)`` evaluate existential-free
   conjunctive queries against the live materialization with no per-call
-  setup; and
+  setup — or, via :class:`~repro.datalog.query.QueryOptions`, goal-directedly
+  through the magic-sets transformation (:mod:`repro.datalog.magic`); and
 * ``snapshot()`` returns an immutable :class:`MaterializationResult` over a
   copy of the store, decoupled from later updates.
+
+A session constructed with ``defer_materialization=True`` starts *cold*: it
+holds its base facts but does not materialize until something needs the full
+fixpoint (a materialized answer, a mutation, a snapshot).  Demand-driven
+answers on a cold session never warm it, which is what makes cold
+point-query latency cheap — the ``auto`` strategy exists exactly for this.
 
 Sessions are obtained from :meth:`repro.api.KnowledgeBase.session` (which
 supplies the compiled rewriting) or constructed directly from any Datalog
@@ -26,7 +33,7 @@ program.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..logic.atoms import Atom
 from ..logic.instance import Instance
@@ -40,9 +47,10 @@ from .engine import (
     compiled_engine,
 )
 from .index import FactStore
+from .magic import demand_answer, query_has_bound_arguments
 from .program import DatalogProgram
 from .plan import JoinPlanStats
-from .query import ConjunctiveQuery, evaluate_query
+from .query import ConjunctiveQuery, QueryOptions, evaluate_query
 
 
 class ReasoningSession:
@@ -53,6 +61,8 @@ class ReasoningSession:
         program: DatalogProgram | Iterable[Rule],
         instance: Instance | Iterable[Atom] = (),
         engine: DatalogEngine | None = None,
+        *,
+        defer_materialization: bool = False,
     ) -> None:
         if engine is not None:
             self._engine = engine
@@ -62,21 +72,41 @@ class ReasoningSession:
             # the shared engine cache means every session over the same
             # program reuses one set of compiled join plans
             self._engine = compiled_engine(program)
-        initial = self._engine.materialize(instance)
-        self._store = initial.store
-        self._rounds = initial.rounds
-        self._derived = initial.derived_count
-        self._applications = initial.rule_applications
-        # counted directly from the store's base bookkeeping, not by
-        # subtracting derived_count from the store size: the subtraction
-        # miscounts duplicated inputs and goes stale once retraction shrinks
-        # the store
-        self._added_facts = initial.store.base_count
+        self._store: Optional[FactStore] = None
+        self._pending: Tuple[Atom, ...] = tuple(instance)
+        self._rounds = 0
+        self._derived = 0
+        self._applications = 0
+        self._added_facts = 0
         self._retracted_facts = 0
         self._updates = 0
         self._retractions = 0
-        self._join_stats = JoinPlanStats.merge_snapshot({}, initial.join_stats)
+        self._join_stats: Dict[str, int] = {}
         self._mutation_listeners: List[Callable[["ReasoningSession", str], None]] = []
+        self._demand_queries = 0
+        self._demand_magic_facts = 0
+        self._demand_rounds = 0
+        self._demand_predicates_touched = 0
+        if not defer_materialization:
+            self._warm()
+
+    def _warm(self) -> FactStore:
+        """The live store, computing the initial materialization on first use."""
+        store = self._store
+        if store is None:
+            initial = self._engine.materialize(self._pending)
+            store = self._store = initial.store
+            self._pending = ()
+            self._rounds += initial.rounds
+            self._derived += initial.derived_count
+            self._applications += initial.rule_applications
+            # counted directly from the store's base bookkeeping, not by
+            # subtracting derived_count from the store size: the subtraction
+            # miscounts duplicated inputs and goes stale once retraction
+            # shrinks the store
+            self._added_facts += initial.store.base_count
+            JoinPlanStats.merge_snapshot(self._join_stats, initial.join_stats)
+        return store
 
     # ------------------------------------------------------------------
     # introspection
@@ -87,8 +117,22 @@ class ReasoningSession:
 
     @property
     def store(self) -> FactStore:
-        """The live store (mutated by :meth:`add_facts`/:meth:`retract_facts`)."""
-        return self._store
+        """The live store (mutated by :meth:`add_facts`/:meth:`retract_facts`).
+
+        Accessing it warms a cold session (full materialization).
+        """
+        return self._warm()
+
+    @property
+    def is_cold(self) -> bool:
+        """``True`` until the full materialization has been computed.
+
+        Sessions opened with ``defer_materialization=True`` start cold and
+        stay cold across demand-driven answers; any materialized-path access
+        (mutations, snapshots, materialized answers, the store itself) warms
+        them permanently.
+        """
+        return self._store is None
 
     @property
     def update_count(self) -> int:
@@ -128,6 +172,8 @@ class ReasoningSession:
     @property
     def base_fact_count(self) -> int:
         """Currently-asserted base facts (survivors of every add/retract)."""
+        if self._store is None:
+            return len(set(self._pending))
         return self._store.base_count
 
     @property
@@ -169,13 +215,13 @@ class ReasoningSession:
         return JoinPlanStats.with_hit_rate(dict(self._join_stats))
 
     def __len__(self) -> int:
-        return len(self._store)
+        return len(self._warm())
 
     def __contains__(self, fact: Atom) -> bool:
-        return fact in self._store
+        return fact in self._warm()
 
     def facts(self) -> FrozenSet[Atom]:
-        return self._store.facts()
+        return self._warm().facts()
 
     # ------------------------------------------------------------------
     # incremental updates
@@ -189,7 +235,7 @@ class ReasoningSession:
         rounds/rule applications it took.  The propagation always runs to
         fixpoint — a truncated update would poison every later answer.
         """
-        result = self._engine.extend(self._store, facts)
+        result = self._engine.extend(self._warm(), facts)
         self._rounds += result.rounds
         self._derived += result.derived_count
         self._applications += result.rule_applications
@@ -215,7 +261,7 @@ class ReasoningSession:
         and whatever stays entailed by the surviving assertions stays in the
         store.
         """
-        result = self._engine.retract(self._store, facts)
+        result = self._engine.retract(self._warm(), facts)
         self._rounds += result.rounds
         self._applications += result.rule_applications
         self._retracted_facts += result.retracted_facts
@@ -231,36 +277,108 @@ class ReasoningSession:
     # ------------------------------------------------------------------
     # query answering
     # ------------------------------------------------------------------
-    def answer(self, query: ConjunctiveQuery) -> FrozenSet[Tuple[Term, ...]]:
-        """Certain answers of one existential-free conjunctive query."""
-        return evaluate_query(query, self._store)
+    def resolve_strategy(
+        self, query: ConjunctiveQuery, options: Optional[QueryOptions] = None
+    ) -> str:
+        """The effective strategy for a query: ``"materialized"`` or ``"demand"``.
+
+        ``auto`` resolves to ``demand`` exactly when the session is cold and
+        the query carries at least one bound argument; answering a
+        materialized-resolved query warms the session, so later ``auto``
+        queries in the same batch resolve to ``materialized``.
+        """
+        strategy = options.strategy if options is not None else "auto"
+        if strategy == "auto":
+            if self.is_cold and query_has_bound_arguments(query):
+                return "demand"
+            return "materialized"
+        return strategy
+
+    def _current_base_facts(self) -> Tuple[Atom, ...]:
+        """The currently-asserted base facts, without warming a cold session."""
+        if self._store is None:
+            return self._pending
+        return tuple(self._store.base_facts())
+
+    def _answer_demand(self, query: ConjunctiveQuery) -> FrozenSet[Tuple[Term, ...]]:
+        result = demand_answer(
+            self._engine.program, self._current_base_facts(), query
+        )
+        self._demand_queries += 1
+        self._demand_magic_facts += result.report.magic_facts
+        self._demand_rounds += result.report.rounds
+        self._demand_predicates_touched = max(
+            self._demand_predicates_touched, result.report.predicates_touched
+        )
+        return result.answers
+
+    @property
+    def demand_stats(self) -> Dict[str, int]:
+        """Cumulative counters for demand-driven answers on this session.
+
+        ``queries`` demand evaluations served; ``magic_facts`` and ``rounds``
+        summed over them; ``predicates_touched`` the worst case (maximum)
+        demand footprint in original predicates, against
+        ``predicates_total``.  See :mod:`repro.datalog.magic` for how to
+        read the footprint counters.
+        """
+        return {
+            "queries": self._demand_queries,
+            "magic_facts": self._demand_magic_facts,
+            "rounds": self._demand_rounds,
+            "predicates_touched": self._demand_predicates_touched,
+            "predicates_total": len(self._engine.program.predicates()),
+        }
+
+    def answer(
+        self,
+        query: ConjunctiveQuery,
+        *,
+        options: Optional[QueryOptions] = None,
+    ) -> FrozenSet[Tuple[Term, ...]]:
+        """Certain answers of one existential-free conjunctive query.
+
+        Answers are strategy-invariant; ``options`` only chooses how much
+        work is done (see :class:`~repro.datalog.query.QueryOptions`).
+        """
+        if self.resolve_strategy(query, options) == "demand":
+            return self._answer_demand(query)
+        return evaluate_query(query, self._warm())
 
     def answer_many(
-        self, queries: Sequence[ConjunctiveQuery]
+        self,
+        queries: Sequence[ConjunctiveQuery],
+        *,
+        options: Optional[QueryOptions] = None,
     ) -> Tuple[FrozenSet[Tuple[Term, ...]], ...]:
         """Batched evaluation: one answer set per query, in input order.
 
-        All queries run against the same live materialization, so a batch
-        pays the (already-amortized) fixpoint exactly once.  Duplicate
-        queries within a batch are evaluated once and fanned out — the
-        serving layer's micro-batcher leans on this to amortize plan probes
-        across concurrent requests asking the same thing.
+        All materialized-strategy queries run against the same live
+        materialization, so a batch pays the (already-amortized) fixpoint
+        exactly once.  Duplicate queries within a batch are evaluated once
+        and fanned out — the serving layer's micro-batcher leans on this to
+        amortize plan probes across concurrent requests asking the same
+        thing.  Strategies resolve per query in input order: once one query
+        warms the session, later ``auto`` queries go materialized.
         """
         evaluated: Dict[ConjunctiveQuery, FrozenSet[Tuple[Term, ...]]] = {}
         for query in queries:
             if query not in evaluated:
-                evaluated[query] = evaluate_query(query, self._store)
+                if self.resolve_strategy(query, options) == "demand":
+                    evaluated[query] = self._answer_demand(query)
+                else:
+                    evaluated[query] = evaluate_query(query, self._warm())
         return tuple(evaluated[query] for query in queries)
 
     def entails(self, fact: Atom) -> bool:
         """Decide ``I, Σ |= F`` for a base fact over the live materialization."""
         if not fact.is_base_fact:
             raise ValueError("entailment is defined for base facts only")
-        return fact in self._store
+        return fact in self._warm()
 
     def certain_base_facts(self) -> FrozenSet[Atom]:
         """All base facts of the live materialization."""
-        return frozenset(fact for fact in self._store if fact.is_base_fact)
+        return frozenset(fact for fact in self._warm() if fact.is_base_fact)
 
     # ------------------------------------------------------------------
     # snapshots
@@ -273,13 +391,18 @@ class ReasoningSession:
         cumulative totals (rounds, derived facts, rule applications).
         """
         return MaterializationResult(
-            store=self._store.copy(),
+            store=self._warm().copy(),
             rounds=self._rounds,
             derived_count=self._derived,
             rule_applications=self._applications,
         )
 
     def __repr__(self) -> str:
+        if self._store is None:
+            return (
+                f"ReasoningSession({len(self.program)} rules, cold, "
+                f"{len(self._pending)} pending base facts)"
+            )
         return (
             f"ReasoningSession({len(self.program)} rules, {len(self._store)} facts, "
             f"{self._updates} updates, {self._retractions} retractions)"

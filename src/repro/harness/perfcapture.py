@@ -72,6 +72,7 @@ SCENARIO_NAMES: Tuple[str, ...] = (
     "skolem_chase",
     "guarded_oracle",
     "serving_throughput",
+    "demand_queries",
 )
 
 #: every scenario payload carries a ``status`` flag so a baseline comparison
@@ -1107,6 +1108,174 @@ def capture_serving_throughput(
     }
 
 
+def capture_demand_queries(
+    suite_size: int = 3,
+    max_axioms: int = 40,
+    fact_count: int = 4000,
+    query_count: int = 5,
+    repeats: int = 2,
+    timeout_seconds: float = 8.0,
+) -> Dict[str, object]:
+    """Cold bound point-queries: goal-directed (magic sets) vs full materialize.
+
+    Takes the largest completed ontology-suite rewriting, generates a base
+    instance, and builds ``query_count`` *bound point queries* — one IDB
+    predicate each, first argument bound to an instance constant — the
+    workload the demand transformation exists for.  Each query is answered
+    two ways from a completely cold start, best of ``repeats`` with a fresh
+    session per run (the same fairness rule as :func:`_best_of`):
+
+    * **demand** — a deferred session (``defer_materialization=True``)
+      answered with ``QueryOptions(strategy="demand")``, so only the
+      magic-restricted fragment of the fixpoint is ever computed;
+    * **materialized** — a fresh session that pays the full fixpoint before
+      evaluating the same query, the cost a cold ``serve-batch`` pays today.
+
+    ``speedup_demand_vs_materialized`` is the ratio of the summed best
+    times.  Answer-set equality of the two paths is recorded per row
+    (``agreement``) and as the scenario-level flag — deliberately ``False``
+    when no query was measured, so an empty run cannot read as "verified"
+    downstream (CI asserts the flag).  The ``magic`` block aggregates the
+    per-query :class:`repro.datalog.magic.DemandReport` counters:
+    transform-shape counts (``adorned_rules``/``magic_rules``/``copy_rules``,
+    max over queries — they describe rewritten programs, not work), summed
+    ``magic_facts``, and how many predicates the demand runs touched out of
+    the program total (see the docstring of :mod:`repro.datalog.magic` for
+    how to read each counter).
+    """
+    import gc
+
+    from ..api import KnowledgeBase
+    from ..datalog.magic import demand_answer
+    from ..datalog.query import QueryOptions, parse_query
+    from ..workloads.instances import generate_instance
+    from ..workloads.ontology_suite import generate_suite
+
+    settings = RewritingSettings(timeout_seconds=timeout_seconds)
+    wall_start = time.perf_counter()
+    suite = generate_suite(
+        count=suite_size, seed=2022, min_axioms=12, max_axioms=max_axioms
+    )
+    completed = []
+    all_completed = True
+    for item in suite:
+        result = rewrite(item.tgds, algorithm="exbdr", settings=settings)
+        all_completed = all_completed and result.completed
+        if result.completed:
+            completed.append((item, result))
+    completed.sort(key=lambda pair: pair[1].output_size, reverse=True)
+    if not completed:
+        return {
+            "wall_seconds": round(time.perf_counter() - wall_start, 6),
+            "status": STATUS_TIMED_OUT,
+            "queries": 0,
+            "agreement": False,
+        }
+    item, rewriting = completed[0]
+    kb = KnowledgeBase(tgds=tuple(item.tgds), rewriting=rewriting)
+    instance = generate_instance(
+        item.tgds,
+        fact_count=fact_count,
+        constant_count=max(50, fact_count // 10),
+        seed=int(item.identifier),
+    )
+    facts = tuple(sorted(instance, key=str))
+    # bound point queries: one IDB atom, first argument a constant that
+    # occurs in the instance — the access pattern magic sets reward
+    idb = sorted(
+        (pred for pred in kb.program.idb_predicates() if pred.arity >= 1),
+        key=lambda pred: (pred.name, pred.arity),
+    )
+    constants = sorted(
+        {arg for fact in facts for arg in fact.args if arg.is_ground}, key=str
+    )
+    if not idb or not constants:
+        return {
+            "wall_seconds": round(time.perf_counter() - wall_start, 6),
+            "status": STATUS_COMPLETED if all_completed else STATUS_TIMED_OUT,
+            "queries": 0,
+            "agreement": False,
+        }
+    query_texts = []
+    for index in range(query_count):
+        pred = idb[index % len(idb)]
+        constant = constants[(index * 7) % len(constants)]
+        free = [f"?x{position}" for position in range(1, pred.arity)]
+        query_texts.append(f"{pred.name}({', '.join([str(constant)] + free)})")
+    queries = [parse_query(text) for text in query_texts]
+
+    def run_demand(query):
+        session = kb.session(facts, defer_materialization=True)
+        return session.answer(query, options=QueryOptions(strategy="demand"))
+
+    def run_materialized(query):
+        session = kb.session(facts)  # pays the full fixpoint
+        return session.answer(query, options=QueryOptions(strategy="materialized"))
+
+    rows = []
+    demand_total = 0.0
+    materialized_total = 0.0
+    magic_totals: Dict[str, int] = {}
+    all_agree = True
+    for text, query in zip(query_texts, queries):
+        gc.collect()
+        demand_seconds, demand_answers = _best_of(repeats, run_demand, query)
+        gc.collect()
+        materialized_seconds, full_answers = _best_of(
+            repeats, run_materialized, query
+        )
+        agree = demand_answers == full_answers
+        all_agree = all_agree and agree
+        demand_total += demand_seconds
+        materialized_total += materialized_seconds
+        # one untimed demand run for the transform/derivation counters (the
+        # timed runs go through the session path users actually hit)
+        report = demand_answer(kb.program, facts, query).report.as_dict()
+        for key in ("adorned_rules", "magic_rules", "copy_rules"):
+            magic_totals[key] = max(magic_totals.get(key, 0), report[key])
+        magic_totals["magic_facts"] = (
+            magic_totals.get("magic_facts", 0) + report["magic_facts"]
+        )
+        magic_totals["predicates_touched"] = max(
+            magic_totals.get("predicates_touched", 0), report["predicates_touched"]
+        )
+        magic_totals["predicates_total"] = report["predicates_total"]
+        rows.append(
+            {
+                "query": text,
+                "answers": len(demand_answers),
+                "demand_seconds": round(demand_seconds, 6),
+                "materialized_seconds": round(materialized_seconds, 6),
+                "speedup": round(materialized_seconds / demand_seconds, 2)
+                if demand_seconds
+                else None,
+                "agreement": agree,
+                "magic": report,
+            }
+        )
+    return {
+        "wall_seconds": round(time.perf_counter() - wall_start, 6),
+        "status": STATUS_COMPLETED if all_completed else STATUS_TIMED_OUT,
+        "input_id": item.identifier,
+        "rule_count": rewriting.output_size,
+        "base_facts": len(facts),
+        "queries": len(rows),
+        "repeats": max(1, repeats),
+        "demand_seconds": round(demand_total, 6),
+        "materialized_seconds": round(materialized_total, 6),
+        "speedup_demand_vs_materialized": round(
+            materialized_total / demand_total, 2
+        )
+        if demand_total
+        else None,
+        "magic": magic_totals,
+        # deliberately False when nothing was measured: an empty run must
+        # not read as "demand ≡ materialized verified" downstream
+        "agreement": bool(rows) and all_agree,
+        "rows": rows,
+    }
+
+
 def capture_perf(
     smoke: bool = False, scenarios: Optional[Sequence[str]] = None
 ) -> Dict[str, object]:
@@ -1154,6 +1323,10 @@ def capture_perf(
                 suite_size=2, max_axioms=24, fact_count=200, clients=4,
                 queries_per_client=4, distinct_queries=4,
             ),
+            "demand_queries": lambda: capture_demand_queries(
+                suite_size=2, max_axioms=24, fact_count=300, query_count=3,
+                repeats=1,
+            ),
         }
     else:
         runners = {
@@ -1165,6 +1338,7 @@ def capture_perf(
             "skolem_chase": capture_skolem_chase,
             "guarded_oracle": capture_guarded_oracle,
             "serving_throughput": capture_serving_throughput,
+            "demand_queries": capture_demand_queries,
         }
     # start from empty intern tables so repeated in-process captures measure
     # the same (cold) workload and report comparable hit rates

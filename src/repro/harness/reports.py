@@ -308,6 +308,24 @@ def perf_report(payload: Mapping[str, object]) -> str:
                 f"dedup saved {block.get('dedup_saved', 0)})"
                 + ("" if serving.get("stale_free", True) else " (STALE ANSWERS!)")
             )
+        demand = scenarios.get("demand_queries")
+        # render whenever there is a speedup to report OR a divergence to
+        # flag — a disagreeing demand run must never lose its warning
+        if isinstance(demand, Mapping) and (
+            demand.get("speedup_demand_vs_materialized")
+            or demand.get("agreement") is False
+        ):
+            magic = _stats_block(demand, "magic")
+            lines.append(
+                f"demand_queries: goal-directed (magic sets) answering "
+                f"{demand.get('speedup_demand_vs_materialized') or '?'}x faster "
+                f"than cold full materialization over {demand.get('queries', 0)} "
+                f"bound point queries ({magic.get('adorned_rules', 0)} adorned "
+                f"rules, {magic.get('magic_facts', 0)} magic facts, "
+                f"{magic.get('predicates_touched', 0)}/"
+                f"{magic.get('predicates_total', 0)} predicates touched)"
+                + ("" if demand.get("agreement", True) else " (DISAGREEMENT!)")
+            )
     status_changes = payload.get("scenario_status_vs_baseline")
     if isinstance(status_changes, Mapping):
         for name, change in sorted(status_changes.items()):
@@ -515,6 +533,32 @@ def step_summary_markdown(payload: Mapping[str, object]) -> str:
                     )
                     lines.append("")
                     lines.append(f"Batch-size histogram (size×count): {rendered}")
+        demand = scenarios.get("demand_queries")
+        if isinstance(demand, Mapping):
+            magic = _stats_block(demand, "magic")
+            # older captures have no demand scenario; render only when the
+            # magic block is actually there so baselines keep comparing
+            if magic:
+                speedup = demand.get("speedup_demand_vs_materialized")
+                lines.append("")
+                lines.append("### Magic-set stats (demand_queries)")
+                lines.append("")
+                lines.append(
+                    "| Queries | Adorned rules | Magic rules | Magic facts "
+                    "| Predicates touched | Speedup vs materialized |"
+                )
+                lines.append("| ---: | ---: | ---: | ---: | ---: | ---: |")
+                lines.append(
+                    f"| {demand.get('queries', '–')} "
+                    f"| {magic.get('adorned_rules', '–')} "
+                    f"| {magic.get('magic_rules', '–')} "
+                    f"| {magic.get('magic_facts', '–')} "
+                    f"| {magic.get('predicates_touched', '–')}/"
+                    f"{magic.get('predicates_total', '–')} "
+                    f"| {f'{speedup}x' if speedup else '–'}"
+                    + ("" if demand.get("agreement", True) else " (DISAGREEMENT!)")
+                    + " |"
+                )
     if isinstance(baseline, Mapping) and "error" in baseline:
         lines.append("")
         lines.append(f"**Baseline comparison failed:** {baseline['error']}")

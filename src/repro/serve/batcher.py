@@ -44,6 +44,8 @@ class PendingRequest:
     future: "asyncio.Future"
     #: canonical cache fingerprint, filled by the server for queries
     fingerprint: Optional[str] = None
+    #: requested evaluation strategy (queries only; see QueryOptions)
+    strategy: str = "auto"
     enqueued_at: float = field(default_factory=time.perf_counter)
 
 
@@ -117,6 +119,8 @@ class BatcherStats:
         self.mutations = 0
         #: batch size (number of grouped query requests) -> occurrences
         self.batch_size_histogram: Dict[int, int] = {}
+        #: requested strategy -> query requests asking for it
+        self.requests_by_strategy: Dict[str, int] = {}
 
     def record_batch(self, size: int, cache_hits: int, evaluated: int) -> None:
         """One dispatched query batch: ``size`` requests grouped, of which
@@ -128,6 +132,12 @@ class BatcherStats:
         self.evaluated += evaluated
         self.dedup_saved += (size - cache_hits) - evaluated
         self.batch_size_histogram[size] = self.batch_size_histogram.get(size, 0) + 1
+
+    def record_strategy(self, strategy: str) -> None:
+        """Count one query request by the strategy it asked for."""
+        self.requests_by_strategy[strategy] = (
+            self.requests_by_strategy.get(strategy, 0) + 1
+        )
 
     def record_mutation(self) -> None:
         self.mutations += 1
@@ -141,6 +151,7 @@ class BatcherStats:
             "evaluated": self.evaluated,
             "dedup_saved": self.dedup_saved,
             "mutations": self.mutations,
+            "requests_by_strategy": dict(sorted(self.requests_by_strategy.items())),
             "max_batch_size": max(self.batch_size_histogram, default=0),
             "batch_size_histogram": {
                 str(size): count

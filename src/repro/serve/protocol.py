@@ -20,6 +20,11 @@ verbatim in the response, so clients may pipeline)::
     {"id": 5, "op": "ping"}
 
 ``kb`` may be omitted when the server hosts exactly one knowledge base.
+A query request may carry a ``strategy`` field — one of ``"auto"``
+(default), ``"materialized"``, ``"demand"`` — selecting how the worker
+evaluates it (see :class:`repro.datalog.query.QueryOptions`); answers are
+identical under every strategy, and the server counts requests per
+strategy in its ``stats`` payload.
 
 Responses
 ---------
@@ -43,6 +48,11 @@ PROTOCOL_VERSION = "repro-serve/v1"
 
 #: request operations the server understands
 REQUEST_OPS = ("query", "add", "retract", "stats", "ping")
+
+#: strategies a query request may ask for (mirrors QUERY_STRATEGIES in
+#: repro.datalog.query; duplicated as plain strings so the protocol module
+#: stays import-light)
+QUERY_STRATEGIES = ("auto", "materialized", "demand")
 
 
 class ProtocolError(ValueError):
@@ -87,8 +97,15 @@ def validate_request(message: Mapping[str, object]) -> str:
         raise ProtocolError(
             f"unknown op {op!r}; expected one of {', '.join(REQUEST_OPS)}"
         )
-    if op == "query" and not isinstance(message.get("query"), str):
-        raise ProtocolError("a query request needs a string 'query' field")
+    if op == "query":
+        if not isinstance(message.get("query"), str):
+            raise ProtocolError("a query request needs a string 'query' field")
+        strategy = message.get("strategy", "auto")
+        if strategy not in QUERY_STRATEGIES:
+            raise ProtocolError(
+                f"unknown strategy {strategy!r}; expected one of "
+                f"{', '.join(QUERY_STRATEGIES)}"
+            )
     if op in ("add", "retract") and not isinstance(message.get("facts"), str):
         raise ProtocolError(f"an {op} request needs a string 'facts' field")
     return op

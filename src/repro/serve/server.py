@@ -88,6 +88,8 @@ class _KBState:
         #: is the KB's generation
         self.ops: List[Tuple[str, str]] = []
         self.stats = BatcherStats()
+        #: effective strategy (reported by the workers) -> evaluations run
+        self.evaluated_by_strategy: Dict[str, int] = {}
         self.inflight: Set[asyncio.Task] = set()
         self.drain_task: Optional[asyncio.Task] = None
 
@@ -247,6 +249,7 @@ class ReasoningServer:
                 text=str(message["query"]),
                 future=asyncio.get_running_loop().create_future(),
                 fingerprint=query_fingerprint(query),
+                strategy=str(message.get("strategy", "auto")),
             )
         else:
             try:
@@ -327,6 +330,7 @@ class ReasoningServer:
         cache_hits = 0
         misses: Dict[str, List[PendingRequest]] = {}
         for pending in batch:
+            state.stats.record_strategy(pending.strategy)
             answers = self.cache.get(state.key, pending.fingerprint)
             if answers is not None:
                 cache_hits += 1
@@ -360,14 +364,22 @@ class ReasoningServer:
     ) -> None:
         fingerprints = list(misses)
         texts = [misses[fp][0].text for fp in fingerprints]
+        # deduplicated queries evaluate under the strategy of the first
+        # request asking for them (answers are strategy-invariant, so the
+        # fan-out below is correct for every requester)
+        strategies = [misses[fp][0].strategy for fp in fingerprints]
         try:
-            payload = await self._tier.answer_batch(state.key, ops, texts)
+            payload = await self._tier.answer_batch(state.key, ops, texts, strategies)
         except Exception as exc:  # noqa: B902 - delivered via the futures
             for fingerprint in fingerprints:
                 for pending in misses[fingerprint]:
                     self._resolve(pending, exception=exc)
             return
         self._note_worker(payload)
+        for effective in payload.get("strategies", ()):
+            state.evaluated_by_strategy[effective] = (
+                state.evaluated_by_strategy.get(effective, 0) + 1
+            )
         for fingerprint, answers in zip(fingerprints, payload["answers"]):
             self.cache.put(state.key, fingerprint, generation, answers)
             for pending in misses[fingerprint]:
@@ -408,6 +420,7 @@ class ReasoningServer:
         """The JSON stats block (``op: stats`` and the perf capture)."""
         kbs: Dict[str, object] = {}
         merged = BatcherStats()
+        merged_evaluated_by_strategy: Dict[str, int] = {}
         for name, key in sorted(self._names.items()):
             state = self._states[key]
             kbs[name] = {
@@ -417,6 +430,9 @@ class ReasoningServer:
                 "generation": state.generation,
                 "queued": len(state.queue),
                 "batcher": state.stats.snapshot(),
+                "evaluated_by_strategy": dict(
+                    sorted(state.evaluated_by_strategy.items())
+                ),
             }
         for state in self._states.values():
             merged.batches += state.stats.batches
@@ -429,6 +445,18 @@ class ReasoningServer:
                 merged.batch_size_histogram[size] = (
                     merged.batch_size_histogram.get(size, 0) + count
                 )
+            for strategy, count in state.stats.requests_by_strategy.items():
+                merged.requests_by_strategy[strategy] = (
+                    merged.requests_by_strategy.get(strategy, 0) + count
+                )
+            for strategy, count in state.evaluated_by_strategy.items():
+                merged_evaluated_by_strategy[strategy] = (
+                    merged_evaluated_by_strategy.get(strategy, 0) + count
+                )
+        batching = merged.snapshot()
+        batching["evaluated_by_strategy"] = dict(
+            sorted(merged_evaluated_by_strategy.items())
+        )
         workers = dict(self._tier.describe()) if self._tier is not None else {}
         workers["per_process_compile_cache"] = dict(self._worker_processes)
         # the front-end process compiles too (KB loading); report it under
@@ -442,7 +470,7 @@ class ReasoningServer:
             "draining": self._closing,
             "kbs": kbs,
             "answer_cache": self.cache.stats(),
-            "batching": merged.snapshot(),
+            "batching": batching,
             "workers": workers,
         }
 
@@ -505,10 +533,17 @@ class _ClientOps:
             raise ServeError(response.get("error") or "request failed")
         return response
 
-    async def query(self, query: str, kb: Optional[str] = None) -> Dict[str, object]:
+    async def query(
+        self,
+        query: str,
+        kb: Optional[str] = None,
+        strategy: Optional[str] = None,
+    ) -> Dict[str, object]:
         message: Dict[str, object] = {"op": "query", "query": query}
         if kb is not None:
             message["kb"] = kb
+        if strategy is not None:
+            message["strategy"] = strategy
         return await self._checked(message)
 
     async def add_facts(self, facts: str, kb: Optional[str] = None) -> Dict[str, object]:

@@ -42,7 +42,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..datalog.query import parse_query
+from ..datalog.query import QueryOptions, parse_query
 from ..kb.cache import compile_cache_stats
 from ..logic.parser import parse_facts
 from .protocol import encode_answers, mutation_result
@@ -107,17 +107,44 @@ class WorkerState:
         return last
 
     def answer_batch(
-        self, name: str, ops: OpLog, query_texts: Sequence[str]
+        self,
+        name: str,
+        ops: OpLog,
+        query_texts: Sequence[str],
+        strategies: Optional[Sequence[str]] = None,
     ) -> Dict[str, object]:
         """Catch up to the op-log prefix, evaluate the (deduplicated)
-        queries, return encoded answers."""
+        queries, return encoded answers.
+
+        ``strategies`` (aligned with ``query_texts``, ``"auto"`` when
+        absent) selects per-query evaluation; the result's ``strategies``
+        field reports the *effective* strategy each query resolved to —
+        worker sessions are warm, so ``auto`` resolves to ``materialized``
+        here and only an explicit ``"demand"`` runs the magic-sets path.
+        """
         entry = self._ensure(name)
         self._catch_up(entry, ops)
         session = entry[0]
         queries = [parse_query(text) for text in query_texts]
-        answer_sets = session.answer_many(queries)
+        if strategies is None:
+            strategies = ["auto"] * len(queries)
+        answer_sets: List[object] = [None] * len(queries)
+        effective: List[str] = [""] * len(queries)
+        by_strategy: Dict[str, List[int]] = {}
+        for index, strategy in enumerate(strategies):
+            by_strategy.setdefault(strategy, []).append(index)
+        for strategy, indexes in by_strategy.items():
+            options = QueryOptions(strategy=strategy)
+            for index in indexes:
+                effective[index] = session.resolve_strategy(queries[index], options)
+            answers = session.answer_many(
+                [queries[index] for index in indexes], options=options
+            )
+            for index, answer_set in zip(indexes, answers):
+                answer_sets[index] = answer_set
         return {
             "answers": [encode_answers(answers) for answers in answer_sets],
+            "strategies": effective,
             "generation": entry[1],
             "store_size": len(session),
             "pid": os.getpid(),
@@ -156,8 +183,13 @@ def _pool_initializer(specs: Dict[str, Dict[str, str]]) -> None:
     _POOL_STATE = WorkerState(specs)
 
 
-def _pool_answer_batch(name: str, ops: List[Tuple[str, str]], texts: List[str]):
-    return _POOL_STATE.answer_batch(name, ops, texts)
+def _pool_answer_batch(
+    name: str,
+    ops: List[Tuple[str, str]],
+    texts: List[str],
+    strategies: Optional[List[str]] = None,
+):
+    return _POOL_STATE.answer_batch(name, ops, texts, strategies)
 
 
 def _pool_apply_mutation(name: str, ops: List[Tuple[str, str]]):
@@ -174,10 +206,14 @@ class InlineWorkerTier:
         self._state = WorkerState(specs)
         self._lock = asyncio.Lock()
 
-    async def answer_batch(self, name, ops, texts) -> Dict[str, object]:
+    async def answer_batch(self, name, ops, texts, strategies=None) -> Dict[str, object]:
         async with self._lock:
             return await asyncio.to_thread(
-                self._state.answer_batch, name, list(ops), list(texts)
+                self._state.answer_batch,
+                name,
+                list(ops),
+                list(texts),
+                list(strategies) if strategies is not None else None,
             )
 
     async def apply_mutation(self, name, ops) -> Dict[str, object]:
@@ -206,10 +242,15 @@ class PoolWorkerTier:
             initargs=(specs,),
         )
 
-    async def answer_batch(self, name, ops, texts) -> Dict[str, object]:
+    async def answer_batch(self, name, ops, texts, strategies=None) -> Dict[str, object]:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
-            self._executor, _pool_answer_batch, name, list(ops), list(texts)
+            self._executor,
+            _pool_answer_batch,
+            name,
+            list(ops),
+            list(texts),
+            list(strategies) if strategies is not None else None,
         )
 
     async def apply_mutation(self, name, ops) -> Dict[str, object]:

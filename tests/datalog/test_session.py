@@ -232,3 +232,135 @@ class TestRetractionBookkeeping:
         assert len(session.answer(query)) == 2
         session.retract_facts(parse_facts("Edge(a, b)."))
         assert len(session.answer(query)) == 1
+
+
+def _cold_session(facts="Edge(a, b). Edge(b, c)."):
+    program = parse_program(CLOSURE)
+    return ReasoningSession(
+        program.tgds, parse_facts(facts), defer_materialization=True
+    )
+
+
+class TestDeferredMaterialization:
+    def test_cold_session_stays_cold_across_demand_answers(self):
+        from repro.datalog import QueryOptions
+
+        session = _cold_session()
+        assert session.is_cold
+        assert "cold" in repr(session)
+        answers = session.answer(
+            parse_query("Reach(a, ?y)"), options=QueryOptions(strategy="demand")
+        )
+        assert len(answers) == 2
+        assert session.is_cold
+        assert session.base_fact_count == 2  # countable without warming
+
+    def test_materialized_paths_warm_permanently(self):
+        for access in (
+            # auto + zero-bound resolves to materialized even when cold
+            lambda s: s.answer(parse_query("Reach(?x, ?y)")),
+            lambda s: s.add_facts(parse_facts("Edge(c, d).")),
+            lambda s: s.retract_facts(parse_facts("Edge(a, b).")),
+            lambda s: s.snapshot(),
+            lambda s: s.facts(),
+            lambda s: s.entails(parse_fact("Edge(a, b)")),
+            lambda s: s.store,
+        ):
+            session = _cold_session()
+            access(session)
+            assert not session.is_cold
+
+    def test_eager_sessions_are_warm_from_construction(self):
+        assert not _closure_session().is_cold
+
+    def test_cold_and_warm_sessions_answer_identically(self):
+        from repro.datalog import QueryOptions
+
+        for text in ("Reach(a, ?y)", "Reach(?x, c)", "Reach(?x, ?y)"):
+            query = parse_query(text)
+            cold = _cold_session().answer(
+                query, options=QueryOptions(strategy="demand")
+            )
+            assert cold == _closure_session().answer(query)
+
+
+class TestStrategyResolution:
+    def test_auto_is_demand_only_when_cold_and_bound(self):
+        bound = parse_query("Reach(a, ?y)")
+        free = parse_query("Reach(?x, ?y)")
+        cold = _cold_session()
+        assert cold.resolve_strategy(bound) == "demand"
+        assert cold.resolve_strategy(free) == "materialized"
+        warm = _closure_session()
+        assert warm.resolve_strategy(bound) == "materialized"
+
+    def test_explicit_strategies_are_respected(self):
+        from repro.datalog import QueryOptions
+
+        query = parse_query("Reach(a, ?y)")
+        warm = _closure_session()
+        assert (
+            warm.resolve_strategy(query, QueryOptions(strategy="demand"))
+            == "demand"
+        )
+        cold = _cold_session()
+        assert (
+            cold.resolve_strategy(query, QueryOptions(strategy="materialized"))
+            == "materialized"
+        )
+
+    def test_answer_many_resolves_per_query_in_input_order(self):
+        # the zero-bound query warms the session; the earlier bound query
+        # must already have been answered demand-driven, the later one goes
+        # materialized because the store now exists
+        session = _cold_session()
+        answers = session.answer_many(
+            [
+                parse_query("Reach(a, ?y)"),
+                parse_query("Reach(?x, ?y)"),
+                parse_query("Reach(b, ?y)"),
+            ]
+        )
+        assert not session.is_cold
+        assert session.demand_stats["queries"] == 1
+        warm = _closure_session()
+        assert answers == warm.answer_many(
+            [
+                parse_query("Reach(a, ?y)"),
+                parse_query("Reach(?x, ?y)"),
+                parse_query("Reach(b, ?y)"),
+            ]
+        )
+
+    def test_demand_on_a_warm_mutated_session_sees_the_mutations(self):
+        from repro.datalog import QueryOptions
+
+        session = _closure_session("Edge(a, b). Edge(b, c).")
+        session.add_facts(parse_facts("Edge(c, d)."))
+        session.retract_facts(parse_facts("Edge(a, b)."))
+        query = parse_query("Reach(b, ?y)")
+        demand = session.answer(query, options=QueryOptions(strategy="demand"))
+        assert demand == session.answer(query)  # materialized reference
+        assert len(demand) == 2  # c and d
+
+    def test_demand_stats_accumulate(self):
+        from repro.datalog import QueryOptions
+
+        session = _cold_session()
+        assert session.demand_stats["queries"] == 0
+        session.answer(
+            parse_query("Reach(a, ?y)"), options=QueryOptions(strategy="demand")
+        )
+        session.answer(
+            parse_query("Reach(b, ?y)"), options=QueryOptions(strategy="demand")
+        )
+        stats = session.demand_stats
+        assert stats["queries"] == 2
+        assert stats["magic_facts"] >= 2
+        assert 0 < stats["predicates_touched"] <= stats["predicates_total"]
+
+    def test_invalid_strategy_is_rejected_at_options_construction(self):
+        from repro.datalog import QueryOptions
+
+        with pytest.raises(ValueError, match="strategy"):
+            QueryOptions(strategy="telepathy")

@@ -96,3 +96,99 @@ class TestOneShotHelpers:
         )
         answers = answer_query(tgds, instance, query)
         assert answers == {(Constant("sw1"), Constant("trm1"))}
+
+
+class TestQueryOptionsSurface:
+    def test_blessed_names_are_reexported_from_repro(self):
+        import repro
+
+        for name in ("KnowledgeBase", "QueryOptions", "ConjunctiveQuery"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_answer_many_positional_calls_keep_working(self, cim):
+        tgds, instance = cim
+        kb = KnowledgeBase.compile(tgds)
+        x = Variable("x")
+        query = ConjunctiveQuery((x,), (Predicate("Equipment", 1)(x),))
+        answers = kb.answer_many([query], instance)
+        assert (Constant("sw1"),) in answers[0]
+
+    def test_options_is_keyword_only(self, cim):
+        from repro import QueryOptions
+
+        tgds, instance = cim
+        kb = KnowledgeBase.compile(tgds)
+        x = Variable("x")
+        query = ConjunctiveQuery((x,), (Predicate("Equipment", 1)(x),))
+        with pytest.raises(TypeError):
+            kb.answer_many([query], instance, QueryOptions())
+
+    def test_every_strategy_returns_identical_answers(self, cim):
+        from repro import QueryOptions
+
+        tgds, instance = cim
+        kb = KnowledgeBase.compile(tgds)
+        query = ConjunctiveQuery(
+            (Variable("y"),),
+            (Predicate("hasTerminal", 2)(Constant("sw1"), Variable("y")),),
+        )
+        results = {
+            strategy: kb.answer_many(
+                [query], instance, options=QueryOptions(strategy=strategy)
+            )[0]
+            for strategy in ("auto", "materialized", "demand")
+        }
+        assert results["auto"] == results["materialized"] == results["demand"]
+        assert results["auto"] == {(Constant("trm1"),)}
+
+    def test_default_query_options_are_auto(self):
+        from repro.datalog.query import DEFAULT_QUERY_OPTIONS, QUERY_STRATEGIES
+
+        assert DEFAULT_QUERY_OPTIONS.strategy == "auto"
+        assert QUERY_STRATEGIES == ("auto", "materialized", "demand")
+
+
+class TestDeprecatedSurface:
+    def test_kb_answer_warns_but_works(self, cim):
+        tgds, instance = cim
+        kb = KnowledgeBase.compile(tgds)
+        x = Variable("x")
+        query = ConjunctiveQuery((x,), (Predicate("Equipment", 1)(x),))
+        with pytest.warns(DeprecationWarning, match="answer_many"):
+            answers = kb.answer(query, instance)
+        assert (Constant("sw1"),) in answers
+
+    def test_kb_certain_base_facts_warns_but_works(self, cim):
+        tgds, instance = cim
+        kb = KnowledgeBase.compile(tgds)
+        with pytest.warns(DeprecationWarning, match="session"):
+            facts = kb.certain_base_facts(instance)
+        assert Predicate("Equipment", 1)(Constant("sw1")) in facts
+
+    def test_answer_query_warns_but_works(self, cim):
+        tgds, instance = cim
+        x = Variable("x")
+        query = ConjunctiveQuery((x,), (Predicate("Equipment", 1)(x),))
+        with pytest.warns(DeprecationWarning, match="answer_many"):
+            answers = answer_query(tgds, instance, query)
+        assert len(answers) == 2
+
+    def test_entailed_base_facts_warns_but_works(self, running):
+        tgds, instance = running
+        with pytest.warns(DeprecationWarning, match="certain_base_facts"):
+            facts = entailed_base_facts(tgds, instance, algorithm="skdr")
+        assert Predicate("H", 1)(Constant("a")) in facts
+
+    def test_blessed_paths_do_not_warn(self, cim):
+        import warnings as warnings_module
+
+        tgds, instance = cim
+        kb = KnowledgeBase.compile(tgds)
+        x = Variable("x")
+        query = ConjunctiveQuery((x,), (Predicate("Equipment", 1)(x),))
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", DeprecationWarning)
+            kb.answer_many([query], instance)
+            kb.session(instance).certain_base_facts()
+            kb.entails(instance, Predicate("Equipment", 1)(Constant("sw1")))

@@ -1,0 +1,129 @@
+"""Property-based differential: demand (magic sets) ≡ materialized answering.
+
+The magic-sets transformation is answer-preserving by construction; these
+properties enforce it empirically over random guarded TGD sets and random
+instances — including zero-bound queries (where the transformation
+degenerates to reachability-restricted full materialization) and sessions
+mutated by random add/retract interleavings.  A final property pins the
+serving-layer contract the answer cache relies on: a query's cache entry
+(fingerprint plus encoded answers) is identical under either strategy.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import DatalogProgram, QueryOptions, ReasoningSession, materialize
+from repro.datalog.magic import demand_answer
+from repro.datalog.query import ConjunctiveQuery, evaluate_query
+from repro.logic.atoms import Atom
+from repro.logic.rules import datalog_tgd_to_rule
+
+from .strategies import PREDICATE_POOL, atoms, base_instances, guarded_tgd_sets
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def queries(draw, max_atoms: int = 2):
+    """A random existential-free CQ: 1-2 atoms mixing constants and variables.
+
+    Every variable is an answer variable (the class the rewriting approach
+    supports), so any mix of bound/free positions — including fully bound
+    and fully free — is generated.
+    """
+    count = draw(st.integers(min_value=1, max_value=max_atoms))
+    body = tuple(draw(atoms()) for _ in range(count))
+    seen = {}
+    for atom in body:
+        for variable in atom.variables():
+            seen.setdefault(variable, None)
+    return ConjunctiveQuery(tuple(seen), body)
+
+
+def _program(tgds) -> DatalogProgram:
+    return DatalogProgram(
+        [datalog_tgd_to_rule(tgd) for tgd in tgds if tgd.is_datalog_rule]
+    )
+
+
+class TestDemandEquivalence:
+    @RELAXED
+    @given(guarded_tgd_sets(max_size=4), base_instances(max_size=5), queries())
+    def test_demand_answers_equal_materialized_answers(self, tgds, facts, query):
+        program = _program(tgds)
+        expected = evaluate_query(query, materialize(program, facts).store)
+        assert demand_answer(program, facts, query).answers == expected
+
+    @RELAXED
+    @given(guarded_tgd_sets(max_size=4), base_instances(max_size=5), queries())
+    def test_cold_session_demand_equals_warm_session_answer(
+        self, tgds, facts, query
+    ):
+        program = _program(tgds)
+        cold = ReasoningSession(program, facts, defer_materialization=True)
+        demand = cold.answer(query, options=QueryOptions(strategy="demand"))
+        assert cold.is_cold  # demand must not have warmed it
+        warm = ReasoningSession(program, facts)
+        assert demand == warm.answer(query)
+        # auto on the same cold start also agrees, whichever way it resolves
+        auto = ReasoningSession(program, facts, defer_materialization=True)
+        assert auto.answer(query) == demand
+
+    @RELAXED
+    @given(
+        guarded_tgd_sets(max_size=4),
+        base_instances(max_size=6),
+        st.lists(
+            st.tuples(
+                st.booleans(),
+                st.lists(st.integers(min_value=0, max_value=63), max_size=4),
+            ),
+            max_size=5,
+        ),
+        queries(),
+    )
+    def test_demand_agrees_after_add_retract_interleavings(
+        self, tgds, facts, script, query
+    ):
+        """Explicit demand on a mutated session reads the surviving base facts."""
+        program = _program(tgds)
+        pool = sorted(set(facts), key=str)
+        if not pool:
+            return
+        session = ReasoningSession(program, facts)
+        for is_add, indices in script:
+            batch = [pool[index % len(pool)] for index in indices]
+            if is_add:
+                session.add_facts(batch)
+            else:
+                session.retract_facts(batch)
+        demand = session.answer(query, options=QueryOptions(strategy="demand"))
+        assert demand == session.answer(
+            query, options=QueryOptions(strategy="materialized")
+        )
+
+
+class TestCacheEntryStrategyInvariance:
+    @RELAXED
+    @given(guarded_tgd_sets(max_size=4), base_instances(max_size=5), queries())
+    def test_cache_entry_is_identical_under_either_strategy(
+        self, tgds, facts, query
+    ):
+        """One fingerprint, one encoding: the answer cache never needs to know
+        which strategy produced an entry."""
+        from repro.serve.cache import AnswerCache, query_fingerprint
+        from repro.serve.protocol import encode_answers
+
+        program = _program(tgds)
+        demand = ReasoningSession(
+            program, facts, defer_materialization=True
+        ).answer(query, options=QueryOptions(strategy="demand"))
+        materialized = ReasoningSession(program, facts).answer(query)
+        fingerprint = query_fingerprint(query)
+        cache = AnswerCache()
+        assert cache.put("kb", fingerprint, 0, encode_answers(demand))
+        assert cache.get("kb", fingerprint) == encode_answers(materialized)

@@ -67,6 +67,21 @@ class TestValidateRequest:
             with pytest.raises(ProtocolError, match="string 'facts'"):
                 validate_request({"op": op})
 
+    def test_query_strategies_accepted(self):
+        for strategy in ("auto", "materialized", "demand"):
+            request = {"op": "query", "query": "P(?x)", "strategy": strategy}
+            assert validate_request(request) == "query"
+        # omitting the field defaults to auto
+        assert validate_request({"op": "query", "query": "P(?x)"}) == "query"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown strategy"):
+            validate_request(
+                {"op": "query", "query": "P(?x)", "strategy": "telepathy"}
+            )
+        with pytest.raises(ProtocolError, match="unknown strategy"):
+            validate_request({"op": "query", "query": "P(?x)", "strategy": 3})
+
 
 class TestResponses:
     def test_ok_response_echoes_id_and_fields(self):

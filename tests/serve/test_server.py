@@ -405,6 +405,88 @@ class TestTcpPath:
         assert over_tcp["answers"] == in_process["answers"]
 
 
+class TestQueryStrategies:
+    def test_all_strategies_serve_identical_answers(self, kb):
+        async def scenario():
+            server = await make_server(kb)
+            try:
+                client = server.local_client()
+                responses = {}
+                for strategy in (None, "auto", "materialized", "demand"):
+                    responses[strategy] = await client.query(
+                        "Equipment(?x)", strategy=strategy
+                    )
+                return responses
+            finally:
+                await server.shutdown()
+
+        responses = asyncio.run(scenario())
+        oracle = oracle_answers(kb, FACT_LINES)["Equipment(?x)"]
+        for response in responses.values():
+            assert response["answers"] == oracle
+
+    def test_strategies_share_one_cache_entry(self, kb):
+        # answers are strategy-invariant, so a demand answer must satisfy a
+        # later materialized request for the same query from the cache
+        async def scenario():
+            server = await make_server(kb)
+            try:
+                client = server.local_client()
+                first = await client.query("Terminal(?x)", strategy="demand")
+                second = await client.query(
+                    "Terminal(?x)", strategy="materialized"
+                )
+                return first, second
+            finally:
+                await server.shutdown()
+
+        first, second = asyncio.run(scenario())
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert first["answers"] == second["answers"]
+
+    def test_stats_count_requested_and_effective_strategies(self, kb):
+        async def scenario():
+            server = await make_server(kb)
+            try:
+                client = server.local_client()
+                await client.query("Equipment(?x)", strategy="demand")
+                await client.query("Terminal(?x)", strategy="materialized")
+                await client.query("hasTerminal(?x, ?y)")  # auto by default
+                return await client.stats()
+            finally:
+                await server.shutdown()
+
+        stats = asyncio.run(scenario())
+        requested = stats["batching"]["requests_by_strategy"]
+        assert requested == {"auto": 1, "demand": 1, "materialized": 1}
+        effective = stats["batching"]["evaluated_by_strategy"]
+        # worker sessions are warm, so auto resolves to materialized; only
+        # the explicit demand request runs the magic-sets path
+        assert effective.get("demand", 0) == 1
+        assert effective.get("materialized", 0) == 2
+        assert "auto" not in effective
+
+    def test_invalid_strategy_is_an_error_response(self, kb):
+        async def scenario():
+            server = await make_server(kb)
+            try:
+                return await server.handle_request(
+                    {
+                        "id": 5,
+                        "op": "query",
+                        "query": "Equipment(?x)",
+                        "strategy": "telepathy",
+                    }
+                )
+            finally:
+                await server.shutdown()
+
+        response = asyncio.run(scenario())
+        assert response["ok"] is False
+        assert "unknown strategy" in response["error"]
+
+
 class TestProcessPoolTier:
     def test_pool_workers_serve_and_catch_up_after_mutations(self, kb):
         async def scenario():
