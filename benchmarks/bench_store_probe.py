@@ -1,0 +1,104 @@
+"""Standalone A/B probe: object-column versus ID-encoded join pipelines.
+
+Builds one two-way equi-join workload — ``R(x, y) ⋈ S(y, z)`` over a
+Zipf-ish constant pool — and times the same hash join twice:
+
+* **object** — the pre-change representation: hash buckets keyed by interned
+  :class:`~repro.logic.terms.Constant` objects, probed with term objects
+  (equality falls back to ``Constant.__eq__``/``__hash__`` on every probe);
+* **int** — the :class:`~repro.datalog.store.FactStore` representation:
+  rows of dense term IDs, probed through ``key_index`` with bare ints.
+
+Both sides produce the same join cardinality (asserted), so the timing gap
+isolates the encoding.  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_store_probe.py
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+from repro.datalog.store import FactStore
+from repro.logic.atoms import Predicate
+from repro.logic.terms import Constant
+
+R = Predicate("R", 2)
+S = Predicate("S", 2)
+
+FACTS_PER_RELATION = 20_000
+CONSTANT_COUNT = 800
+SEED = 2022
+
+
+def _workload():
+    """Deterministic R/S fact lists sharing a skewed join-column pool."""
+    rng = random.Random(SEED)
+    pool = [Constant(f"c{i}") for i in range(CONSTANT_COUNT)]
+    # skew the join column towards the front of the pool so buckets vary
+    join_pool = [
+        pool[min(rng.randrange(CONSTANT_COUNT), rng.randrange(CONSTANT_COUNT))]
+        for _ in range(FACTS_PER_RELATION)
+    ]
+    r_facts = [R(rng.choice(pool), join_pool[i]) for i in range(FACTS_PER_RELATION)]
+    s_facts = [S(join_pool[-1 - i], rng.choice(pool)) for i in range(FACTS_PER_RELATION)]
+    # the store is a set; dedup here so both sides join identical relations
+    return list(dict.fromkeys(r_facts)), list(dict.fromkeys(s_facts))
+
+
+def _object_join(r_facts, s_facts):
+    """The pre-change shape: term-object buckets, term-object probes."""
+    build_start = time.perf_counter()
+    buckets = {}
+    for fact in r_facts:
+        buckets.setdefault(fact.args[1], []).append(fact.args)
+    build = time.perf_counter() - build_start
+    join_start = time.perf_counter()
+    matches = 0
+    for fact in s_facts:
+        for args in buckets.get(fact.args[0], ()):
+            if args[1] is fact.args[0]:  # interned: identity == equality
+                matches += 1
+    return build, time.perf_counter() - join_start, matches
+
+
+def _int_join(r_facts, s_facts):
+    """The store shape: ID rows, int-keyed buckets, int probes."""
+    build_start = time.perf_counter()
+    store = FactStore(r_facts + s_facts)
+    index = store.key_index(R, (1,))
+    build = time.perf_counter() - build_start
+    join_start = time.perf_counter()
+    matches = 0
+    for s_row in store.relation_rows(S):
+        key = s_row[0]
+        for r_row in index.get(key, ()):
+            if r_row[1] == key:
+                matches += 1
+    return build, time.perf_counter() - join_start, matches
+
+
+def run_once() -> dict:
+    r_facts, s_facts = _workload()
+    object_build, object_join, object_matches = _object_join(r_facts, s_facts)
+    int_build, int_join, int_matches = _int_join(r_facts, s_facts)
+    assert object_matches == int_matches, (object_matches, int_matches)
+    return {
+        "join_matches": object_matches,
+        "object_build_seconds": object_build,
+        "object_join_seconds": object_join,
+        "int_build_seconds": int_build,
+        "int_join_seconds": int_join,
+    }
+
+
+if __name__ == "__main__":
+    runs = [run_once() for _ in range(3)]
+    best = {key: min(run[key] for run in runs) for key in runs[0]}
+    best["join_matches"] = int(best["join_matches"])
+    best["speedup_int_vs_object_join"] = round(
+        best["object_join_seconds"] / best["int_join_seconds"], 2
+    )
+    print(json.dumps(best, indent=2))

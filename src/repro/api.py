@@ -90,7 +90,7 @@ from .datalog.program import DatalogProgram
 from .datalog.query import ConjunctiveQuery, QueryOptions, evaluate_query
 from .datalog.session import ReasoningSession
 from .kb.cache import cached_rewrite, sigma_fingerprint
-from .kb.format import read_kb_file, write_kb_file
+from .kb.format import FactSegments, read_kb_file_with_segments, write_kb_file
 from .logic.atoms import Atom
 from .logic.instance import Instance
 from .logic.terms import Term
@@ -111,6 +111,11 @@ class KnowledgeBase:
 
     tgds: Tuple[TGD, ...]
     rewriting: RewritingResult
+    #: lazy per-predicate fact segments from a ``repro-kb/v2`` file, if the
+    #: KB was loaded from one that carries them (else ``None``)
+    fact_segments: Optional[FactSegments] = field(
+        default=None, repr=False, compare=False
+    )
     _program: Optional[DatalogProgram] = field(
         default=None, repr=False, compare=False
     )
@@ -161,19 +166,30 @@ class KnowledgeBase:
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
-    def save(self, path: "str | Path") -> Path:
-        """Persist Σ + ``rew(Σ)`` + statistics as a versioned JSON file."""
-        return write_kb_file(path, self.tgds, self.rewriting)
+    def save(
+        self, path: "str | Path", facts: Optional[Iterable[Atom]] = None
+    ) -> Path:
+        """Persist Σ + ``rew(Σ)`` + statistics as a versioned JSON file.
+
+        ``facts``, when given, are stored as per-predicate ``repro-kb/v2``
+        fact segments and come back lazily through :meth:`load` /
+        :meth:`load_or_compile` (only the predicates a query demands are
+        decoded).
+        """
+        return write_kb_file(path, self.tgds, self.rewriting, facts)
 
     @classmethod
     def load(cls, path: "str | Path") -> "KnowledgeBase":
         """Restore a knowledge base saved by :meth:`save`.
 
-        Raises :class:`repro.kb.KnowledgeBaseFormatError` on version or
-        integrity mismatches.
+        Accepts ``repro-kb/v2`` files and legacy ``repro-kb/v1`` files
+        (upgraded in memory).  Raises
+        :class:`repro.kb.KnowledgeBaseFormatError` on version or integrity
+        mismatches.  Fact segments, if present, are exposed as
+        :attr:`fact_segments`.
         """
-        tgds, rewriting = read_kb_file(path)
-        return cls(tgds=tgds, rewriting=rewriting)
+        tgds, rewriting, segments = read_kb_file_with_segments(path)
+        return cls(tgds=tgds, rewriting=rewriting, fact_segments=segments)
 
     @classmethod
     def load_or_compile(
@@ -181,22 +197,37 @@ class KnowledgeBase:
         path: "str | Path",
         algorithm: str = "hypdr",
         settings: Optional[RewritingSettings] = None,
-    ) -> "Tuple[KnowledgeBase, Instance]":
+    ) -> "Tuple[KnowledgeBase, Instance | FactSegments]":
         """Accept either a saved KB JSON or a raw GTGD file.
 
         Returns ``(kb, seed_facts)`` — facts embedded in a GTGD dependency
-        file are passed along so callers can seed a session with them (a
-        saved KB JSON carries no facts, so its seed instance is empty).
-        This is the loading contract shared by the ``serve-batch`` CLI and
-        the long-lived server (:mod:`repro.serve`).
+        file are passed along so callers can seed a session with them.  A
+        saved KB JSON yields its lazy v2 fact segments when it has them
+        (an iterable of atoms that decodes per predicate on demand) and an
+        empty instance otherwise.  This is the loading contract shared by
+        the ``serve-batch`` CLI and the long-lived server
+        (:mod:`repro.serve`).
         """
-        from .kb.format import parse_kb_text
+        from .kb.format import load_knowledge_base_payload_with_segments
         from .logic.parser import parse_program
 
         text = Path(path).read_text(encoding="utf-8")
         if text.lstrip().startswith("{"):
-            tgds, rewriting = parse_kb_text(text)
-            return cls(tgds=tgds, rewriting=rewriting), Instance()
+            import json
+
+            from .kb.format import KnowledgeBaseFormatError
+
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise KnowledgeBaseFormatError(
+                    f"KB file is not valid JSON: {exc}"
+                ) from exc
+            tgds, rewriting, segments = load_knowledge_base_payload_with_segments(
+                payload
+            )
+            kb = cls(tgds=tgds, rewriting=rewriting, fact_segments=segments)
+            return kb, (segments if segments is not None else Instance())
         program = parse_program(text)
         kb = cls.compile(program.tgds, algorithm=algorithm, settings=settings)
         return kb, program.instance

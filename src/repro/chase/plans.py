@@ -50,8 +50,8 @@ from __future__ import annotations
 from itertools import repeat
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from ..datalog.index import FactStore
 from ..datalog.plan import BindingBatch, JoinPlanStats, PlanVariant, body_supports_plan
+from ..datalog.store import FactStore, Row, TermTable
 from ..logic.atoms import Atom, Predicate
 from ..logic.rules import Rule
 from ..logic.terms import FunctionTerm, Term, Variable
@@ -99,16 +99,22 @@ def _compile_term_source(term: Term) -> _Source:
 
 
 def _column_iter(
-    source: _Source, columns: Dict[Variable, List[Term]], size: int
+    source: _Source, columns: Dict[Variable, List[int]], size: int, table: TermTable
 ) -> Iterator[Term]:
-    """One value per batch row for a compiled head-argument source."""
+    """One value per batch row for a compiled head-argument source.
+
+    Batch columns carry term IDs; ``var`` sources decode them here — the
+    Skolem head builder is a term-constructing boundary, so this is where
+    the chase leaves row space.
+    """
     kind = source[0]
     if kind == "var":
-        return iter(columns[source[1]])
+        decode = table.decode
+        return (decode(value) for value in columns[source[1]])
     if kind == "const":
         return repeat(source[1], size)
     symbol = source[1]
-    sub_iters = [_column_iter(sub, columns, size) for sub in source[2]]
+    sub_iters = [_column_iter(sub, columns, size, table) for sub in source[2]]
     return (FunctionTerm(symbol, args) for args in zip(*sub_iters))
 
 
@@ -135,7 +141,7 @@ class SkolemRulePlan:
             self._variants[pivot] = variant
         return variant
 
-    def project_head(self, batch: BindingBatch) -> Iterator[Atom]:
+    def project_head(self, batch: BindingBatch, table: TermTable) -> Iterator[Atom]:
         """Instantiate the (possibly Skolem-term) head for every match row."""
         if not batch.size:
             return
@@ -145,7 +151,7 @@ class SkolemRulePlan:
             return
         predicate = head.predicate
         arg_iters = [
-            _column_iter(source, batch.columns, batch.size)
+            _column_iter(source, batch.columns, batch.size, table)
             for source in self._head_sources
         ]
         for args in zip(*arg_iters):
@@ -195,7 +201,7 @@ def run_semi_naive_chase(
 
     def project(plan: SkolemRulePlan, batch: BindingBatch, pending: Set[Atom]) -> None:
         nonlocal saturated
-        for fact in plan.project_head(batch):
+        for fact in plan.project_head(batch, store.terms):
             if fact.depth > max_term_depth:
                 saturated = False
                 stats.depth_pruned += 1
@@ -215,14 +221,17 @@ def run_semi_naive_chase(
         stats.delta_facts += len(pending)
         if len(pending) > stats.max_delta:
             stats.max_delta = len(pending)
-        delta_by_predicate: Dict[Predicate, List[Atom]] = {}
+        # pending facts stay atoms (the depth bound reads term structure);
+        # the delta handed back to the join pipelines is encoded rows
+        delta_by_predicate: Dict[Predicate, List[Row]] = {}
         for fact in pending:
-            if store.add(fact):
-                bucket = delta_by_predicate.get(fact.predicate)
+            predicate, row = store.encode_fact(fact)
+            if store.add_row(predicate, row):
+                bucket = delta_by_predicate.get(predicate)
                 if bucket is None:
-                    delta_by_predicate[fact.predicate] = [fact]
+                    delta_by_predicate[predicate] = [row]
                 else:
-                    bucket.append(fact)
+                    bucket.append(row)
                 if len(store) > max_facts:
                     return set(store), False, rounds
         pending = set()

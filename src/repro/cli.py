@@ -622,7 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
         "-o",
         "--output",
         required=True,
-        help="where to write the KB JSON (repro-kb/v1 format)",
+        help="where to write the KB JSON (repro-kb/v2 format)",
     )
     _add_rewriting_options(compile_parser)
     compile_parser.set_defaults(handler=_command_compile)

@@ -25,9 +25,9 @@ from ..logic.instance import Instance
 from ..logic.rules import Rule
 from ..unification.matching import match_atom, match_conjunction_into_set
 from ..unification.solver import solve_match_prefiltered
-from .index import FactStore
 from .plan import JoinPlanStats, RulePlan
 from .program import DatalogProgram
+from .store import FactStore, Row
 
 
 @dataclass
@@ -131,18 +131,20 @@ class DatalogEngine:
         # EDB facts fire at least once even if the EDB predicates never
         # appear in any delta.
         applications = 0
-        new_facts: Set[Atom] = set()
+        new_rows: Set[Tuple[Predicate, Row]] = set()
         for rule in self.program:
             plan = self._plans[rule]
             batch = plan.variant(None).execute(store, None, stats)
             if not batch.size:
                 continue
             applications += batch.size
-            for fact in plan.project_head(batch):
-                if fact not in store:
-                    new_facts.add(fact)
+            head_predicate = rule.head.predicate
+            relation = store.relation_rows(head_predicate)
+            for row in plan.project_rows(batch, store):
+                if row not in relation:
+                    new_rows.add((head_predicate, row))
         rounds, derived, loop_applications = self._fixpoint_loop(
-            store, new_facts, stats, max_rounds
+            store, new_rows, stats, max_rounds
         )
         self.join_stats.merge(stats)
         return MaterializationResult(
@@ -174,15 +176,18 @@ class DatalogEngine:
         fixpoint, silently violating this method's own precondition for every
         later call.
         """
-        asserted = {fact for fact in facts}
-        seed = {fact for fact in asserted if fact not in store}
+        # encode at the boundary: assertions enter row space here and the
+        # whole propagation stays in it
+        asserted = {store.encode_fact(fact) for fact in facts}
+        seed = {pair for pair in asserted if not store.contains_row(*pair)}
         added = len(seed)
         stats = JoinPlanStats()
         rounds, derived, applications = self._fixpoint_loop(store, seed, stats)
         # assertions become base facts even when already derivable — they
         # must survive a later retraction of their derivers (DRed contract)
-        for fact in asserted:
-            store.mark_base(fact)
+        for predicate, row in asserted:
+            if not store.is_base_row(predicate, row):
+                store.mark_base_row(predicate, row)
         self.join_stats.merge(stats)
         return DeltaUpdateResult(
             added_facts=added,
@@ -225,24 +230,30 @@ class DatalogEngine:
         rather than removing it.
         """
         requested = {fact for fact in facts}
-        seeds = {fact for fact in requested if store.is_base(fact)}
+        # boundary encoding: a requested fact whose terms the table has
+        # never seen cannot be in the store, let alone base — it is ignored
+        seeds: Set[Tuple[Predicate, Row]] = set()
+        for fact in requested:
+            found = store.find_fact(fact)
+            if found is not None and store.is_base_row(*found):
+                seeds.add(found)
         ignored = len(requested) - len(seeds)
         stats = JoinPlanStats()
         size_before = len(store)
-        for fact in seeds:
-            store.unmark_base(fact)
+        for predicate, row in seeds:
+            store.unmark_base_row(predicate, row)
 
-        removed: Set[Atom] = set()
+        removed: Set[Tuple[Predicate, Row]] = set()
         delta = seeds
         rounds = 0
         applications = 0
         while delta:
             rounds += 1
             removed |= delta
-            delta_by_predicate: Dict[Predicate, List[Atom]] = {}
-            for fact in delta:
-                delta_by_predicate.setdefault(fact.predicate, []).append(fact)
-            candidates: Set[Atom] = set()
+            delta_by_predicate: Dict[Predicate, List[Row]] = {}
+            for predicate, row in delta:
+                delta_by_predicate.setdefault(predicate, []).append(row)
+            candidates: Set[Tuple[Predicate, Row]] = set()
             for rule in self._rules_touching(delta_by_predicate.keys()):
                 plan = self._plans[rule]
                 for pivot, atom in enumerate(rule.body):
@@ -254,27 +265,31 @@ class DatalogEngine:
                     if not batch.size:
                         continue
                     applications += batch.size
-                    for fact in plan.project_head(batch):
+                    head_predicate = rule.head.predicate
+                    for row in plan.project_rows(batch, store):
+                        pair = (head_predicate, row)
                         if (
-                            fact not in removed
-                            and fact not in candidates
-                            and fact in store
-                            and not store.is_base(fact)
+                            pair not in removed
+                            and pair not in candidates
+                            and store.contains_row(head_predicate, row)
+                            and not store.is_base_row(head_predicate, row)
                         ):
-                            candidates.add(fact)
-            for fact in delta:
-                store.remove(fact)
+                            candidates.add(pair)
+            for predicate, row in delta:
+                store.remove_row(predicate, row)
             delta = candidates
 
         # Re-derivation: a removed fact survives iff some rule body matches
         # it over what is left.  Candidates whose alternative support itself
         # depends on facts restored here are picked up transitively by the
         # re-insertion loop below, so one direct pass suffices as the seed.
+        # Removed rows still decode (term IDs are never reclaimed), which is
+        # what lets the whole pass stay in row space.
         rederived_seed = self._rederivation_seed(store, removed, stats)
         loop_rounds, _, loop_applications = self._fixpoint_loop(
             store, rederived_seed, stats
         )
-        rederived = sum(1 for fact in removed if fact in store)
+        rederived = sum(1 for pair in removed if store.contains_row(*pair))
 
         self.join_stats.merge(stats)
         return RetractionResult(
@@ -294,39 +309,46 @@ class DatalogEngine:
     _REDERIVE_BATCH_THRESHOLD = 16
 
     def _rederivation_seed(
-        self, store: FactStore, removed: Set[Atom], stats: JoinPlanStats
-    ) -> Set[Atom]:
+        self,
+        store: FactStore,
+        removed: Set[Tuple[Predicate, Row]],
+        stats: JoinPlanStats,
+    ) -> Set[Tuple[Predicate, Row]]:
         """``removed ∩ T_P(remaining)`` — the facts DRed must re-admit.
 
         Two strategies with identical results: for small ``removed`` sets,
         each fact is checked goal-directedly (the head match pre-binds the
-        rule body, so the shared match solver searches a tiny space); for
+        rule body, so the shared match solver searches a tiny space — this
+        is the one spot where removed rows are decoded back to atoms); for
         large ones, every rule with removed head instances is evaluated
         *once* over the shrunken store through its compiled non-pivoted plan
-        variant and the projected heads are intersected with ``removed`` —
+        variant and the projected rows are intersected with ``removed`` —
         set-at-a-time work proportional to one materialization round instead
         of one solver search per candidate.
         """
-        seed: Set[Atom] = set()
+        seed: Set[Tuple[Predicate, Row]] = set()
         if len(removed) <= self._REDERIVE_BATCH_THRESHOLD:
             relation_cache: Dict[Predicate, Tuple[Atom, ...]] = {}
-            for fact in removed:
+            for predicate, row in removed:
+                fact = store.decode_row(predicate, row)
                 if self._has_alternative_derivation(store, fact, relation_cache):
-                    seed.add(fact)
+                    seed.add((predicate, row))
             return seed
-        removed_by_predicate: Dict[Predicate, Set[Atom]] = {}
-        for fact in removed:
-            removed_by_predicate.setdefault(fact.predicate, set()).add(fact)
+        removed_by_predicate: Dict[Predicate, Set[Row]] = {}
+        for predicate, row in removed:
+            removed_by_predicate.setdefault(predicate, set()).add(row)
         for predicate, targets in removed_by_predicate.items():
+            found: Set[Row] = set()
             for rule in self._rules_by_head.get(predicate, ()):
-                pending = targets - seed
+                pending = targets - found
                 if not pending:
                     break
                 plan = self._plans[rule]
                 batch = plan.variant(None).execute(store, None, stats)
-                for fact in plan.project_head(batch):
-                    if fact in pending:
-                        seed.add(fact)
+                for row in plan.project_rows(batch, store):
+                    if row in pending:
+                        found.add(row)
+            seed.update((predicate, row) for row in found)
         return seed
 
     def _has_alternative_derivation(
@@ -358,34 +380,35 @@ class DatalogEngine:
     def _fixpoint_loop(
         self,
         store: FactStore,
-        new_facts: Set[Atom],
+        new_rows: Set[Tuple[Predicate, Row]],
         stats: JoinPlanStats,
         max_rounds: Optional[int] = None,
     ) -> Tuple[int, int, int]:
         """The shared semi-naive loop; returns (rounds, added, applications).
 
-        ``new_facts`` is the seed delta — facts not yet in the store.  Every
-        round commits the pending facts, then evaluates each rule/pivot plan
-        variant with the pivot atom restricted to the committed delta.
+        ``new_rows`` is the seed delta — (predicate, row) pairs not yet in
+        the store.  Every round commits the pending rows, then evaluates
+        each rule/pivot plan variant with the pivot atom restricted to the
+        committed delta.  The loop never leaves row space.
         """
         rounds = 0
         added = 0
         applications = 0
         plans = self._plans
-        while new_facts:
+        while new_rows:
             rounds += 1
-            delta_by_predicate: Dict[Predicate, List[Atom]] = {}
-            for fact in new_facts:
-                if store.add(fact):
+            delta_by_predicate: Dict[Predicate, List[Row]] = {}
+            for predicate, row in new_rows:
+                if store.add_row(predicate, row):
                     added += 1
-                    bucket = delta_by_predicate.get(fact.predicate)
+                    bucket = delta_by_predicate.get(predicate)
                     if bucket is None:
-                        delta_by_predicate[fact.predicate] = [fact]
+                        delta_by_predicate[predicate] = [row]
                     else:
-                        bucket.append(fact)
+                        bucket.append(row)
             if max_rounds is not None and rounds >= max_rounds:
                 break
-            new_facts = set()
+            new_rows = set()
             for rule in self._rules_touching(delta_by_predicate.keys()):
                 plan = plans[rule]
                 for pivot, atom in enumerate(rule.body):
@@ -397,9 +420,11 @@ class DatalogEngine:
                     if not batch.size:
                         continue
                     applications += batch.size
-                    for fact in plan.project_head(batch):
-                        if fact not in store and fact not in new_facts:
-                            new_facts.add(fact)
+                    head_predicate = rule.head.predicate
+                    relation = store.relation_rows(head_predicate)
+                    for row in plan.project_rows(batch, store):
+                        if row not in relation:
+                            new_rows.add((head_predicate, row))
         return rounds, added, applications
 
     def _rules_touching(self, delta_predicates: Iterable[Predicate]) -> Tuple[Rule, ...]:

@@ -1,281 +1,14 @@
-"""Fact storage with join indexes for bottom-up Datalog evaluation.
+"""Compatibility re-export: the fact store lives in :mod:`repro.datalog.store`.
 
-The store keeps, per predicate, the set of facts plus two kinds of indexes:
-
-* a *position index* from ``(argument position, ground term)`` to the facts
-  having that term at that position — used by :meth:`candidates` for
-  tuple-at-a-time matching of partially bound atoms; and
-* *multi-column key indexes* (:meth:`key_index`) from a tuple of argument
-  positions to a hash map ``key -> [facts]`` — the probe side of the
-  compiled hash-join plans in :mod:`repro.datalog.plan`.  Key indexes are
-  built lazily on first use and maintained incrementally by :meth:`add` and
-  :meth:`remove`, so a plan compiled once probes a live index across every
-  semi-naive round, delta update, and retraction.
-
-Base/derived bookkeeping (DRed support)
----------------------------------------
-
-For incremental deletion the store distinguishes *base* facts (asserted by
-the caller — the EDB, self-supported) from *derived* facts (inferred by the
-engine).  The invariants are:
-
-* every base fact is in the store (``base_facts() ⊆ facts()``); derived
-  facts are exactly ``facts() - base_facts()``;
-* base facts are never over-deleted by :meth:`DatalogEngine.retract` — a
-  derived fact's "support" is recorded as the overapproximation *"some rule
-  body over the remaining facts derives it"*, re-checked during the
-  re-derivation pass, rather than as per-derivation counters;
-* a fact can be base *and* derivable: asserting an already-derived fact
-  marks it base (it then survives retraction of its derivers), and
-  retracting a base fact that is still derivable demotes it to derived
-  instead of deleting it.
+The object-encoded store that used to live here was replaced by the
+ID-encoded columnar store (terms mapped to dense ints at the boundary,
+relations held as int-tuple rows with int-keyed hash indexes).  The public
+surface is unchanged — every historical ``from repro.datalog.index import
+FactStore`` keeps working — but new code should import from
+:mod:`repro.datalog.store`, which also exposes the row-level API and the
+:class:`~repro.datalog.store.TermTable`.
 """
 
-from __future__ import annotations
+from .store import FactStore, Row, TermTable, row_key
 
-from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
-
-from ..logic.atoms import Atom, Predicate
-from ..logic.substitution import Substitution
-from ..logic.terms import Term, Variable
-
-
-def _key_of(args: Tuple[Term, ...], positions: Tuple[int, ...]) -> object:
-    """The probe key of a fact for the given positions.
-
-    Single-column keys are the bare term (no tuple allocation); wider keys
-    are tuples of terms.  Terms are interned, so hashing is a cached lookup.
-    """
-    if len(positions) == 1:
-        return args[positions[0]]
-    return tuple(args[position] for position in positions)
-
-
-class FactStore:
-    """An indexed set of ground facts."""
-
-    __slots__ = ("_by_predicate", "_position_index", "_key_indexes", "_size", "_base")
-
-    def __init__(self, facts: Iterable[Atom] = ()) -> None:
-        self._by_predicate: Dict[Predicate, Set[Atom]] = defaultdict(set)
-        self._position_index: Dict[Tuple[Predicate, int, Term], Set[Atom]] = (
-            defaultdict(set)
-        )
-        # predicate -> positions tuple -> key -> facts; see key_index()
-        self._key_indexes: Dict[
-            Predicate, Dict[Tuple[int, ...], Dict[object, List[Atom]]]
-        ] = {}
-        self._size = 0
-        # facts asserted by the caller rather than inferred; see module docstring
-        self._base: Set[Atom] = set()
-        self.add_all(facts, base=True)
-
-    # ------------------------------------------------------------------
-    # mutation
-    # ------------------------------------------------------------------
-    def add(self, fact: Atom) -> bool:
-        """Add a fact; return ``True`` if it was new."""
-        if not fact.is_ground:
-            raise ValueError(f"fact stores hold ground facts only, got {fact}")
-        relation = self._by_predicate[fact.predicate]
-        if fact in relation:
-            return False
-        relation.add(fact)
-        args = fact.args
-        for position, term in enumerate(args):
-            self._position_index[(fact.predicate, position, term)].add(fact)
-        key_indexes = self._key_indexes.get(fact.predicate)
-        if key_indexes:
-            for positions, index in key_indexes.items():
-                key = _key_of(args, positions)
-                bucket = index.get(key)
-                if bucket is None:
-                    index[key] = [fact]
-                else:
-                    bucket.append(fact)
-        self._size += 1
-        return True
-
-    def add_all(self, facts: Iterable[Atom], base: bool = False) -> int:
-        """Add many facts; return how many were new.
-
-        With ``base=True`` every fact is also marked base — including facts
-        already present as derived, which an assertion promotes to base.
-        """
-        added = 0
-        for fact in facts:
-            if self.add(fact):
-                added += 1
-            if base:
-                self._base.add(fact)
-        return added
-
-    def mark_base(self, fact: Atom) -> bool:
-        """Mark a stored fact as base; return ``True`` if it was derived before."""
-        if fact not in self:
-            raise KeyError(f"cannot mark a fact not in the store as base: {fact}")
-        if fact in self._base:
-            return False
-        self._base.add(fact)
-        return True
-
-    def unmark_base(self, fact: Atom) -> bool:
-        """Demote a fact from base to derived; return ``True`` if it was base."""
-        if fact in self._base:
-            self._base.discard(fact)
-            return True
-        return False
-
-    def remove(self, fact: Atom) -> bool:
-        """Remove a fact, maintaining every index; return ``True`` if present.
-
-        Position-index entries and key-index buckets are trimmed (and
-        dropped when emptied) so later probes stay exact; base marking, if
-        any, is discarded with the fact.
-        """
-        relation = self._by_predicate.get(fact.predicate)
-        if relation is None or fact not in relation:
-            return False
-        relation.discard(fact)
-        args = fact.args
-        for position, term in enumerate(args):
-            entry = (fact.predicate, position, term)
-            bucket = self._position_index.get(entry)
-            if bucket is not None:
-                bucket.discard(fact)
-                if not bucket:
-                    del self._position_index[entry]
-        key_indexes = self._key_indexes.get(fact.predicate)
-        if key_indexes:
-            for positions, index in key_indexes.items():
-                key = _key_of(args, positions)
-                key_bucket = index.get(key)
-                if key_bucket is not None:
-                    try:
-                        key_bucket.remove(fact)
-                    except ValueError:
-                        pass
-                    if not key_bucket:
-                        del index[key]
-        self._base.discard(fact)
-        self._size -= 1
-        return True
-
-    # ------------------------------------------------------------------
-    # lookup
-    # ------------------------------------------------------------------
-    def __contains__(self, fact: Atom) -> bool:
-        return fact in self._by_predicate.get(fact.predicate, ())
-
-    def __len__(self) -> int:
-        return self._size
-
-    def __iter__(self) -> Iterator[Atom]:
-        for relation in self._by_predicate.values():
-            yield from relation
-
-    def facts(self) -> FrozenSet[Atom]:
-        return frozenset(self)
-
-    def is_base(self, fact: Atom) -> bool:
-        """``True`` if the fact was asserted (not merely derived)."""
-        return fact in self._base
-
-    @property
-    def base_count(self) -> int:
-        return len(self._base)
-
-    @property
-    def derived_count(self) -> int:
-        """Stored facts that are not base (inferred-only)."""
-        return self._size - len(self._base)
-
-    def base_facts(self) -> FrozenSet[Atom]:
-        """The asserted (EDB) facts — what a from-scratch rebuild would start from."""
-        return frozenset(self._base)
-
-    def predicates(self) -> Tuple[Predicate, ...]:
-        return tuple(self._by_predicate)
-
-    def relation(self, predicate: Predicate) -> FrozenSet[Atom]:
-        return frozenset(self._by_predicate.get(predicate, ()))
-
-    def relation_facts(self, predicate: Predicate) -> Iterable[Atom]:
-        """The live relation of a predicate, without a defensive copy.
-
-        Callers must not mutate the store while iterating; the plan executor
-        only reads between mutations, which is exactly the semi-naive
-        commit-then-evaluate discipline.
-        """
-        return self._by_predicate.get(predicate, ())
-
-    def count(self, predicate: Predicate) -> int:
-        return len(self._by_predicate.get(predicate, ()))
-
-    def key_index(
-        self, predicate: Predicate, positions: Tuple[int, ...]
-    ) -> Dict[object, List[Atom]]:
-        """The hash index of a relation over the given argument positions.
-
-        Built on first request by a plan step and kept incrementally
-        up-to-date by :meth:`add`; the mapping is ``key -> [facts]`` where the
-        key is the bare term for single-column indexes and a tuple of terms
-        otherwise (see :func:`_key_of`).
-        """
-        per_predicate = self._key_indexes.get(predicate)
-        if per_predicate is None:
-            per_predicate = self._key_indexes[predicate] = {}
-        index = per_predicate.get(positions)
-        if index is None:
-            index = {}
-            for fact in self._by_predicate.get(predicate, ()):
-                key = _key_of(fact.args, positions)
-                bucket = index.get(key)
-                if bucket is None:
-                    index[key] = [fact]
-                else:
-                    bucket.append(fact)
-            per_predicate[positions] = index
-        return index
-
-    def candidates(
-        self, atom: Atom, substitution: Optional[Substitution] = None
-    ) -> Iterable[Atom]:
-        """Facts that could match the (possibly partially bound) atom.
-
-        The most selective position index available under the current
-        substitution is used; if no argument is bound, the whole relation is
-        returned.
-        """
-        relation = self._by_predicate.get(atom.predicate)
-        if not relation:
-            return ()
-        best: Optional[Set[Atom]] = None
-        for position, arg in enumerate(atom.args):
-            term: Optional[Term]
-            if isinstance(arg, Variable):
-                term = substitution.get(arg) if substitution else None
-            else:
-                term = arg
-            if term is None or not term.is_ground:
-                continue
-            candidates = self._position_index.get((atom.predicate, position, term))
-            if candidates is None:
-                return ()
-            if best is None or len(candidates) < len(best):
-                best = candidates
-        return best if best is not None else relation
-
-    # ------------------------------------------------------------------
-    # conversion
-    # ------------------------------------------------------------------
-    def copy(self) -> "FactStore":
-        clone = FactStore()
-        for fact in self:
-            clone.add(fact)
-        clone._base.update(self._base)
-        return clone
-
-    def counts_by_predicate(self) -> Dict[Predicate, int]:
-        return {pred: len(rel) for pred, rel in self._by_predicate.items()}
+__all__ = ["FactStore", "Row", "TermTable", "row_key"]

@@ -354,7 +354,14 @@ def demand_answer(
     transformed = magic_transform(program, query_goals(program, query))
     engine = compiled_engine(transformed.program)
     seeds = transformed.seed_facts(query)
-    result = engine.materialize(tuple(base_facts) + seeds)
+    if hasattr(base_facts, "facts_for"):
+        # lazy fact source (repro.kb.format.FactSegments): decode only the
+        # predicates this demand pattern can reach — the other segments
+        # never leave their serialized form
+        base = tuple(base_facts.facts_for(transformed.demanded_predicates))
+    else:
+        base = tuple(base_facts)
+    result = engine.materialize(base + seeds)
     magic_preds = {
         pred for pred in transformed.magic_predicates.values() if pred is not None
     }

@@ -37,6 +37,17 @@ Binding sets flow through the pipeline as *columnar batches*
 values — not a per-tuple substitution dict — so extending ``n`` rows by a
 join allocates a handful of lists instead of ``n`` dictionaries.
 
+The columns hold **term IDs, not terms**: the store is ID-encoded
+(:mod:`repro.datalog.store`), so deltas arrive as int-tuple rows, probe
+keys are ints (or tuples of ints), and the pipeline never touches a term
+object.  Constants in a step's key are resolved against the store's
+:class:`~repro.datalog.store.TermTable` once per execution — a constant
+the table has never seen cannot match any stored row, so the step
+short-circuits to an empty batch.  Decoding back to interned terms happens
+only at the boundaries: :meth:`RulePlan.project_head` (term-space callers)
+and the query answer projection; the engine commits
+:meth:`RulePlan.project_rows` output straight back into row space.
+
 Reading the ``join_plan`` stats in BENCH_rewriting.json
 -------------------------------------------------------
 
@@ -70,8 +81,8 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 
 from ..logic.atoms import Atom, Predicate
 from ..logic.rules import Rule
-from ..logic.terms import Term, Variable
-from .index import FactStore
+from ..logic.terms import Variable
+from .store import FactStore, Row
 
 
 class JoinPlanStats:
@@ -139,12 +150,14 @@ class BindingBatch:
 
     All columns have length :attr:`size`.  Row ``r`` of the batch is the
     binding ``{var: columns[var][r]}`` — but rows are never materialized as
-    dicts; steps operate directly on the columns.
+    dicts; steps operate directly on the columns.  Column values are term
+    IDs of the executing store's :class:`~repro.datalog.store.TermTable`,
+    never term objects; decode at the projection boundary.
     """
 
     __slots__ = ("columns", "size")
 
-    def __init__(self, columns: Dict[Variable, List[Term]], size: int) -> None:
+    def __init__(self, columns: Dict[Variable, List[int]], size: int) -> None:
         self.columns = columns
         self.size = size
 
@@ -280,10 +293,14 @@ class PlanVariant:
     def execute(
         self,
         store: FactStore,
-        delta_by_predicate: Optional[Dict[Predicate, List[Atom]]] = None,
+        delta_by_predicate: Optional[Dict[Predicate, List[Row]]] = None,
         stats: Optional[JoinPlanStats] = None,
     ) -> BindingBatch:
-        """Run the pipeline; returns the batch of complete body matches."""
+        """Run the pipeline; returns the batch of complete body matches.
+
+        ``delta_by_predicate`` holds ID-encoded rows of the executing store
+        (the engine's commit loop produces exactly this), never atoms.
+        """
         # empty-delta / empty-relation short-circuit: any step with no
         # candidate facts makes the whole variant vacuous
         for position, step in zip(self.order, self.steps):
@@ -305,8 +322,8 @@ class PlanVariant:
         for position, step in zip(self.order, self.steps):
             if self.pivot is not None and position == self.pivot:
                 assert delta_by_predicate is not None
-                delta_facts = delta_by_predicate.get(step.atom.predicate, ())
-                batch = self._join(step, store, batch, stats, delta_facts)
+                delta_rows = delta_by_predicate.get(step.atom.predicate, ())
+                batch = self._join(step, store, batch, stats, delta_rows)
             else:
                 batch = self._join(step, store, batch, stats, None)
             if not batch.size:
@@ -318,7 +335,7 @@ class PlanVariant:
     def execute_deletion(
         self,
         store: FactStore,
-        deleted_by_predicate: Optional[Dict[Predicate, List[Atom]]],
+        deleted_by_predicate: Optional[Dict[Predicate, List[Row]]],
         stats: Optional[JoinPlanStats] = None,
     ) -> BindingBatch:
         """Run the pipeline pivoted on a *deleted* delta (DRed over-deletion).
@@ -343,27 +360,40 @@ class PlanVariant:
         store: FactStore,
         batch: BindingBatch,
         stats: Optional[JoinPlanStats],
-        delta_facts: Optional[Iterable[Atom]],
+        delta_rows: Optional[Iterable[Row]],
     ) -> BindingBatch:
-        """Extend the batch with one atom: delta scan or indexed hash join."""
+        """Extend the batch with one atom: delta scan or indexed hash join.
+
+        Everything here is in row space — delta rows, index buckets, and
+        batch columns all hold term IDs of the executing store.
+        """
         if stats is not None:
             stats.batches += 1
         columns = batch.columns
         checks = step.checks
         outputs = step.outputs
-        if delta_facts is not None:
+        lookup = store.terms.lookup
+        if delta_rows is not None:
             # pivot scan: the delta is small and unindexed; filter it row by
             # row (constants and repeated variables) and cross it with the
-            # batch — the pivot runs first, so the batch is the unit row
-            matched: List[Atom] = []
-            sources = tuple(zip(step.key_positions, step.key_sources))
-            for fact in delta_facts:
-                args = fact.args
-                if any(args[pos] != value for pos, (_, value) in sources):
-                    continue
-                if any(args[pos] != args[first] for pos, first in checks):
-                    continue
-                matched.append(fact)
+            # batch — the pivot runs first, so the batch is the unit row.
+            # Key sources on a leading scan are always constants; a constant
+            # the term table has never seen matches nothing.
+            sources: Optional[List[Tuple[int, int]]] = []
+            for pos, (_, value) in zip(step.key_positions, step.key_sources):
+                encoded = lookup(value)
+                if encoded is None:
+                    sources = None
+                    break
+                sources.append((pos, encoded))
+            matched: List[Row] = []
+            if sources is not None:
+                for fact_row in delta_rows:
+                    if any(fact_row[pos] != value for pos, value in sources):
+                        continue
+                    if any(fact_row[pos] != fact_row[first] for pos, first in checks):
+                        continue
+                    matched.append(fact_row)
             if stats is not None:
                 stats.probes += max(1, batch.size)
                 stats.probe_hits += len(matched)
@@ -371,7 +401,7 @@ class PlanVariant:
                 return BindingBatch.empty()
             keep = [row for row in range(batch.size) for _ in matched]
             new_columns = {
-                var: [fact.args[pos] for _ in range(batch.size) for fact in matched]
+                var: [fact_row[pos] for _ in range(batch.size) for fact_row in matched]
                 for var, pos in outputs
             }
             result = {
@@ -381,38 +411,45 @@ class PlanVariant:
             return BindingBatch(result, len(keep))
         if not step.key_positions:
             # no bound variables or constants: cross product with the relation
-            facts = [
-                fact
-                for fact in store.relation_facts(step.atom.predicate)
-                if not any(fact.args[pos] != fact.args[first] for pos, first in checks)
+            rows = [
+                fact_row
+                for fact_row in store.relation_rows(step.atom.predicate)
+                if not any(
+                    fact_row[pos] != fact_row[first] for pos, first in checks
+                )
             ]
             if stats is not None:
                 stats.probes += batch.size
-                stats.probe_hits += len(facts) * batch.size
-            if not facts:
+                stats.probe_hits += len(rows) * batch.size
+            if not rows:
                 return BindingBatch.empty()
-            keep = [row for row in range(batch.size) for _ in facts]
+            keep = [row for row in range(batch.size) for _ in rows]
             result = {
                 var: [column[row] for row in keep] for var, column in columns.items()
             }
             for var, pos in outputs:
-                column = [fact.args[pos] for fact in facts]
+                column = [fact_row[pos] for fact_row in rows]
                 result[var] = column * batch.size if batch.size > 1 else column
             return BindingBatch(result, len(keep))
-        index = store.key_index(step.atom.predicate, step.key_positions)
         size = batch.size
-        single = len(step.key_sources) == 1
-        probe_columns: List[Sequence[Term]] = []
+        probe_columns: List[Sequence[int]] = []
         for kind, value in step.key_sources:
             if kind == "const":
-                probe_columns.append((value,) * size)
+                encoded = lookup(value)
+                if encoded is None:
+                    # no stored row mentions this constant: nothing can match
+                    if stats is not None:
+                        stats.probes += size
+                    return BindingBatch.empty()
+                probe_columns.append((encoded,) * size)
             else:
                 probe_columns.append(columns[value])
+        index = store.key_index(step.atom.predicate, step.key_positions)
         keep: List[int] = []
-        new_values: List[List[Term]] = [[] for _ in outputs]
+        new_values: List[List[int]] = [[] for _ in outputs]
         output_positions = tuple(pos for _, pos in outputs)
         hits = 0
-        if single:
+        if len(step.key_sources) == 1:
             keys: Iterable[object] = probe_columns[0]
         else:
             keys = zip(*probe_columns)
@@ -420,13 +457,14 @@ class PlanVariant:
             bucket = index.get(key)
             if not bucket:
                 continue
-            for fact in bucket:
-                args = fact.args
-                if checks and any(args[pos] != args[first] for pos, first in checks):
+            for fact_row in bucket:
+                if checks and any(
+                    fact_row[pos] != fact_row[first] for pos, first in checks
+                ):
                     continue
                 keep.append(row)
                 for slot, pos in enumerate(output_positions):
-                    new_values[slot].append(args[pos])
+                    new_values[slot].append(fact_row[pos])
                 hits += 1
         if stats is not None:
             stats.probes += size
@@ -476,25 +514,39 @@ class RulePlan:
             self._variants[pivot] = variant
         return variant
 
-    def project_head(self, batch: BindingBatch) -> Iterator[Atom]:
-        """Instantiate the head atom for every row of a match batch.
+    def project_rows(self, batch: BindingBatch, store: FactStore) -> Iterator[Row]:
+        """Instantiate the head as ID-encoded rows for every match row.
 
-        Rows binding the head identically yield duplicate facts; the engine
-        deduplicates on insertion exactly as the tuple-at-a-time loop did.
+        This is the engine's path: the rows feed straight back into the
+        store's row layer, so no term object is touched.  Head constants
+        are encoded against the store's table (appending is fine — the
+        head instance is about to be stored).  Rows binding the head
+        identically yield duplicates; the engine deduplicates on insertion
+        exactly as the tuple-at-a-time loop did.
         """
         if not batch.size:
             return
-        head = self.rule.head
-        predicate = head.predicate
         if not self._head_sources:
-            yield head
+            yield ()
             return
+        encode = store.terms.encode
         arg_columns = [
-            batch.columns[value] if kind == "var" else (value,) * batch.size
+            batch.columns[value] if kind == "var" else (encode(value),) * batch.size
             for kind, value in self._head_sources
         ]
-        for args in zip(*arg_columns):
-            yield Atom(predicate, args)
+        yield from zip(*arg_columns)
+
+    def project_head(self, batch: BindingBatch, store: FactStore) -> Iterator[Atom]:
+        """Instantiate the head atom for every row of a match batch (decoded).
+
+        The decode boundary for term-space callers (tests, reference
+        checks); the engine itself stays in row space via
+        :meth:`project_rows`.
+        """
+        predicate = self.rule.head.predicate
+        decode = store.terms.decode_args
+        for row in self.project_rows(batch, store):
+            yield Atom(predicate, decode(row))
 
     def shape(self) -> str:
         """Compact human-readable pipeline summary for the bench JSON."""

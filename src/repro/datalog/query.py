@@ -140,7 +140,11 @@ def evaluate_query(
     if not query.answer_variables:
         # every body atom is ground and present: one empty answer tuple
         return frozenset({()})
-    answer_columns = [batch.columns[var] for var in query.answer_variables]
+    # decode at the boundary: batch columns hold term IDs
+    answer_columns = [
+        store.terms.decode_column(batch.columns[var])
+        for var in query.answer_variables
+    ]
     return frozenset(zip(*answer_columns))
 
 

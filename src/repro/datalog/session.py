@@ -53,6 +53,16 @@ from .plan import JoinPlanStats
 from .query import ConjunctiveQuery, QueryOptions, evaluate_query
 
 
+def _is_lazy_fact_source(instance: object) -> bool:
+    """Whether the initial instance loads facts per predicate on demand.
+
+    Duck-typed on the :class:`repro.kb.format.FactSegments` surface
+    (``facts_for`` + ``all_facts``) so the session layer stays independent
+    of the persistence layer.
+    """
+    return hasattr(instance, "facts_for") and hasattr(instance, "all_facts")
+
+
 class ReasoningSession:
     """A live materialization of one Datalog program, updated by deltas."""
 
@@ -73,7 +83,14 @@ class ReasoningSession:
             # program reuses one set of compiled join plans
             self._engine = compiled_engine(program)
         self._store: Optional[FactStore] = None
-        self._pending: Tuple[Atom, ...] = tuple(instance)
+        # a *lazy* fact source (e.g. repro.kb.format.FactSegments) is kept
+        # as-is instead of being flattened: demand answers on a cold session
+        # then pull only the predicates their magic program demands, and the
+        # remaining segments stay undecoded until the session warms
+        self._lazy_source = instance if _is_lazy_fact_source(instance) else None
+        self._pending: Tuple[Atom, ...] = (
+            () if self._lazy_source is not None else tuple(instance)
+        )
         self._rounds = 0
         self._derived = 0
         self._applications = 0
@@ -94,9 +111,14 @@ class ReasoningSession:
         """The live store, computing the initial materialization on first use."""
         store = self._store
         if store is None:
-            initial = self._engine.materialize(self._pending)
+            if self._lazy_source is not None:
+                seed: Iterable[Atom] = self._lazy_source.all_facts()
+            else:
+                seed = self._pending
+            initial = self._engine.materialize(seed)
             store = self._store = initial.store
             self._pending = ()
+            self._lazy_source = None
             self._rounds += initial.rounds
             self._derived += initial.derived_count
             self._applications += initial.rule_applications
@@ -173,6 +195,10 @@ class ReasoningSession:
     def base_fact_count(self) -> int:
         """Currently-asserted base facts (survivors of every add/retract)."""
         if self._store is None:
+            if self._lazy_source is not None:
+                # segments are deduplicated on save, so the declared total
+                # is exact and costs no decoding
+                return len(self._lazy_source)
             return len(set(self._pending))
         return self._store.base_count
 
@@ -294,9 +320,16 @@ class ReasoningSession:
             return "materialized"
         return strategy
 
-    def _current_base_facts(self) -> Tuple[Atom, ...]:
-        """The currently-asserted base facts, without warming a cold session."""
+    def _current_base_facts(self) -> "Iterable[Atom]":
+        """The currently-asserted base facts, without warming a cold session.
+
+        On a cold session over a lazy source this returns the source itself,
+        so the demand path (:func:`repro.datalog.magic.demand_answer`) can
+        restrict itself to the predicates its magic program demands.
+        """
         if self._store is None:
+            if self._lazy_source is not None:
+                return self._lazy_source
             return self._pending
         return tuple(self._store.base_facts())
 
@@ -399,9 +432,14 @@ class ReasoningSession:
 
     def __repr__(self) -> str:
         if self._store is None:
+            pending = (
+                len(self._lazy_source)
+                if self._lazy_source is not None
+                else len(self._pending)
+            )
             return (
                 f"ReasoningSession({len(self.program)} rules, cold, "
-                f"{len(self._pending)} pending base facts)"
+                f"{pending} pending base facts)"
             )
         return (
             f"ReasoningSession({len(self.program)} rules, {len(self._store)} facts, "

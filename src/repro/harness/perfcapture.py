@@ -12,7 +12,13 @@ against the retained pre-change loop in the same process (recorded as
 ``speedup_vs_pre_change`` with a ``chase_plan`` stats block), and the
 ``churn`` scenario drives interleaved add/retract streams through a live
 session, checking every op against full re-materialization and recording
-the DRed counters in a ``dred`` stats block.  Every future
+the DRed counters in a ``dred`` stats block.  The store-touching scenarios
+(``end_to_end``, ``incremental_updates``, ``churn``, ``demand_queries``)
+also record a ``fact_store`` block — the ID-encoded store's term-table
+size, row count, index footprint, and encode/decode counters — and
+``demand_queries`` adds a ``kb_segments`` block measuring the lazy
+``repro-kb/v2`` segment tier (file size, decode wall time, predicates
+loaded out of total after one demand answer).  Every future
 PR reruns the capture and compares against the recorded trajectory; see the
 "Recording performance" section of ROADMAP.md.
 
@@ -242,6 +248,20 @@ def _finish_join_plan(
     return block
 
 
+def _merge_fact_store_stats(
+    total: Dict[str, int], stats: Mapping[str, int]
+) -> None:
+    """Accumulate one ``FactStore.stats()`` block into a scenario total.
+
+    Stores are per-materialization, so the scenario-level ``fact_store``
+    block sums the counters across every measured store and records how many
+    contributed (``stores``) — per-store averages fall out by division.
+    """
+    total["stores"] = total.get("stores", 0) + 1
+    for key, value in stats.items():
+        total[key] = total.get(key, 0) + int(value)
+
+
 def capture_end_to_end(
     suite_size: int = 6,
     max_axioms: int = 60,
@@ -276,6 +296,7 @@ def capture_end_to_end(
     rows = []
     materialize_wall = 0.0
     join_totals: Dict[str, int] = {}
+    store_totals: Dict[str, int] = {}
     plan_shapes: List[str] = []
     plans_compiled = 0
     for item, rewriting in completed[:top_k]:
@@ -291,6 +312,7 @@ def capture_end_to_end(
         elapsed = time.perf_counter() - start
         materialize_wall += elapsed
         JoinPlanStats.merge_snapshot(join_totals, materialized.join_stats)
+        _merge_fact_store_stats(store_totals, materialized.store.stats())
         plans_compiled += engine.compiled_plan_count()
         for shape in engine.plan_shapes():
             if shape not in plan_shapes:
@@ -316,6 +338,7 @@ def capture_end_to_end(
         "rows": rows,
         "clauses": _finish_totals(totals),
         "join_plan": _finish_join_plan(join_totals, plan_shapes, plans_compiled),
+        "fact_store": store_totals,
     }
     # the embedded pre-change time was measured at default scale; a shrunken
     # (smoke) run materializes a different workload entirely
@@ -375,6 +398,7 @@ def capture_incremental_updates(
     full_total = 0.0
     delta_total = 0.0
     join_totals: Dict[str, int] = {}
+    store_totals: Dict[str, int] = {}
     plan_shapes: List[str] = []
     plans_compiled = 0
     for item, rewriting in completed[:top_k]:
@@ -407,8 +431,10 @@ def capture_incremental_updates(
             if delta_seconds is None or elapsed < delta_seconds:
                 delta_seconds = elapsed
             session_facts = session.facts()
-        # delta-side join work of one propagation (the last repeat)
+        # delta-side join work of one propagation (the last repeat); the
+        # session is warm here, so reading its store is free
         JoinPlanStats.merge_snapshot(join_totals, update.join_stats)
+        _merge_fact_store_stats(store_totals, session.store.stats())
         engine = compiled_engine(program)
         plans_compiled += engine.compiled_plan_count()
         for shape in engine.plan_shapes():
@@ -440,6 +466,7 @@ def capture_incremental_updates(
         "repeats": max(1, repeats),
         "rows": rows,
         "join_plan": _finish_join_plan(join_totals, plan_shapes, plans_compiled),
+        "fact_store": store_totals,
         "full_rematerialize_seconds": round(full_total, 6),
         "delta_update_seconds": round(delta_total, 6),
         "speedup_delta_vs_full": round(full_total / delta_total, 2)
@@ -496,6 +523,7 @@ def capture_churn(
     incremental_total = 0.0
     full_total = 0.0
     all_consistent = True
+    store_totals: Dict[str, int] = {}
     dred_totals = {
         "retracted": 0,
         "overdeleted": 0,
@@ -568,6 +596,8 @@ def capture_churn(
             if full_seconds is None or repeat_full < full_seconds:
                 full_seconds = repeat_full
             instance_dred = repeat_dred  # identical across repeats
+        # store shape after the full op stream (last repeat's session, warm)
+        _merge_fact_store_stats(store_totals, session.store.stats())
         for key, value in instance_dred.items():
             dred_totals[key] += value
         all_consistent = all_consistent and instance_consistent
@@ -597,6 +627,7 @@ def capture_churn(
         "repeats": max(1, repeats),
         "rows": rows,
         "dred": dred_totals,
+        "fact_store": store_totals,
         "incremental_seconds": round(incremental_total, 6),
         "full_rematerialize_seconds": round(full_total, 6),
         "speedup_churn_vs_full": round(full_total / incremental_total, 2)
@@ -1142,6 +1173,14 @@ def capture_demand_queries(
     ``magic_facts``, and how many predicates the demand runs touched out of
     the program total (see the docstring of :mod:`repro.datalog.magic` for
     how to read each counter).
+
+    Two untimed instrumentation blocks ride along: ``fact_store`` holds the
+    ID-encoded store's counters after one full materialization
+    (:meth:`repro.datalog.store.FactStore.stats`), and ``kb_segments``
+    records a ``repro-kb/v2`` save → cold-load round trip — file size,
+    segment-decode wall time, and ``predicates_loaded`` out of
+    ``total_predicates`` after one demand-driven answer (strictly fewer
+    loaded than total is the lazy tier working).
     """
     import gc
 
@@ -1253,6 +1292,30 @@ def capture_demand_queries(
                 "magic": report,
             }
         )
+    # untimed instrumentation: one warm session records the materialized
+    # store's ID-encoded shape (term-table size, rows, index footprint)...
+    fact_store: Dict[str, int] = {}
+    _merge_fact_store_stats(fact_store, kb.session(facts).store.stats())
+    # ...and a save → cold-load round trip records the segment tier: the KB
+    # is written with its facts as repro-kb/v2, reopened, and the first
+    # bound query answered on demand so only the probed predicates' row
+    # segments ever decode
+    import os
+    import tempfile
+
+    handle, kb_path = tempfile.mkstemp(suffix=".json", prefix="repro-kb-")
+    os.close(handle)
+    try:
+        kb.save(kb_path, facts=facts)
+        file_bytes = os.path.getsize(kb_path)
+        reloaded = KnowledgeBase.load(kb_path)
+        segments = reloaded.fact_segments
+        cold = reloaded.session(segments, defer_materialization=True)
+        cold.answer(queries[0], options=QueryOptions(strategy="demand"))
+        kb_segments: Dict[str, object] = {"file_bytes": file_bytes}
+        kb_segments.update(segments.stats())
+    finally:
+        os.unlink(kb_path)
     return {
         "wall_seconds": round(time.perf_counter() - wall_start, 6),
         "status": STATUS_COMPLETED if all_completed else STATUS_TIMED_OUT,
@@ -1269,6 +1332,8 @@ def capture_demand_queries(
         if demand_total
         else None,
         "magic": magic_totals,
+        "fact_store": fact_store,
+        "kb_segments": kb_segments,
         # deliberately False when nothing was measured: an empty run must
         # not read as "demand ≡ materialized verified" downstream
         "agreement": bool(rows) and all_agree,

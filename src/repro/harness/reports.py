@@ -326,6 +326,60 @@ def perf_report(payload: Mapping[str, object]) -> str:
                 f"{magic.get('predicates_total', 0)} predicates touched)"
                 + ("" if demand.get("agreement", True) else " (DISAGREEMENT!)")
             )
+        store_rows = []
+        for name in (
+            "end_to_end",
+            "incremental_updates",
+            "churn",
+            "demand_queries",
+        ):
+            scenario = scenarios.get(name)
+            if not isinstance(scenario, Mapping):
+                continue
+            block = _stats_block(scenario, "fact_store")
+            if not block.get("rows"):
+                continue
+            store_rows.append(
+                [
+                    name,
+                    block.get("stores", ""),
+                    block.get("term_table_size", ""),
+                    block.get("rows", ""),
+                    block.get("index_entries", ""),
+                    block.get("index_memory_bytes", ""),
+                    f"{block.get('encode_calls', 0)}/"
+                    f"{block.get('decode_calls', 0)}",
+                ]
+            )
+        if store_rows:
+            lines.append(
+                "Fact-store (ID-encoded) stats\n"
+                + format_table(
+                    [
+                        "Scenario",
+                        "Stores",
+                        "Terms",
+                        "Rows",
+                        "Idx entries",
+                        "Idx bytes",
+                        "Enc/dec calls",
+                    ],
+                    store_rows,
+                )
+            )
+        segments = (
+            _stats_block(demand, "kb_segments")
+            if isinstance(demand, Mapping)
+            else {}
+        )
+        if segments:
+            lines.append(
+                f"kb_segments: {segments.get('file_bytes', 0)} bytes on disk, "
+                f"{segments.get('predicates_loaded', 0)}/"
+                f"{segments.get('total_predicates', 0)} predicate segments "
+                f"decoded ({segments.get('load_wall_seconds', 0.0)}s) after one "
+                f"cold demand answer"
+            )
     status_changes = payload.get("scenario_status_vs_baseline")
     if isinstance(status_changes, Mapping):
         for name, change in sorted(status_changes.items()):
@@ -559,6 +613,55 @@ def step_summary_markdown(payload: Mapping[str, object]) -> str:
                     + ("" if demand.get("agreement", True) else " (DISAGREEMENT!)")
                     + " |"
                 )
+        store_rows = []
+        for name in (
+            "end_to_end",
+            "incremental_updates",
+            "churn",
+            "demand_queries",
+        ):
+            scenario = scenarios.get(name)
+            if not isinstance(scenario, Mapping):
+                continue
+            block = _stats_block(scenario, "fact_store")
+            # older captures have no fact_store block; render only what is
+            # actually there so baselines keep comparing
+            if not block.get("rows"):
+                continue
+            store_rows.append(
+                f"| {name} | {block.get('stores', '–')} "
+                f"| {block.get('term_table_size', '–')} "
+                f"| {block.get('rows', '–')} "
+                f"| {block.get('index_entries', '–')} "
+                f"| {block.get('index_memory_bytes', '–')} "
+                f"| {block.get('encode_calls', '–')}/"
+                f"{block.get('decode_calls', '–')} |"
+            )
+        if store_rows:
+            lines.append("")
+            lines.append("### Fact-store stats (ID-encoded)")
+            lines.append("")
+            lines.append(
+                "| Scenario | Stores | Terms | Rows | Index entries "
+                "| Index bytes | Encode/decode |"
+            )
+            lines.append("| --- | ---: | ---: | ---: | ---: | ---: | ---: |")
+            lines.extend(store_rows)
+        segments = (
+            _stats_block(demand, "kb_segments")
+            if isinstance(demand, Mapping)
+            else {}
+        )
+        if segments:
+            lines.append("")
+            lines.append(
+                f"KB segment tier: {segments.get('file_bytes', '–')} bytes "
+                f"on disk, **{segments.get('predicates_loaded', '–')}/"
+                f"{segments.get('total_predicates', '–')}** predicate "
+                f"segments decoded "
+                f"({segments.get('load_wall_seconds', '–')}s) after one cold "
+                "demand answer."
+            )
     if isinstance(baseline, Mapping) and "error" in baseline:
         lines.append("")
         lines.append(f"**Baseline comparison failed:** {baseline['error']}")

@@ -11,14 +11,17 @@ and serialized as first-class artifacts:
   compiled rewritings, so repeated ``KnowledgeBase.compile`` calls under the
   same Σ are free.
 
-KB file format (``repro-kb/v1``)
+KB file format (``repro-kb/v2``)
 --------------------------------
 
 A saved knowledge base is one JSON object with the fields
 
 ``format``
-    The literal string ``"repro-kb/v1"``.  Loaders reject other values; the
-    major version is bumped whenever a field changes meaning.
+    The literal string ``"repro-kb/v2"``.  ``"repro-kb/v1"`` files are still
+    accepted and upgraded in memory (:func:`.format.upgrade_v1_payload` —
+    v2 only *adds* the optional ``fact_segments`` block, every shared field
+    is unchanged); other values are rejected, and the major version is
+    bumped whenever a field changes meaning.
 ``algorithm``
     The inference rule that produced the rewriting (``"ExbDR"``, ...).
 ``sigma_fingerprint``
@@ -38,6 +41,13 @@ A saved knowledge base is one JSON object with the fields
     compiling run.
 ``worked_off_size`` / ``completed``
     The remaining :class:`~repro.rewriting.base.RewritingResult` fields.
+``fact_segments`` *(optional, v2)*
+    A columnar base-instance payload: ``terms`` (constant names in term-ID
+    order) and ``predicates`` mapping ``"Name/arity"`` to ``{"arity",
+    "count", "rows"}`` where ``rows`` is the flat space-separated term-ID
+    string of all rows.  Loaded lazily per predicate
+    (:class:`.format.FactSegments`) so demand queries touch only the
+    segments their magic program probes.
 
 Atoms are encoded as ``{"p": predicate_name, "args": [term...]}`` and terms
 as ``{"v": name}`` (variable) or ``{"c": name}`` (constant) — input GTGDs and
@@ -51,25 +61,37 @@ from .cache import (
     sigma_fingerprint,
 )
 from .format import (
+    KB_FORMAT_V1,
     KB_FORMAT_VERSION,
+    SUPPORTED_KB_FORMATS,
+    FactSegments,
     KnowledgeBaseFormatError,
     knowledge_base_payload,
     load_knowledge_base_payload,
+    load_knowledge_base_payload_with_segments,
     parse_kb_text,
     read_kb_file,
+    read_kb_file_with_segments,
+    upgrade_v1_payload,
     write_kb_file,
 )
 
 __all__ = [
+    "KB_FORMAT_V1",
     "KB_FORMAT_VERSION",
+    "SUPPORTED_KB_FORMATS",
+    "FactSegments",
     "KnowledgeBaseFormatError",
     "cached_rewrite",
     "clear_compile_cache",
     "compile_cache_stats",
     "knowledge_base_payload",
     "load_knowledge_base_payload",
+    "load_knowledge_base_payload_with_segments",
     "parse_kb_text",
     "read_kb_file",
+    "read_kb_file_with_segments",
     "sigma_fingerprint",
+    "upgrade_v1_payload",
     "write_kb_file",
 ]

@@ -1,7 +1,7 @@
 """A long-lived serving layer over compiled knowledge bases.
 
 This package turns the library's compile-once-serve-many story into an
-actual server process: one or more ``repro-kb/v1`` knowledge bases stay
+actual server process: one or more ``repro-kb/v2`` knowledge bases stay
 resident with warm, materialized reasoning sessions, and concurrent
 clients query and mutate them over newline-delimited JSON.
 

@@ -8,6 +8,13 @@ the generation the server stamped on it.  Exercises the whole stack —
 NDJSON framing, micro-batching, the answer cache across an invalidation,
 the worker tier (process pool by default), and graceful shutdown.
 
+A second stage covers the ``repro-kb/v2`` segment tier: the KB is saved
+*with its facts* as per-predicate fact segments, reopened through
+:meth:`repro.api.KnowledgeBase.load_or_compile` (the loading contract of
+``python -m repro serve``), probed cold with one bound demand query — which
+must decode only the demanded predicates' segments — and then served, with
+every answer checked against the oracle again.
+
 Run it as::
 
     python -m repro.serve.smoke [--workers N] [--queries N]
@@ -145,12 +152,102 @@ async def _run(workers: int, total_queries: int) -> int:
     return 1 if failures else 0
 
 
+#: the segment-tier stage adds a TGD/fact family disconnected from the CIM
+#: queries, so a demand answer provably leaves at least one segment undecoded
+LAZY_SIGMA = SIGMA + "Tag(?x) -> Tagged(?x).\n"
+
+
+async def _run_lazy_kb(workers: int) -> int:
+    """The ``repro-kb/v2`` segment-tier case: save → load_or_compile → serve.
+
+    Exercises the loading path of ``python -m repro serve``: the KB is saved
+    with its facts as v2 segments, reopened with
+    :meth:`~repro.api.KnowledgeBase.load_or_compile`, probed cold with one
+    bound demand query (asserting only the demanded predicates' segments
+    decoded), then booted into a :class:`ReasoningServer` whose answers are
+    checked against a direct oracle.
+    """
+    import os
+    import tempfile
+
+    from ..api import KnowledgeBase
+    from ..datalog.query import QueryOptions, parse_query
+    from ..logic.parser import parse_facts, parse_program
+    from .protocol import encode_answers
+    from .server import Client, ReasoningServer, ServedKB
+
+    program = parse_program(LAZY_SIGMA)
+    kb = KnowledgeBase.compile(program.tgds)
+    fact_lines = _fact_lines() + ["Tag(aux1).", "Tag(aux2)."]
+    initial = parse_facts("\n".join(fact_lines))
+
+    handle, path = tempfile.mkstemp(suffix=".json", prefix="repro-kb-")
+    os.close(handle)
+    failures = 0
+    try:
+        kb.save(path, facts=initial)
+        loaded_kb, segments = KnowledgeBase.load_or_compile(path)
+        # cold bound demand answer: only the demanded predicates may decode
+        cold = loaded_kb.session(segments, defer_materialization=True)
+        query = parse_query("Equipment(sw2)")
+        demanded = cold.answer(query, options=QueryOptions(strategy="demand"))
+        expected = kb.answer_many([query], initial)[0]
+        if demanded != expected:
+            print(f"FAIL: lazy demand answer {demanded!r} != oracle {expected!r}")
+            failures += 1
+        if not 0 < segments.predicates_loaded < segments.total_predicates:
+            print(
+                "FAIL: cold demand answer decoded "
+                f"{segments.predicates_loaded}/{segments.total_predicates} "
+                "segments; expected a non-empty strict subset"
+            )
+            failures += 1
+        print(
+            f"serve smoke (lazy kb): {segments.predicates_loaded}/"
+            f"{segments.total_predicates} segments decoded by the cold "
+            "demand answer"
+        )
+        # serve the reopened KB the way `python -m repro serve` does;
+        # serving materializes eagerly, draining the remaining segments
+        server = ReasoningServer(
+            [ServedKB("cim", loaded_kb, segments)], workers=workers
+        )
+        await server.start()
+        await server.warm()
+        host, port = await server.start_tcp()
+        client = await Client.connect(host, port)
+        queries = [parse_query(text) for text in QUERY_TEXTS]
+        oracle = kb.answer_many(queries, initial)
+        checked = 0
+        for text, answer_set in zip(QUERY_TEXTS, oracle):
+            response = await client.query(text)
+            if response["answers"] != encode_answers(answer_set):
+                print(
+                    f"FAIL: lazy-kb server served {response['answers']!r} for "
+                    f"{text!r}, oracle says {encode_answers(answer_set)!r}"
+                )
+                failures += 1
+            checked += 1
+        await client.close()
+        await server.shutdown()
+        print(
+            f"serve smoke (lazy kb): {checked} served answers checked against "
+            f"the oracle, {failures} failures"
+        )
+    finally:
+        os.unlink(path)
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--queries", type=int, default=50)
     options = parser.parse_args(argv)
-    return asyncio.run(_run(options.workers, options.queries))
+    status = asyncio.run(_run(options.workers, options.queries))
+    if status:
+        return status
+    return asyncio.run(_run_lazy_kb(options.workers))
 
 
 if __name__ == "__main__":

@@ -11,7 +11,7 @@ implement one interface:
 * :class:`PoolWorkerTier` — a :class:`~concurrent.futures.ProcessPoolExecutor`
   whose workers each hold *warm sessions*: the first task touching a KB in
   a worker process materializes it once, and every later task reuses the
-  live session.  Knowledge bases are shipped to workers as ``repro-kb/v1``
+  live session.  Knowledge bases are shipped to workers as ``repro-kb/v2``
   JSON payloads (compiled rules travel, saturation never re-runs — each
   worker pays one plan-compile + materialize, served from its process-local
   caches; see the fork-semantics notes in :mod:`repro.kb.cache`).
@@ -55,7 +55,7 @@ def build_kb_spec(kb, initial_facts) -> Dict[str, str]:
     """A picklable description of one served KB (payload JSON + seed facts).
 
     ``kb`` is a :class:`repro.api.KnowledgeBase`; the spec round-trips its
-    compiled rewriting through the ``repro-kb/v1`` payload so worker
+    compiled rewriting through the ``repro-kb/v2`` payload so worker
     processes reconstruct it without re-running saturation.
     """
     from ..kb.format import knowledge_base_payload

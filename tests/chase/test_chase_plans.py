@@ -9,6 +9,7 @@ from repro.chase.plans import (
 )
 from repro.chase.skolem_chase import SkolemChase
 from repro.datalog.plan import BindingBatch
+from repro.datalog.store import TermTable
 from repro.logic.atoms import Atom, Predicate
 from repro.logic.parser import parse_program
 from repro.logic.rules import Rule
@@ -23,16 +24,26 @@ f = FunctionSymbol("f", 1, is_skolem=True)
 g = FunctionSymbol("g", 2, is_skolem=True)
 
 
+def _encoded_batch(table: TermTable, columns, size: int) -> BindingBatch:
+    """Build a batch of term-ID columns from term-valued test columns."""
+    return BindingBatch(
+        {var: [table.encode(term) for term in values] for var, values in columns.items()},
+        size,
+    )
+
+
 class TestHeadProjection:
     def test_plain_variable_and_constant_head(self):
         plan = SkolemRulePlan(Rule((R(x, y),), R(y, a)))
-        batch = BindingBatch({x: [a, b], y: [b, a]}, 2)
-        assert list(plan.project_head(batch)) == [R(b, a), R(a, a)]
+        table = TermTable()
+        batch = _encoded_batch(table, {x: [a, b], y: [b, a]}, 2)
+        assert list(plan.project_head(batch, table)) == [R(b, a), R(a, a)]
 
     def test_skolem_term_head(self):
         plan = SkolemRulePlan(Rule((P(x),), R(x, FunctionTerm(f, (x,)))))
-        batch = BindingBatch({x: [a, b]}, 2)
-        assert list(plan.project_head(batch)) == [
+        table = TermTable()
+        batch = _encoded_batch(table, {x: [a, b]}, 2)
+        assert list(plan.project_head(batch, table)) == [
             R(a, FunctionTerm(f, (a,))),
             R(b, FunctionTerm(f, (b,))),
         ]
@@ -40,8 +51,9 @@ class TestHeadProjection:
     def test_nested_and_multi_argument_skolem_terms(self):
         head = R(FunctionTerm(f, (x,)), FunctionTerm(g, (x, y)))
         plan = SkolemRulePlan(Rule((R(x, y),), head))
-        batch = BindingBatch({x: [a], y: [b]}, 1)
-        assert list(plan.project_head(batch)) == [
+        table = TermTable()
+        batch = _encoded_batch(table, {x: [a], y: [b]}, 1)
+        assert list(plan.project_head(batch, table)) == [
             R(FunctionTerm(f, (a,)), FunctionTerm(g, (a, b)))
         ]
 
@@ -49,12 +61,13 @@ class TestHeadProjection:
         # a ground function term in the head needs no per-row construction
         ground = FunctionTerm(f, (a,))
         plan = SkolemRulePlan(Rule((P(x),), R(x, ground)))
-        batch = BindingBatch({x: [b]}, 1)
-        assert list(plan.project_head(batch)) == [R(b, ground)]
+        table = TermTable()
+        batch = _encoded_batch(table, {x: [b]}, 1)
+        assert list(plan.project_head(batch, table)) == [R(b, ground)]
 
     def test_empty_batch_projects_nothing(self):
         plan = SkolemRulePlan(Rule((P(x),), P(x)))
-        assert list(plan.project_head(BindingBatch.empty())) == []
+        assert list(plan.project_head(BindingBatch.empty(), TermTable())) == []
 
 
 class TestCompileChasePlans:

@@ -99,7 +99,8 @@ class TestShortCircuits:
         variant = PlanVariant(closure_rule().body, pivot=1)
         store = FactStore([Edge(a, b)])  # no Reach facts at all
         stats = JoinPlanStats()
-        batch = variant.execute(store, {Edge: [Edge(a, b)]}, stats)
+        delta = {Edge: [store.find_fact(Edge(a, b))[1]]}
+        batch = variant.execute(store, delta, stats)
         assert batch.size == 0
         assert stats.empty_relation_short_circuits == 1
         assert stats.batches == 0
@@ -108,10 +109,12 @@ class TestShortCircuits:
         variant = PlanVariant(closure_rule().body, pivot=1)
         store = FactStore([Reach(a, b), Edge(b, c)])
         stats = JoinPlanStats()
-        batch = variant.execute(store, {Edge: [Edge(b, c)]}, stats)
+        delta = {Edge: [store.find_fact(Edge(b, c))[1]]}
+        batch = variant.execute(store, delta, stats)
         assert batch.size == 1
-        assert batch.columns[x] == [a]
-        assert batch.columns[z] == [c]
+        # batch columns carry term IDs; decode at the boundary
+        assert store.terms.decode_column(batch.columns[x]) == [a]
+        assert store.terms.decode_column(batch.columns[z]) == [c]
         assert stats.batches == 2
         assert stats.rows_emitted == 1
 
@@ -123,7 +126,7 @@ class TestBatchesAreColumnar:
         batch = variant.execute(store, None, JoinPlanStats())
         assert batch.size == 2
         assert set(batch.columns) == {x, y}
-        assert sorted(batch.columns[y], key=str) == [b, c]
+        assert sorted(store.terms.decode_column(batch.columns[y]), key=str) == [b, c]
 
 
 class TestRulePlan:
@@ -139,7 +142,7 @@ class TestRulePlan:
         plan = RulePlan(rule)
         store = FactStore([S(b)])
         batch = plan.variant(None).execute(store, None, JoinPlanStats())
-        assert list(plan.project_head(batch)) == [R(b, a)]
+        assert list(plan.project_head(batch, store)) == [R(b, a)]
 
     def test_shape_mentions_scan_and_keyed_join(self):
         plan = RulePlan(closure_rule())
@@ -151,14 +154,19 @@ class TestKeyIndexMaintenance:
     def test_index_is_updated_incrementally(self):
         store = FactStore([Edge(a, b)])
         index = store.key_index(Edge, (0,))
-        assert [f for f in index[a]] == [Edge(a, b)]
+        a_id = store.terms.lookup(a)
+        assert [store.decode_row(Edge, row) for row in index[a_id]] == [Edge(a, b)]
         store.add(Edge(a, c))
-        assert set(index[a]) == {Edge(a, b), Edge(a, c)}
+        assert {store.decode_row(Edge, row) for row in index[a_id]} == {
+            Edge(a, b),
+            Edge(a, c),
+        }
 
     def test_multi_column_keys_are_tuples(self):
         store = FactStore([T(a, b, c)])
         index = store.key_index(T, (0, 2))
-        assert index[(a, c)] == [T(a, b, c)]
+        key = (store.terms.lookup(a), store.terms.lookup(c))
+        assert [store.decode_row(T, row) for row in index[key]] == [T(a, b, c)]
 
 
 class TestEngineCache:

@@ -130,7 +130,7 @@ class TestCompileCommand:
         assert exit_code == 0
         assert "saved to" in captured.err
         payload = json.loads(output.read_text(encoding="utf-8"))
-        assert payload["format"] == "repro-kb/v1"
+        assert payload["format"] == "repro-kb/v2"
         assert payload["datalog_rules"]
 
     def test_compile_with_algorithm(self, dependency_file, tmp_path, capsys):

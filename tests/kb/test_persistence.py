@@ -92,6 +92,119 @@ class TestSaveLoadRoundTrip:
         assert payload["sigma_fingerprint"] == kb.fingerprint
 
 
+class TestFactSegments:
+    #: CIM plus a disconnected predicate: demand for Equipment-side queries
+    #: never touches Tag/Tagged, so their segment must stay undecoded
+    _SIGMA = CIM + "\nTag(?x) -> Tagged(?x).\n"
+    _FACTS = CIM_FACTS + "\nTag(t1). Tag(t2).\n"
+
+    def _kb_and_facts(self):
+        program = parse_program(self._SIGMA)
+        kb = KnowledgeBase.compile(program.tgds)
+        facts = tuple(parse_program(self._FACTS).instance)
+        return kb, facts
+
+    def test_save_with_facts_round_trips_them(self, tmp_path):
+        kb, facts = self._kb_and_facts()
+        path = kb.save(tmp_path / "kb.json", facts=facts)
+        loaded = KnowledgeBase.load(path)
+        assert loaded.fact_segments is not None
+        assert set(loaded.fact_segments) == set(facts)
+
+    def test_save_without_facts_has_no_segments(self, tmp_path):
+        kb, _ = self._kb_and_facts()
+        loaded = KnowledgeBase.load(kb.save(tmp_path / "kb.json"))
+        assert loaded.fact_segments is None
+
+    def test_segments_decode_lazily_per_predicate(self, tmp_path):
+        from repro.logic.atoms import Predicate
+
+        kb, facts = self._kb_and_facts()
+        path = kb.save(tmp_path / "kb.json", facts=facts)
+        loaded = KnowledgeBase.load(path)
+        segments = loaded.fact_segments
+        assert segments.predicates_loaded == 0
+        assert segments.total_facts == len(set(facts))
+        relation = segments.relation(Predicate("ACEquipment", 1))
+        assert len(relation) == 2
+        assert segments.predicates_loaded == 1
+        assert segments.predicates_loaded < segments.total_predicates
+        assert segments.load_wall_seconds >= 0.0
+
+    def test_bound_demand_query_loads_only_probed_predicates(self, tmp_path):
+        """The lazy-segment acceptance criterion: a repro-kb/v2 KB answers a
+        bound demand query with ``predicates_loaded < total_predicates``."""
+        kb, facts = self._kb_and_facts()
+        path = kb.save(tmp_path / "kb.json", facts=facts)
+        loaded, seed = KnowledgeBase.load_or_compile(path)
+        segments = loaded.fact_segments
+        assert seed is segments and segments.predicates_loaded == 0
+        session = loaded.session(seed, defer_materialization=True)
+        query = parse_query("Equipment(sw1)")
+        answers = session.answer(query)
+        # same answers as the fully materialized oracle...
+        assert answers == kb.answer_many([query], facts)[0]
+        # ...while the session stayed cold and decoded a strict subset
+        assert session.is_cold
+        assert 0 < segments.predicates_loaded < segments.total_predicates
+
+    def test_warming_a_lazy_session_matches_eager_one(self, tmp_path):
+        kb, facts = self._kb_and_facts()
+        path = kb.save(tmp_path / "kb.json", facts=facts)
+        loaded, seed = KnowledgeBase.load_or_compile(path)
+        lazy_session = loaded.session(seed, defer_materialization=True)
+        assert lazy_session.base_fact_count == len(set(facts))
+        eager_session = kb.session(facts)
+        assert lazy_session.facts() == eager_session.facts()
+        assert not lazy_session.is_cold
+
+    def test_v1_file_upgrades_and_round_trips_to_v2(self, tmp_path):
+        """v1 → load → save → v2 → load, per the compatibility contract."""
+        kb, facts = self._kb_and_facts()
+        v2_path = kb.save(tmp_path / "kb.v2.json")
+        payload = json.loads(v2_path.read_text(encoding="utf-8"))
+        payload["format"] = "repro-kb/v1"
+        v1_path = tmp_path / "kb.v1.json"
+        v1_path.write_text(json.dumps(payload), encoding="utf-8")
+
+        upgraded = KnowledgeBase.load(v1_path)  # v1 → load
+        assert upgraded.tgds == kb.tgds
+        resaved = upgraded.save(tmp_path / "kb.resaved.json")  # save → v2
+        assert (
+            json.loads(resaved.read_text(encoding="utf-8"))["format"]
+            == "repro-kb/v2"
+        )
+        final = KnowledgeBase.load(resaved)  # → load
+        assert set(final.rewriting.datalog_rules) == set(kb.rewriting.datalog_rules)
+        query = parse_query("Equipment(?x)")
+        assert final.answer_many([query], facts) == kb.answer_many([query], facts)
+
+    def test_malformed_segment_rejected(self, tmp_path):
+        kb, facts = self._kb_and_facts()
+        path = kb.save(tmp_path / "kb.json", facts=facts)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["fact_segments"]["predicates"]["Bogus/2"] = {
+            "arity": 3,  # key/arity mismatch
+            "count": 0,
+            "rows": "",
+        }
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(KnowledgeBaseFormatError, match="arity"):
+            KnowledgeBase.load(path)
+
+    def test_row_count_mismatch_rejected_on_decode(self, tmp_path):
+        from repro.logic.atoms import Predicate
+
+        kb, facts = self._kb_and_facts()
+        path = kb.save(tmp_path / "kb.json", facts=facts)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["fact_segments"]["predicates"]["ACEquipment/1"]["count"] = 99
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        loaded = KnowledgeBase.load(path)  # headers parse fine
+        with pytest.raises(KnowledgeBaseFormatError, match="declares 99 rows"):
+            loaded.fact_segments.relation(Predicate("ACEquipment", 1))
+
+
 class TestFormatErrors:
     def test_unsupported_version_rejected(self, tmp_path):
         path = tmp_path / "kb.json"
