@@ -443,12 +443,21 @@ def _command_serve(args: argparse.Namespace) -> int:
     except (KnowledgeBaseFormatError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    options = {}
+    if args.default_deadline_ms is not None:
+        # 0 = no deadline; the server models that as None
+        options["default_deadline_ms"] = args.default_deadline_ms or None
+    if args.max_queue_depth is not None:
+        options["max_queue_depth"] = args.max_queue_depth or None
+    if args.checkpoint_threshold is not None:
+        options["checkpoint_threshold"] = args.checkpoint_threshold
     try:
         server = ReasoningServer(
             [ServedKB(name, *loaded[name]) for name in order],
             workers=args.workers,
             cache_size=args.cache_size,
             max_batch_size=args.max_batch_size,
+            **options,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -729,6 +738,30 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=128,
         help="cap on queries grouped into one micro-batch (default: 128)",
+    )
+    server_parser.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="server-side deadline applied to requests that carry no "
+        "deadline_ms of their own (default: 30000; 0 disables deadlines)",
+    )
+    server_parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-KB admission bound; requests past it are shed with a "
+        "structured 'overloaded' error (default: 1024; 0 removes the bound)",
+    )
+    server_parser.add_argument(
+        "--checkpoint-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="op-log length at which the server snapshots surviving base "
+        "facts and truncates the log (default: 32)",
     )
     _add_rewriting_options(server_parser)
     server_parser.set_defaults(handler=_command_serve)

@@ -1128,6 +1128,10 @@ def capture_serving_throughput(
             "batch_size_histogram": batch_stats["batch_size_histogram"],
             "workers": stats["workers"]["mode"],
         },
+        # the fault-tolerance ledger: a clean perf run must report zero
+        # recoveries (CI asserts this — a nonzero counter here means the
+        # measurement itself was degraded by restarts/sheds/timeouts)
+        "resilience": dict(stats["resilience"]),
         "concurrent_wall_seconds": round(concurrent_wall, 6),
         "sequential_wall_seconds": round(sequential_wall, 6),
         "speedup_batched_vs_sequential": round(sequential_wall / concurrent_wall, 2)

@@ -308,6 +308,20 @@ def perf_report(payload: Mapping[str, object]) -> str:
                 f"dedup saved {block.get('dedup_saved', 0)})"
                 + ("" if serving.get("stale_free", True) else " (STALE ANSWERS!)")
             )
+            resilience = _stats_block(serving, "resilience")
+            degraded = {
+                key: resilience.get(key, 0)
+                for key in ("worker_restarts", "task_retries", "timeouts", "sheds")
+                if resilience.get(key)
+            }
+            if degraded:
+                # a perf measurement that needed recoveries is a degraded
+                # measurement; say so right next to the number it taints
+                lines.append(
+                    "  (measurement degraded by recoveries: "
+                    + ", ".join(f"{key}={value}" for key, value in degraded.items())
+                    + ")"
+                )
         demand = scenarios.get("demand_queries")
         # render whenever there is a speedup to report OR a divergence to
         # flag — a disagreeing demand run must never lose its warning
@@ -587,6 +601,17 @@ def step_summary_markdown(payload: Mapping[str, object]) -> str:
                     )
                     lines.append("")
                     lines.append(f"Batch-size histogram (size×count): {rendered}")
+                resilience = _stats_block(serving, "resilience")
+                if resilience:
+                    lines.append("")
+                    lines.append(
+                        "Resilience: "
+                        f"{resilience.get('worker_restarts', 0)} worker restarts, "
+                        f"{resilience.get('task_retries', 0)} task retries, "
+                        f"{resilience.get('timeouts', 0)} timeouts, "
+                        f"{resilience.get('sheds', 0)} shed requests, "
+                        f"{resilience.get('checkpoints', 0)} checkpoints"
+                    )
         demand = scenarios.get("demand_queries")
         if isinstance(demand, Mapping):
             magic = _stats_block(demand, "magic")

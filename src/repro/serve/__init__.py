@@ -53,13 +53,54 @@ the per-KB op log they have not seen yet — the mutation barrier guarantees
 no worker is ever *ahead* of a batch's assigned prefix, so sessions only
 ever roll forward.
 
+Fault tolerance
+---------------
+
+The serving layer assumes its parts fail and is built to keep answering
+correctly anyway; every mechanism below is exercised by the deterministic
+fault-injection harness (:mod:`.faults`, driven by
+``python -m repro.serve.smoke --chaos`` and the resilience test suite):
+
+* **Worker supervision** — a dead worker process breaks the whole pool
+  (``BrokenProcessPool``); the tier rebuilds the executor once per crash
+  and retries the failed tasks with capped exponential backoff.  Retries
+  are safe by construction: batches are idempotent reads of the op-log
+  prefix, and an unacked mutation re-runs against fresh sessions that
+  replay it from the log exactly once.  Worker pools use a ``forkserver``
+  context so rebuilt workers never inherit live connection descriptors.
+* **Deadlines** — every query/add/retract runs under a ``deadline_ms``
+  (per-request or the server default); expiry produces a structured
+  ``timeout`` error instead of a hang, and a mutation that expires while
+  still queued is guaranteed *not* applied.
+* **Backpressure** — per-KB admission queues are bounded; past the
+  high-water mark requests are shed at the door with a structured
+  ``overloaded`` error rather than growing an unbounded latency backlog.
+* **Op-log checkpoints** — once a KB's log passes a threshold the server
+  snapshots the surviving base facts and truncates the log, so worker
+  catch-up (and every post-crash rebuild) replays O(ops since checkpoint)
+  instead of the full mutation history.  A warm session standing exactly
+  at the checkpoint generation adopts the new epoch in place; a session
+  whose catch-up fails mid-suffix is quarantined and rebuilt rather than
+  left half-advanced.
+* **Client fail-fast** — a dead connection raises
+  :class:`~repro.serve.server.ClientDisconnectedError` promptly for every
+  in-flight and later request (no dangling futures); reconnect and
+  resubmit.
+
+The ``stats`` op reports the whole ledger: per-KB queue depth, op-log
+length and checkpoint count, plus a ``resilience`` block (restarts,
+retries, timeouts, sheds) and a ``fault_injection`` block when a
+:class:`~repro.serve.faults.FaultPlan` is installed.
+
 The serving-side performance story is measured by the
 ``serving_throughput`` perf scenario (see :mod:`repro.harness.perfcapture`)
-and guarded by concurrency tests plus a hypothesis property stating that
-no interleaving of cached answers and mutations serves a stale result.
+and guarded by concurrency tests plus hypothesis properties stating that
+no interleaving of cached answers, mutations, and injected worker kills
+serves a stale or lost result.
 """
 
 from .cache import AnswerCache, query_fingerprint
+from .faults import FaultPlan
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -68,11 +109,20 @@ from .protocol import (
     encode_message,
     query_result,
 )
-from .server import Client, LocalClient, ReasoningServer, ServedKB, ServeError
+from .server import (
+    Client,
+    ClientDisconnectedError,
+    LocalClient,
+    ReasoningServer,
+    ServedKB,
+    ServeError,
+)
 
 __all__ = [
     "AnswerCache",
     "Client",
+    "ClientDisconnectedError",
+    "FaultPlan",
     "LocalClient",
     "PROTOCOL_VERSION",
     "ProtocolError",

@@ -14,6 +14,13 @@ queue), and then pops work in arrival order:
   every earlier query is answered against the pre-mutation generation and
   every later one sees the mutation.
 
+Admission is **bounded**: a queue built with ``max_depth`` refuses new
+requests with :class:`QueueOverloadedError` once its depth reaches the
+high-water mark, and the server turns that into a structured
+``overloaded`` response — shedding load at the door instead of letting an
+unbounded backlog grow latency without limit.  Requests already admitted
+are always served (or time out against their own deadlines).
+
 :class:`BatcherStats` records the batch-size histogram and the dedup
 savings that the ``serving_throughput`` perf scenario reports.
 """
@@ -32,6 +39,17 @@ DEFAULT_MAX_BATCH_SIZE = 128
 
 #: request kinds that mutate the KB and therefore act as batch barriers
 MUTATION_KINDS = ("add", "retract")
+
+#: default admission bound per KB queue; deep enough that a busy server
+#: never sheds by accident, shallow enough that a stalled worker tier
+#: cannot accumulate an unbounded latency backlog
+DEFAULT_MAX_QUEUE_DEPTH = 1024
+
+
+class QueueOverloadedError(RuntimeError):
+    """Raised by :meth:`BatchQueue.submit` when the queue is at its
+    high-water mark; the server sheds the request with a structured
+    ``overloaded`` response instead of admitting it."""
 
 
 @dataclass
@@ -52,15 +70,26 @@ class PendingRequest:
 class BatchQueue:
     """An awaitable FIFO of :class:`PendingRequest` for one knowledge base."""
 
-    def __init__(self) -> None:
+    def __init__(self, max_depth: Optional[int] = DEFAULT_MAX_QUEUE_DEPTH) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max queue depth must be positive, got {max_depth}")
         self._pending: Deque[PendingRequest] = deque()
         self._wake = asyncio.Event()
         self.closed = False
+        self.max_depth = max_depth
+        #: deepest the queue has ever been (stats)
+        self.high_water = 0
 
     def submit(self, request: PendingRequest) -> None:
         if self.closed:
             raise RuntimeError("queue is closed (server is shutting down)")
+        if self.max_depth is not None and len(self._pending) >= self.max_depth:
+            raise QueueOverloadedError(
+                f"admission queue is at its high-water mark "
+                f"({self.max_depth} pending requests); retry with backoff"
+            )
         self._pending.append(request)
+        self.high_water = max(self.high_water, len(self._pending))
         self._wake.set()
 
     def close(self) -> None:
@@ -117,6 +146,10 @@ class BatcherStats:
         self.evaluated = 0
         self.dedup_saved = 0
         self.mutations = 0
+        #: requests refused at admission because the queue was full
+        self.sheds = 0
+        #: requests whose deadline expired before their answer was delivered
+        self.timeouts = 0
         #: batch size (number of grouped query requests) -> occurrences
         self.batch_size_histogram: Dict[int, int] = {}
         #: requested strategy -> query requests asking for it
@@ -142,6 +175,12 @@ class BatcherStats:
     def record_mutation(self) -> None:
         self.mutations += 1
 
+    def record_shed(self) -> None:
+        self.sheds += 1
+
+    def record_timeout(self) -> None:
+        self.timeouts += 1
+
     def snapshot(self) -> Dict[str, object]:
         """A JSON-ready view for the stats endpoint and the perf capture."""
         return {
@@ -151,6 +190,8 @@ class BatcherStats:
             "evaluated": self.evaluated,
             "dedup_saved": self.dedup_saved,
             "mutations": self.mutations,
+            "sheds": self.sheds,
+            "timeouts": self.timeouts,
             "requests_by_strategy": dict(sorted(self.requests_by_strategy.items())),
             "max_batch_size": max(self.batch_size_histogram, default=0),
             "batch_size_histogram": {

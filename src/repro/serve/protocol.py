@@ -26,16 +26,28 @@ evaluates it (see :class:`repro.datalog.query.QueryOptions`); answers are
 identical under every strategy, and the server counts requests per
 strategy in its ``stats`` payload.
 
+Query, ``add``, and ``retract`` requests may carry ``deadline_ms`` — a
+positive number of milliseconds this request is willing to wait.  The
+server enforces it (falling back to its configured default): a request
+whose answer is not delivered in time gets a structured ``timeout`` error
+instead of hanging.  A timed-out *mutation* is indeterminate — if it was
+still queued it was never applied, but a timeout that fired while the op
+was mid-application leaves it applied; clients must re-check (query the
+generation) rather than blindly resubmit.
+
 Responses
 ---------
 
 ``{"id": ..., "ok": true, ...}`` on success, with op-specific fields
 (``answers`` as a sorted list of term-string rows for queries, mutation
 counters for add/retract, the stats block for ``stats``), or
-``{"id": ..., "ok": false, "error": "..."}`` on failure.  Answers are
-encoded by :func:`encode_answers`, which both the server and the
-correctness checks (CI smoke, tests) use, so "the same answers" is a
-well-defined string comparison.
+``{"id": ..., "ok": false, "error": "..."}`` on failure.  Failures the
+client is expected to *react* to also carry ``error_kind``: ``"timeout"``
+(the request's deadline expired — safe to retry reads, re-check
+mutations) and ``"overloaded"`` (the admission queue shed the request —
+back off and retry).  Answers are encoded by :func:`encode_answers`,
+which both the server and the correctness checks (CI smoke, tests) use,
+so "the same answers" is a well-defined string comparison.
 """
 
 from __future__ import annotations
@@ -108,6 +120,17 @@ def validate_request(message: Mapping[str, object]) -> str:
             )
     if op in ("add", "retract") and not isinstance(message.get("facts"), str):
         raise ProtocolError(f"an {op} request needs a string 'facts' field")
+    if op in ("query", "add", "retract"):
+        deadline = message.get("deadline_ms")
+        if deadline is not None and (
+            isinstance(deadline, bool)
+            or not isinstance(deadline, (int, float))
+            or deadline <= 0
+        ):
+            raise ProtocolError(
+                f"deadline_ms must be a positive number of milliseconds, "
+                f"got {deadline!r}"
+            )
     return op
 
 
@@ -123,9 +146,19 @@ def ok_response(
     return response
 
 
-def error_response(request_id: object, message: str) -> Dict[str, object]:
-    """A failure response echoing the request id."""
-    return {"id": request_id, "ok": False, "error": message}
+def error_response(
+    request_id: object, message: str, kind: Optional[str] = None
+) -> Dict[str, object]:
+    """A failure response echoing the request id.
+
+    ``kind`` tags machine-actionable failures (``"timeout"``,
+    ``"overloaded"``) as ``error_kind`` so clients can branch on them
+    without parsing the message text.
+    """
+    response: Dict[str, object] = {"id": request_id, "ok": False, "error": message}
+    if kind is not None:
+        response["error_kind"] = kind
+    return response
 
 
 # ----------------------------------------------------------------------

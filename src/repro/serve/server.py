@@ -45,12 +45,15 @@ from ..logic.printer import format_fact
 from ..logic.parser import parse_facts
 from .batcher import (
     DEFAULT_MAX_BATCH_SIZE,
+    DEFAULT_MAX_QUEUE_DEPTH,
     MUTATION_KINDS,
     BatcherStats,
     BatchQueue,
     PendingRequest,
+    QueueOverloadedError,
 )
 from .cache import DEFAULT_CAPACITY, AnswerCache, query_fingerprint
+from .faults import FaultPlan
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -62,9 +65,41 @@ from .protocol import (
 )
 from .workers import build_kb_spec, make_worker_tier
 
+#: server-side default deadline applied to query/add/retract requests that
+#: do not carry their own ``deadline_ms``; generous enough that only a
+#: genuinely wedged request trips it, finite so nothing ever hangs forever
+DEFAULT_DEADLINE_MS = 30_000.0
+
+#: op-log length at which the server snapshots the surviving base facts
+#: and truncates the log, so worker catch-up (and every pool rebuild after
+#: a crash) replays O(ops since checkpoint) instead of O(all history)
+DEFAULT_CHECKPOINT_THRESHOLD = 32
+
 
 class ServeError(RuntimeError):
-    """Raised for server lifecycle misuse and failed client requests."""
+    """Raised for server lifecycle misuse and failed client requests.
+
+    ``kind`` mirrors the response's ``error_kind`` when the server tagged
+    the failure (``"timeout"``, ``"overloaded"``), so callers can branch
+    without parsing the message.
+    """
+
+    def __init__(self, message: str, kind: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+class ClientDisconnectedError(ServeError):
+    """The connection died with requests in flight.
+
+    Raised promptly for every pending request (no future is left dangling)
+    and by any later request on the dead client; reconnect with
+    :meth:`Client.connect` and resubmit — the server never saw, or never
+    answered, the failed requests.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, kind="disconnected")
 
 
 @dataclass
@@ -77,16 +112,38 @@ class ServedKB:
 
 
 class _KBState:
-    """Per-share-key serving state: queue, op log, batcher stats."""
+    """Per-share-key serving state: queue, op log, checkpoint, batcher stats."""
 
-    def __init__(self, key: str, kb: KnowledgeBase, facts_text: str) -> None:
+    def __init__(
+        self,
+        key: str,
+        kb: KnowledgeBase,
+        facts_text: str,
+        max_queue_depth: Optional[int] = DEFAULT_MAX_QUEUE_DEPTH,
+    ) -> None:
         self.key = key
         self.kb = kb
         self.facts_text = facts_text
-        self.queue = BatchQueue()
-        #: ordered mutation log: ("add" | "retract", facts text); its length
-        #: is the KB's generation
+        self.queue = BatchQueue(max_queue_depth)
+        #: ordered mutation log *since the last checkpoint*:
+        #: ("add" | "retract", facts text)
         self.ops: List[Tuple[str, str]] = []
+        #: the surviving base facts as canonical fact lines — the front end
+        #: folds every applied mutation in, so a checkpoint is one snapshot
+        #: of this set (a session materialized from it equals a session
+        #: that replayed the full history; the churn scenario pins that)
+        self.base_lines: Set[str] = {
+            line for line in facts_text.splitlines() if line
+        }
+        #: monotonically increasing checkpoint epoch (0 = the original spec)
+        self.epoch = 0
+        #: ops folded into the current checkpoint; the absolute generation
+        #: of the KB is checkpoint_base + len(ops)
+        self.checkpoint_base = 0
+        #: the checkpoint's fact snapshot (shipped to workers per task)
+        self.checkpoint_facts = facts_text
+        #: checkpoints taken over this state's lifetime
+        self.checkpoints = 0
         self.stats = BatcherStats()
         #: effective strategy (reported by the workers) -> evaluations run
         self.evaluated_by_strategy: Dict[str, int] = {}
@@ -95,7 +152,40 @@ class _KBState:
 
     @property
     def generation(self) -> int:
-        return len(self.ops)
+        return self.checkpoint_base + len(self.ops)
+
+    def checkpoint_payload(self) -> Optional[Dict[str, object]]:
+        """What a worker task needs to build/advance a session: the current
+        checkpoint (``None`` at epoch 0 — the spec facts already shipped
+        with the worker tier's specs are the epoch-0 snapshot)."""
+        if self.epoch == 0:
+            return None
+        return {
+            "epoch": self.epoch,
+            "base": self.checkpoint_base,
+            "facts": self.checkpoint_facts,
+        }
+
+    def fold_mutation(self, kind: str, fact_lines: Sequence[str]) -> None:
+        """Fold one applied mutation into the surviving-base-facts set."""
+        if kind == "add":
+            self.base_lines.update(fact_lines)
+        else:
+            self.base_lines.difference_update(fact_lines)
+
+    def take_checkpoint(self) -> None:
+        """Snapshot the surviving base facts and truncate the op log.
+
+        Called only at the mutation barrier (no in-flight batches), so no
+        dispatched task still references the truncated prefix; warm worker
+        sessions standing at the checkpoint generation adopt the new epoch
+        in place, anything behind it rebuilds from the snapshot.
+        """
+        self.checkpoint_base = self.generation
+        self.ops = []
+        self.epoch += 1
+        self.checkpoint_facts = "\n".join(sorted(self.base_lines))
+        self.checkpoints += 1
 
 
 class ReasoningServer:
@@ -107,11 +197,23 @@ class ReasoningServer:
         workers: int = 0,
         cache_size: int = DEFAULT_CAPACITY,
         max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        default_deadline_ms: Optional[float] = DEFAULT_DEADLINE_MS,
+        max_queue_depth: Optional[int] = DEFAULT_MAX_QUEUE_DEPTH,
+        checkpoint_threshold: int = DEFAULT_CHECKPOINT_THRESHOLD,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if not served:
             raise ValueError("a server needs at least one knowledge base")
         if max_batch_size < 1:
             raise ValueError(f"max batch size must be positive, got {max_batch_size}")
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ValueError(
+                f"default deadline must be positive, got {default_deadline_ms}"
+            )
+        if checkpoint_threshold < 1:
+            raise ValueError(
+                f"checkpoint threshold must be positive, got {checkpoint_threshold}"
+            )
         self._names: Dict[str, str] = {}
         self._states: Dict[str, _KBState] = {}
         specs: Dict[str, Dict[str, str]] = {}
@@ -133,7 +235,9 @@ class ReasoningServer:
             key = f"{entry.kb.fingerprint[:16]}/{facts_digest[:8]}"
             self._names[entry.name] = key
             if key not in self._states:
-                self._states[key] = _KBState(key, entry.kb, facts_text)
+                self._states[key] = _KBState(
+                    key, entry.kb, facts_text, max_queue_depth
+                )
                 specs[key] = build_kb_spec(entry.kb, entry.initial_facts)
         self._default_key = (
             next(iter(self._states)) if len(self._states) == 1 else None
@@ -141,6 +245,9 @@ class ReasoningServer:
         self._specs = specs
         self._workers = workers
         self._max_batch_size = max_batch_size
+        self._default_deadline_ms = default_deadline_ms
+        self._checkpoint_threshold = checkpoint_threshold
+        self._fault_plan = fault_plan
         self.cache = AnswerCache(cache_size)
         self._tier = None
         self._worker_processes: Dict[str, Dict[str, object]] = {}
@@ -155,7 +262,7 @@ class ReasoningServer:
         """Create the worker tier and the per-KB drain loops."""
         if self._tier is not None:
             raise ServeError("server already started")
-        self._tier = make_worker_tier(self._specs, self._workers)
+        self._tier = make_worker_tier(self._specs, self._workers, self._fault_plan)
         self._started_at = time.monotonic()
         for state in self._states.values():
             state.drain_task = asyncio.create_task(self._drain(state))
@@ -171,7 +278,9 @@ class ReasoningServer:
         self._require_started()
         slots = max(1, self._tier.describe().get("max_workers", 1))
         tasks = [
-            self._tier.answer_batch(state.key, list(state.ops), [])
+            self._tier.answer_batch(
+                state.key, list(state.ops), [], None, state.checkpoint_payload()
+            )
             for state in self._states.values()
             for _ in range(slots)
         ]
@@ -265,10 +374,31 @@ class ReasoningServer:
             )
         try:
             state.queue.submit(pending)
+        except QueueOverloadedError as exc:
+            # shed at the door: admitting past the high-water mark only
+            # grows the backlog's latency, it never grows throughput
+            state.stats.record_shed()
+            return error_response(request_id, str(exc), kind="overloaded")
         except RuntimeError as exc:
             return error_response(request_id, str(exc))
+        deadline_ms = message.get("deadline_ms", self._default_deadline_ms)
         try:
-            result = await pending.future
+            result = await asyncio.wait_for(
+                pending.future,
+                timeout=deadline_ms / 1000.0 if deadline_ms is not None else None,
+            )
+        except asyncio.TimeoutError:
+            # wait_for already cancelled the future, so the drain loop will
+            # skip this request: a still-queued mutation is never applied,
+            # a still-queued query never dispatched, and an in-flight batch
+            # simply drops this requester when it lands
+            state.stats.record_timeout()
+            return error_response(
+                request_id,
+                f"deadline of {deadline_ms}ms expired before the "
+                f"{op} completed",
+                kind="timeout",
+            )
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # noqa: B902 - worker failures become responses
@@ -311,21 +441,43 @@ class ReasoningServer:
             await asyncio.gather(*list(state.inflight), return_exceptions=True)
 
     async def _apply_mutation(self, state: _KBState, pending: PendingRequest) -> None:
+        if pending.future.done():
+            # the requester's deadline expired while the op was still
+            # queued: it was never acked and never entered the log, so
+            # honoring the timeout means *not* applying it
+            return
         state.ops.append((pending.kind, pending.text))
         self.cache.invalidate(state.key)
         state.stats.record_mutation()
         try:
-            payload = await self._tier.apply_mutation(state.key, list(state.ops))
+            payload = await self._tier.apply_mutation(
+                state.key, list(state.ops), state.checkpoint_payload()
+            )
         except Exception as exc:  # noqa: B902 - delivered via the future
             self._resolve(pending, exception=exc)
             return
         self._note_worker(payload)
+        # the op is applied and about to be acked: fold it into the
+        # surviving-base-facts snapshot source, then checkpoint once the
+        # log is long enough (we are at the barrier — no batch in flight
+        # references the prefix this truncates)
+        state.fold_mutation(
+            pending.kind,
+            [format_fact(fact) for fact in parse_facts(pending.text)],
+        )
+        if len(state.ops) >= self._checkpoint_threshold:
+            state.take_checkpoint()
         result = dict(payload["result"])
         result["generation"] = payload["generation"]
         result["store_size"] = payload["store_size"]
         self._resolve(pending, result=result)
 
     def _dispatch_batch(self, state: _KBState, batch: List[PendingRequest]) -> None:
+        # requests whose deadline expired while queued are already answered
+        # (with a structured timeout); don't waste an evaluation on them
+        batch = [pending for pending in batch if not pending.future.done()]
+        if not batch:
+            return
         generation = state.generation
         cache_hits = 0
         misses: Dict[str, List[PendingRequest]] = {}
@@ -350,7 +502,13 @@ class ReasoningServer:
         if not misses:
             return
         task = asyncio.create_task(
-            self._execute_batch(state, generation, list(state.ops), misses)
+            self._execute_batch(
+                state,
+                generation,
+                list(state.ops),
+                state.checkpoint_payload(),
+                misses,
+            )
         )
         state.inflight.add(task)
         task.add_done_callback(state.inflight.discard)
@@ -360,6 +518,7 @@ class ReasoningServer:
         state: _KBState,
         generation: int,
         ops: List[Tuple[str, str]],
+        checkpoint: Optional[Dict[str, object]],
         misses: Dict[str, List[PendingRequest]],
     ) -> None:
         fingerprints = list(misses)
@@ -369,7 +528,9 @@ class ReasoningServer:
         # fan-out below is correct for every requester)
         strategies = [misses[fp][0].strategy for fp in fingerprints]
         try:
-            payload = await self._tier.answer_batch(state.key, ops, texts, strategies)
+            payload = await self._tier.answer_batch(
+                state.key, ops, texts, strategies, checkpoint
+            )
         except Exception as exc:  # noqa: B902 - delivered via the futures
             for fingerprint in fingerprints:
                 for pending in misses[fingerprint]:
@@ -429,6 +590,11 @@ class ReasoningServer:
                 "rules": len(state.kb.program),
                 "generation": state.generation,
                 "queued": len(state.queue),
+                "queue_depth": len(state.queue),
+                "queue_high_water": state.queue.high_water,
+                "op_log_length": len(state.ops),
+                "checkpoints": state.checkpoints,
+                "checkpoint_epoch": state.epoch,
                 "batcher": state.stats.snapshot(),
                 "evaluated_by_strategy": dict(
                     sorted(state.evaluated_by_strategy.items())
@@ -441,6 +607,8 @@ class ReasoningServer:
             merged.evaluated += state.stats.evaluated
             merged.dedup_saved += state.stats.dedup_saved
             merged.mutations += state.stats.mutations
+            merged.sheds += state.stats.sheds
+            merged.timeouts += state.stats.timeouts
             for size, count in state.stats.batch_size_histogram.items():
                 merged.batch_size_histogram[size] = (
                     merged.batch_size_histogram.get(size, 0) + count
@@ -462,7 +630,19 @@ class ReasoningServer:
         # the front-end process compiles too (KB loading); report it under
         # its own pid so inline mode still shows a per-process view
         workers.setdefault("frontend_compile_cache", compile_cache_stats())
-        return {
+        resilience = {
+            "worker_restarts": workers.get("restarts", 0),
+            "task_retries": workers.get("retries", 0),
+            "recovery_wall_seconds": workers.get("recovery_wall_seconds", 0.0),
+            "worker_rebuilds": workers.get("session_rebuilds", 0),
+            "quarantined_sessions": workers.get("quarantined_sessions", 0),
+            "timeouts": merged.timeouts,
+            "sheds": merged.sheds,
+            "checkpoints": sum(
+                state.checkpoints for state in self._states.values()
+            ),
+        }
+        payload = {
             "protocol": PROTOCOL_VERSION,
             "uptime_seconds": round(time.monotonic() - self._started_at, 3)
             if self._started_at is not None
@@ -471,8 +651,12 @@ class ReasoningServer:
             "kbs": kbs,
             "answer_cache": self.cache.stats(),
             "batching": batching,
+            "resilience": resilience,
             "workers": workers,
         }
+        if self._fault_plan is not None:
+            payload["fault_injection"] = self._fault_plan.stats()
+        return payload
 
     # ------------------------------------------------------------------
     # TCP plumbing
@@ -504,6 +688,12 @@ class ReasoningServer:
     async def _respond(
         self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
     ) -> None:
+        if self._fault_plan is not None and self._fault_plan.should_drop_request():
+            # injected network death: kill the connection mid-request, no
+            # response, no FIN-before-RST niceties — the client must fail
+            # its in-flight futures fast and reconnect
+            writer.transport.abort()
+            return
         try:
             message = decode_message(line)
         except ProtocolError as exc:
@@ -530,7 +720,10 @@ class _ClientOps:
     async def _checked(self, message: Dict[str, object]) -> Dict[str, object]:
         response = await self.request(message)
         if not response.get("ok"):
-            raise ServeError(response.get("error") or "request failed")
+            raise ServeError(
+                response.get("error") or "request failed",
+                kind=response.get("error_kind"),
+            )
         return response
 
     async def query(
@@ -538,26 +731,41 @@ class _ClientOps:
         query: str,
         kb: Optional[str] = None,
         strategy: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> Dict[str, object]:
         message: Dict[str, object] = {"op": "query", "query": query}
         if kb is not None:
             message["kb"] = kb
         if strategy is not None:
             message["strategy"] = strategy
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
         return await self._checked(message)
 
-    async def add_facts(self, facts: str, kb: Optional[str] = None) -> Dict[str, object]:
+    async def add_facts(
+        self,
+        facts: str,
+        kb: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, object]:
         message: Dict[str, object] = {"op": "add", "facts": facts}
         if kb is not None:
             message["kb"] = kb
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
         return await self._checked(message)
 
     async def retract_facts(
-        self, facts: str, kb: Optional[str] = None
+        self,
+        facts: str,
+        kb: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> Dict[str, object]:
         message: Dict[str, object] = {"op": "retract", "facts": facts}
         if kb is not None:
             message["kb"] = kb
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
         return await self._checked(message)
 
     async def stats(self) -> Dict[str, object]:
@@ -586,7 +794,16 @@ class LocalClient(_ClientOps):
 
 
 class Client(_ClientOps):
-    """NDJSON-over-TCP client with pipelining (responses matched by id)."""
+    """NDJSON-over-TCP client with pipelining (responses matched by id).
+
+    Fails fast on a dead connection: every in-flight request gets
+    :class:`ClientDisconnectedError` the moment the read loop sees EOF or a
+    socket error (no future is ever left dangling), and every *later*
+    request on this client raises the same error immediately instead of
+    writing into a dead socket.  Reconnect with :meth:`connect` and
+    resubmit — the server either never saw or never answered the failed
+    requests.
+    """
 
     def __init__(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -595,6 +812,8 @@ class Client(_ClientOps):
         self._writer = writer
         self._next_id = 0
         self._pending: Dict[object, asyncio.Future] = {}
+        self._closed = False
+        self._disconnected = False
         self._read_task = asyncio.create_task(self._read_loop())
 
     @classmethod
@@ -602,17 +821,37 @@ class Client(_ClientOps):
         reader, writer = await asyncio.open_connection(host, port)
         return cls(reader, writer)
 
+    @property
+    def disconnected(self) -> bool:
+        """Whether the connection is known dead (reconnect to continue)."""
+        return self._disconnected
+
     async def request(self, message: Dict[str, object]) -> Dict[str, object]:
+        if self._disconnected:
+            raise ClientDisconnectedError(
+                "connection is closed; reconnect and resubmit"
+            )
         if "id" not in message:
             self._next_id += 1
             message = {**message, "id": f"c{self._next_id}"}
         future = asyncio.get_running_loop().create_future()
         self._pending[message["id"]] = future
-        self._writer.write(encode_message(message))
-        await self._writer.drain()
+        try:
+            self._writer.write(encode_message(message))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            # the write itself hit a dead socket: fail this request (and
+            # everything else in flight) now rather than waiting on a
+            # response that can never arrive
+            self._pending.pop(message["id"], None)
+            self._mark_disconnected(exc)
+            raise ClientDisconnectedError(
+                f"connection died while sending the request: {exc}"
+            ) from exc
         return await future
 
     async def _read_loop(self) -> None:
+        exc: Optional[Exception] = None
         try:
             while True:
                 line = await self._reader.readline()
@@ -622,18 +861,28 @@ class Client(_ClientOps):
                 future = self._pending.pop(response.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(response)
-        except (ConnectionError, OSError, ProtocolError) as exc:
-            self._fail_pending(exc)
+        except (ConnectionError, OSError, ProtocolError) as err:
+            exc = err
         finally:
-            self._fail_pending(ServeError("connection closed"))
+            self._mark_disconnected(exc)
 
-    def _fail_pending(self, exc: Exception) -> None:
-        for future in self._pending.values():
-            if not future.done():
-                future.set_exception(exc)
+    def _mark_disconnected(self, cause: Optional[Exception] = None) -> None:
+        self._disconnected = True
+        detail = f": {cause}" if cause is not None else ""
+        message = (
+            "connection closed by client"
+            if self._closed
+            else f"connection died with the request in flight{detail}; "
+            "reconnect and resubmit"
+        )
+        pending = list(self._pending.values())
         self._pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(ClientDisconnectedError(message))
 
     async def close(self) -> None:
+        self._closed = True
         self._writer.close()
         try:
             await self._writer.wait_closed()
@@ -644,3 +893,4 @@ class Client(_ClientOps):
             await self._read_task
         except asyncio.CancelledError:
             pass
+        self._mark_disconnected()

@@ -15,9 +15,18 @@ A second stage covers the ``repro-kb/v2`` segment tier: the KB is saved
 must decode only the demanded predicates' segments — and then served, with
 every answer checked against the oracle again.
 
+A third stage (``--chaos``) runs the fault-injection harness: a
+deterministic :class:`~repro.serve.faults.FaultPlan` kills worker
+processes (twice in a row on the first post-warm batch, once under a
+mutation), delays a task past its deadline, drops a connection
+mid-request, and floods a stalled admission queue — asserting the server
+answers every surviving request correctly, sheds and times out with
+structured errors, checkpoints the op log, and counts every recovery in
+its ``resilience`` stats block.
+
 Run it as::
 
-    python -m repro.serve.smoke [--workers N] [--queries N]
+    python -m repro.serve.smoke [--workers N] [--queries N] [--chaos]
 
 Exit status 0 means every concurrent answer matched the oracle.
 """
@@ -239,15 +248,305 @@ async def _run_lazy_kb(workers: int) -> int:
     return 1 if failures else 0
 
 
+async def _run_chaos(workers: int) -> int:
+    """The fault-injection stage: the server must survive a scripted storm.
+
+    Boots the *pool* tier under a deterministic :class:`FaultPlan` and
+    drives it through every failure mode the resilience layer claims to
+    handle, oracle-checking each surviving answer at its stamped
+    generation:
+
+    * the first post-warm query batch is killed **twice** in a row (two
+      worker deaths, two pool rebuilds) and must still answer correctly;
+    * a mutation's worker is killed mid-task — supervision retries it and
+      the op must land **exactly once** (generation advances by exactly 1);
+    * enough mutations flow to cross the checkpoint threshold, and the
+      op log must end up shorter than the total mutation count;
+    * a delayed task drives a query past its ``deadline_ms`` — the client
+      must get a structured ``timeout`` well before the injected delay
+      ends (a deadline, not a hang);
+    * a connection is dropped mid-request — the client must fail fast
+      with :class:`ClientDisconnectedError` and a reconnect must serve;
+    * a stalled mutation barrier plus a query flood overruns the bounded
+      admission queue — some requests must shed with ``overloaded``, and
+      every admitted one must still answer correctly.
+    """
+    import time as _time
+
+    from ..api import KnowledgeBase
+    from ..datalog.query import parse_query
+    from ..logic.parser import parse_facts, parse_program
+    from .faults import FaultPlan
+    from .protocol import encode_answers
+    from .server import (
+        Client,
+        ClientDisconnectedError,
+        ReasoningServer,
+        ServedKB,
+        ServeError,
+    )
+
+    workers = max(2, workers)  # real worker death needs the pool tier
+    program = parse_program(SIGMA)
+    kb = KnowledgeBase.compile(program.tgds)
+    fact_lines = _fact_lines()
+    initial = parse_facts("\n".join(fact_lines))
+
+    # warm() dispatches one task per worker slot (indexes 0..workers-1);
+    # kill the first post-warm dispatch and its first retry
+    plan = FaultPlan(kill_on_tasks={workers, workers + 1})
+    server = ReasoningServer(
+        [ServedKB("cim", kb, initial)],
+        workers=workers,
+        checkpoint_threshold=4,
+        max_queue_depth=32,
+        fault_plan=plan,
+    )
+    await server.start()
+    await server.warm()
+    host, port = await server.start_tcp()
+    print(f"serve smoke (chaos): listening on {host}:{port} (workers={workers})")
+
+    failures = 0
+    queries = [parse_query(text) for text in QUERY_TEXTS]
+    #: absolute generation -> surviving fact lines at that generation
+    history: Dict[int, List[str]] = {0: list(fact_lines)}
+    oracle_cache: Dict[int, Dict[str, List[List[str]]]] = {}
+
+    def check(text: str, generation: int, answers: List[List[str]], where: str) -> None:
+        nonlocal failures
+        if generation not in history:
+            print(
+                f"FAIL({where}): {text!r} answered at unknown generation "
+                f"{generation}"
+            )
+            failures += 1
+            return
+        if generation not in oracle_cache:
+            lines = history[generation]
+            answer_sets = kb.answer_many(queries, parse_facts("\n".join(lines)))
+            oracle_cache[generation] = {
+                q: encode_answers(a) for q, a in zip(QUERY_TEXTS, answer_sets)
+            }
+        expected = oracle_cache[generation][text]
+        if answers != expected:
+            print(
+                f"FAIL({where}): {text!r} at generation {generation}: served "
+                f"{answers!r}, oracle says {expected!r}"
+            )
+            failures += 1
+
+    clients = [await Client.connect(host, port) for _ in range(3)]
+
+    # -- stage 1: the double-killed query batch --------------------------
+    print("serve smoke (chaos): stage 1 — double-killed query batch")
+    async def killed_query(client: Client, text: str) -> None:
+        response = await client.query(text)
+        check(text, response["generation"], response["answers"], "double-kill")
+
+    await asyncio.gather(
+        *(
+            killed_query(clients[i % len(clients)], QUERY_TEXTS[i % len(QUERY_TEXTS)])
+            for i in range(len(QUERY_TEXTS) * 2)
+        )
+    )
+    if plan.injected["kills"] < 2:
+        print(
+            f"FAIL(double-kill): expected both scripted kills to fire, "
+            f"saw {plan.injected['kills']}"
+        )
+        failures += 1
+
+    # -- stage 2: mutations across a kill and a checkpoint ---------------
+    print("serve smoke (chaos): stage 2 — mutations across a kill and a checkpoint")
+    mutations: List[Tuple[str, str]] = [
+        ("add", "ACEquipment(chaos1)."),
+        ("retract", "ACEquipment(sw1)."),
+        ("add", "hasTerminal(chaos1, ctrm1). ACTerminal(ctrm1)."),
+        ("add", "ACEquipment(chaos2)."),
+        ("retract", "ACEquipment(chaos2)."),
+        ("add", "ACEquipment(chaos3)."),
+    ]
+    kill_mutation_index = 2  # arm a worker kill under this one
+    generation = 0
+    for index, (kind, facts) in enumerate(mutations):
+        if index == kill_mutation_index:
+            plan.schedule_kill_on_next_task()
+        if kind == "add":
+            response = await clients[0].add_facts(facts)
+        else:
+            response = await clients[0].retract_facts(facts)
+        if response["generation"] != generation + 1:
+            print(
+                f"FAIL(mutation): op {index} ({kind}) moved the generation "
+                f"{generation} -> {response['generation']}; exactly-once "
+                "application requires +1"
+            )
+            failures += 1
+        generation = response["generation"]
+        lines = set(history[generation - 1])
+        delta = {
+            line.strip() for line in facts.replace(". ", ".\n").splitlines() if line.strip()
+        }
+        lines = lines | delta if kind == "add" else lines - delta
+        history[generation] = sorted(lines)
+        # a query between every mutation, checked at its stamped generation
+        probe = await clients[1].query(QUERY_TEXTS[index % len(QUERY_TEXTS)])
+        check(
+            probe["query"], probe["generation"], probe["answers"], "post-mutation"
+        )
+
+    # -- stage 3: deadline enforcement (a timeout, not a hang) -----------
+    print("serve smoke (chaos): stage 3 — deadline enforcement")
+    plan.schedule_delay_on_next_task(0.8)
+    started = _time.perf_counter()
+    try:
+        await clients[2].query(QUERY_TEXTS[0], deadline_ms=150)
+    except ServeError as exc:
+        elapsed = _time.perf_counter() - started
+        if exc.kind != "timeout":
+            print(f"FAIL(deadline): expected error_kind 'timeout', got {exc.kind!r}")
+            failures += 1
+        if elapsed > 0.7:
+            print(
+                f"FAIL(deadline): timeout took {elapsed:.3f}s — longer than "
+                "the injected delay; the deadline did not actually fire"
+            )
+            failures += 1
+    else:
+        print("FAIL(deadline): delayed query answered instead of timing out")
+        failures += 1
+    await asyncio.sleep(0.9)  # let the delayed worker task land
+
+    # -- stage 4: dropped connection fails fast, reconnect serves --------
+    print("serve smoke (chaos): stage 4 — dropped connection")
+    plan.schedule_drop_on_next_request()
+    try:
+        await clients[2].query(QUERY_TEXTS[1])
+    except ClientDisconnectedError:
+        pass
+    else:
+        print("FAIL(drop): request on a dropped connection did not fail")
+        failures += 1
+    if not clients[2].disconnected:
+        print("FAIL(drop): client does not know its connection died")
+        failures += 1
+    try:
+        await clients[2].query(QUERY_TEXTS[1])
+    except ClientDisconnectedError:
+        pass
+    else:
+        print("FAIL(drop): dead client accepted another request")
+        failures += 1
+    clients[2] = await Client.connect(host, port)
+    response = await clients[2].query(QUERY_TEXTS[1])
+    check(QUERY_TEXTS[1], response["generation"], response["answers"], "reconnect")
+
+    # -- stage 5: backpressure under a stalled mutation barrier ----------
+    print("serve smoke (chaos): stage 5 — backpressure flood")
+    plan.schedule_delay_on_next_task(0.5)
+    stall = asyncio.create_task(clients[0].add_facts("ACEquipment(chaos4)."))
+    # the flood below is answered *after* the stalled op applies, so its
+    # oracle generation is knowable now
+    history[generation + 1] = sorted(
+        set(history[generation]) | {"ACEquipment(chaos4)."}
+    )
+    await asyncio.sleep(0.1)  # let the drain loop block on the stalled op
+    sheds = 0
+
+    async def flooded_query(client: Client, text: str) -> None:
+        nonlocal sheds, failures
+        try:
+            response = await client.query(text)
+        except ServeError as exc:
+            if exc.kind == "overloaded":
+                sheds += 1
+            else:
+                print(f"FAIL(flood): unexpected error {exc} (kind={exc.kind!r})")
+                failures += 1
+            return
+        check(text, response["generation"], response["answers"], "flood")
+
+    await asyncio.gather(
+        *(
+            flooded_query(clients[i % 2], QUERY_TEXTS[i % len(QUERY_TEXTS)])
+            for i in range(48)
+        )
+    )
+    response = await stall
+    if response["generation"] != generation + 1:
+        print(
+            f"FAIL(flood): the stalled mutation moved the generation "
+            f"{generation} -> {response['generation']}"
+        )
+        failures += 1
+    generation = response["generation"]
+    if sheds < 1:
+        print("FAIL(flood): the bounded queue never shed under overload")
+        failures += 1
+
+    # -- the resilience ledger must corroborate the script ---------------
+    stats = await clients[0].stats()
+    for client in clients:
+        if not client.disconnected:
+            await client.close()
+    await server.shutdown()
+
+    resilience = stats["resilience"]
+    injected = stats["fault_injection"]
+    kb_stats = stats["kbs"]["cim"]
+    checks = [
+        (resilience["worker_restarts"] >= 1, "no pool rebuild was recorded"),
+        (resilience["task_retries"] >= 2, "supervision retries not recorded"),
+        (resilience["timeouts"] >= 1, "the deadline timeout was not counted"),
+        (resilience["sheds"] >= 1, "the shed requests were not counted"),
+        (resilience["checkpoints"] >= 1, "no checkpoint was ever taken"),
+        (injected["kills"] == 3, f"expected 3 kills, saw {injected['kills']}"),
+        (injected["drops"] == 1, f"expected 1 drop, saw {injected['drops']}"),
+        (
+            kb_stats["op_log_length"] < len(mutations) + 1,
+            "checkpointing never truncated the op log",
+        ),
+        (
+            kb_stats["generation"] == len(mutations) + 1,
+            f"expected generation {len(mutations) + 1}, "
+            f"saw {kb_stats['generation']}",
+        ),
+    ]
+    for passed, complaint in checks:
+        if not passed:
+            print(f"FAIL(stats): {complaint}")
+            failures += 1
+    print(
+        "serve smoke (chaos): survived "
+        f"kills={injected['kills']} delays={injected['delays']} "
+        f"drops={injected['drops']} restarts={resilience['worker_restarts']} "
+        f"retries={resilience['task_retries']} sheds={resilience['sheds']} "
+        f"timeouts={resilience['timeouts']} "
+        f"checkpoints={resilience['checkpoints']}; {failures} failures"
+    )
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--queries", type=int, default=50)
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="also run the fault-injection stage (forces the pool tier)",
+    )
     options = parser.parse_args(argv)
     status = asyncio.run(_run(options.workers, options.queries))
     if status:
         return status
-    return asyncio.run(_run_lazy_kb(options.workers))
+    status = asyncio.run(_run_lazy_kb(options.workers))
+    if status:
+        return status
+    if options.chaos:
+        return asyncio.run(_run_chaos(options.workers))
+    return 0
 
 
 if __name__ == "__main__":

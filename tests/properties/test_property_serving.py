@@ -9,6 +9,17 @@ and checks every served answer against a fresh single-threaded session
 replaying the server's own op log up to the generation stamped on the
 response.  A second, model-based property pins the same invariant on the
 :class:`~repro.serve.cache.AnswerCache` in isolation.
+
+A third property re-runs the headline invariant under *injected worker
+kills*: the same random schedules drive a process-pool server whose
+:class:`~repro.serve.faults.FaultPlan` deterministically ``os._exit``\\ s
+worker processes at drawn dispatch indexes.  With at most three kills and
+the default retry budget of three, supervision must recover every task —
+so the property additionally states that no answer is *lost*: every
+request still gets an ``ok`` response, mutations still apply exactly once
+(dense generations), and every answer still matches the oracle.  Each
+example boots a real worker pool, so this one runs few examples — the
+broad schedule coverage comes from the kill-free property above.
 """
 
 import asyncio
@@ -170,6 +181,111 @@ def test_no_interleaving_of_cached_answers_and_mutations_serves_stale_results(
             }
         assert response["answers"] == oracle_cache[generation][response["query"]], (
             f"stale answer for {response['query']!r} at generation {generation}"
+        )
+
+
+# ----------------------------------------------------------------------
+# the same invariant under injected worker kills (supervision recovery)
+# ----------------------------------------------------------------------
+#: each pool boot is expensive; few examples, the kill-free property above
+#: carries the schedule coverage
+KILL_RELAXED = settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+#: <= 3 kills with the default max_task_retries=3 guarantees every task
+#: survives (a task gets 4 attempts; 3 kills can at most fell 3 of them),
+#: so "no lost answers" is a hard invariant, not a probabilistic one
+kill_indexes = st.sets(st.integers(min_value=0, max_value=10), max_size=3)
+
+
+@KILL_RELAXED
+@given(schedule=schedules, kills=kill_indexes)
+def test_no_interleaving_of_worker_kills_and_mutations_serves_stale_or_lost_results(
+    schedule, kills
+):
+    from repro.serve.faults import FaultPlan
+
+    kb = compiled_kb()
+    plan = FaultPlan(kill_on_tasks=kills)
+
+    async def drive():
+        server = ReasoningServer(
+            [ServedKB("cim", kb, parse_facts("\n".join(SEED_FACTS)))],
+            workers=1,
+            fault_plan=plan,
+        )
+        await server.start()
+        try:
+            clients = [server.local_client() for _ in range(3)]
+            served = []
+            mutations = []
+
+            async def run_op(slot, kind, payload):
+                client = clients[slot % len(clients)]
+                if kind == "query":
+                    served.append(await client.query(payload))
+                elif kind == "add":
+                    mutations.append(await client.add_facts(payload))
+                else:
+                    mutations.append(await client.retract_facts(payload))
+
+            for wave in schedule:
+                await asyncio.gather(
+                    *[
+                        run_op(slot, kind, payload)
+                        for slot, (kind, payload) in enumerate(wave)
+                    ]
+                )
+            return served, mutations
+        finally:
+            await server.shutdown()
+
+    served, mutations = asyncio.run(drive())
+
+    # no lost answers: every request produced an ok response despite the
+    # kills (client helpers raise on error responses, gather propagates)
+    total_ops = sum(len(wave) for wave in schedule)
+    assert len(served) + len(mutations) == total_ops
+    for response in served + mutations:
+        assert response["ok"] is True
+
+    # mutations applied exactly once each: the stamped generations are
+    # dense 1..N even when a mutation task's first dispatch was killed
+    op_log = {}
+    for response, (kind, payload) in zip(
+        sorted(mutations, key=lambda r: r["generation"]),
+        [
+            (kind, payload)
+            for wave in schedule
+            for kind, payload in wave
+            if kind != "query"
+        ],
+    ):
+        op_log[response["generation"]] = (kind, payload)
+    ordered_ops = [op_log[g] for g in sorted(op_log)]
+    assert sorted(op_log) == list(range(1, len(ordered_ops) + 1))
+
+    # and no stale answers: every served answer matches a fresh session at
+    # its stamped generation, recoveries included
+    oracle_cache = {}
+    for response in served:
+        generation = response["generation"]
+        if generation not in oracle_cache:
+            lines = replay(ordered_ops[:generation])
+            answers = kb.answer_many(
+                [parse_query(text) for text in QUERY_TEXTS],
+                parse_facts("\n".join(lines)),
+            )
+            oracle_cache[generation] = {
+                text: encode_answers(answer_set)
+                for text, answer_set in zip(QUERY_TEXTS, answers)
+            }
+        assert response["answers"] == oracle_cache[generation][response["query"]], (
+            f"stale answer for {response['query']!r} at generation "
+            f"{generation} (injected kills: {plan.injected['kills']})"
         )
 
 

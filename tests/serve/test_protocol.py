@@ -82,6 +82,24 @@ class TestValidateRequest:
         with pytest.raises(ProtocolError, match="unknown strategy"):
             validate_request({"op": "query", "query": "P(?x)", "strategy": 3})
 
+    def test_deadline_ms_accepted_on_query_and_mutations(self):
+        for request in (
+            {"op": "query", "query": "P(?x)", "deadline_ms": 250},
+            {"op": "query", "query": "P(?x)", "deadline_ms": 0.5},
+            {"op": "add", "facts": "P(a).", "deadline_ms": 1000},
+            {"op": "retract", "facts": "P(a).", "deadline_ms": 1000},
+        ):
+            assert validate_request(request) == request["op"]
+        # omitting the field means "use the server default"
+        assert validate_request({"op": "query", "query": "P(?x)"}) == "query"
+
+    def test_bad_deadline_ms_rejected(self):
+        for deadline in (0, -5, "100", True, [100]):
+            with pytest.raises(ProtocolError, match="deadline_ms"):
+                validate_request(
+                    {"op": "query", "query": "P(?x)", "deadline_ms": deadline}
+                )
+
 
 class TestResponses:
     def test_ok_response_echoes_id_and_fields(self):
@@ -91,6 +109,12 @@ class TestResponses:
     def test_error_response_shape(self):
         response = error_response("a", "bad query")
         assert response == {"id": "a", "ok": False, "error": "bad query"}
+
+    def test_error_response_kind_tags_machine_actionable_failures(self):
+        response = error_response("a", "too slow", kind="timeout")
+        assert response["error_kind"] == "timeout"
+        # untagged errors must not carry the field at all
+        assert "error_kind" not in error_response("a", "bad query")
 
     def test_protocol_version_is_stable(self):
         # clients key off this string; changing it is a breaking change
